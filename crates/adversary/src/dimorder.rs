@@ -1,0 +1,274 @@
+//! The §5 construction against destination-exchangeable **dimension-order**
+//! routers: `Ω(n²/k)`.
+//!
+//! "Consider the westernmost (1−c)n nodes in each of the cn southernmost
+//! rows of the mesh. Each of these nodes will send a packet to some node in
+//! the northernmost (1−c)n nodes of the cn easternmost columns. Define the
+//! N_i-column to be the ((1−c)n − 1 + i)-th column, and the i-box to be the
+//! set of nodes west of and including the N_i-column and south of and
+//! including row cn. … there is only one exchange rule: for i ≥ 1, j > i, if
+//! an N_j-packet is scheduled by the outqueue policy of a node to enter the
+//! N_i-column during steps 1 to i·dn, then exchange that packet with an
+//! N_i-packet in the (i−1)-box that is not scheduled to enter the
+//! N_i-column."
+
+use crate::classify::{Class, ClassMap};
+use crate::constants::DimOrderParams;
+use crate::general::ConstructionOutcome;
+use mesh_engine::{HookCtx, Router, Sim, StepHook};
+use mesh_topo::{Coord, Topology};
+use mesh_traffic::{PacketId, RoutingProblem};
+
+/// The §5 dimension-order construction.
+#[derive(Clone, Debug)]
+pub struct DimOrderConstruction {
+    pub params: DimOrderParams,
+}
+
+impl DimOrderConstruction {
+    /// Creates the construction for the given parameters.
+    pub fn new(params: DimOrderParams) -> DimOrderConstruction {
+        DimOrderConstruction { params }
+    }
+
+    /// `x` coordinate of the N_i-column: `(1−c)n − 1 + i` 1-based.
+    #[inline]
+    pub fn n_col(&self, i: u32) -> u32 {
+        self.params.n - self.params.cn + i - 2
+    }
+
+    /// The i-box: `x ≤ n_col(i)`, `y ≤ cn − 1`. The 0-box is everything
+    /// strictly west of the N_1-column within the same rows.
+    #[inline]
+    pub fn in_box(&self, c: Coord, i: u32) -> bool {
+        if c.y >= self.params.cn {
+            return false;
+        }
+        if i == 0 {
+            c.x < self.n_col(1)
+        } else {
+            c.x <= self.n_col(i)
+        }
+    }
+
+    /// Class of a construction destination: N_i destinations live in the
+    /// N_i-column at `y ≥ cn`.
+    pub fn classify_dst(&self, d: Coord) -> Option<Class> {
+        let DimOrderParams { n, cn, l, .. } = self.params;
+        if d.y < cn {
+            return None;
+        }
+        // d.x = n - cn + i - 2  =>  i = d.x + cn + 2 - n.
+        let i64v = d.x as i64 + cn as i64 + 2 - n as i64;
+        (1..=l as i64)
+            .contains(&i64v)
+            .then_some(Class::N(i64v as u32))
+    }
+
+    /// Step 1: the initial placement. The easternmost source column — which
+    /// *is* the N_1-column — holds only N_1-packets; all other classes fill
+    /// the remaining source cells (row-major) west of it, which keeps every
+    /// N_j (j ≥ 2) inside the (j−2)-box initially.
+    pub fn initial_problem(&self) -> RoutingProblem {
+        let DimOrderParams { n, cn, p, l, .. } = self.params;
+        let edge = self.n_col(1);
+        let n_dst = |i: u32, m: u32| Coord::new(self.n_col(i), n - 1 - m);
+        let mut pairs: Vec<(Coord, Coord)> = Vec::with_capacity((p * l) as usize);
+
+        let mut n1_used = 0u32;
+        for y in 0..cn {
+            pairs.push((Coord::new(edge, y), n_dst(1, n1_used)));
+            n1_used += 1;
+        }
+        assert!(n1_used <= p);
+
+        let mut todo: Vec<(u32, u32)> = Vec::new();
+        for m in n1_used..p {
+            todo.push((1, m));
+        }
+        for i in 2..=l {
+            for m in 0..p {
+                todo.push((i, m));
+            }
+        }
+        let mut cells = (0..cn).flat_map(|y| (0..edge).map(move |x| Coord::new(x, y)));
+        for (i, m) in todo {
+            let cell = cells.next().expect("source region too small");
+            pairs.push((cell, n_dst(i, m)));
+        }
+
+        RoutingProblem::from_pairs(
+            n,
+            format!("clt-dimorder-initial(n={n},k={},cn={cn},p={p},l={l})", self.params.k),
+            pairs,
+        )
+    }
+
+    /// Runs the construction for `⌊l⌋·dn` steps against `router`.
+    pub fn run<T: Topology, R: Router>(&self, topo: &T, router: R) -> ConstructionOutcome {
+        assert_eq!(topo.side(), self.params.n);
+        let pb = self.initial_problem();
+        let mut sim = Sim::new(topo, router, &pb);
+        let dsts: Vec<Coord> = pb.packets.iter().map(|p| p.dst).collect();
+        let classes = ClassMap::new(&dsts, |d| self.classify_dst(d));
+        let mut hook = DimOrderHook {
+            cons: self.clone(),
+            classes,
+            scheduled: vec![false; pb.len()],
+        };
+        let bound = self.params.bound_steps();
+        for _ in 1..=bound {
+            sim.step_with_hook(&mut hook);
+        }
+        ConstructionOutcome {
+            constructed: sim.current_problem(format!(
+                "clt-dimorder-constructed(n={},k={})",
+                self.params.n, self.params.k
+            )),
+            final_snapshot: sim.packet_snapshot(),
+            exchanges: sim.report().exchanges,
+            undelivered_at_bound: sim.num_packets() - sim.delivered(),
+            bound_steps: bound,
+        }
+    }
+}
+
+struct DimOrderHook {
+    cons: DimOrderConstruction,
+    classes: ClassMap,
+    scheduled: Vec<bool>,
+}
+
+impl DimOrderHook {
+    fn find_partner(&self, ctx: &HookCtx<'_>, i: u32) -> PacketId {
+        let col = self.cons.n_col(i);
+        let in_prev_box = |cand: PacketId| match ctx.node_of(cand) {
+            Some(c) => self.cons.in_box(c, i - 1),
+            None => false,
+        };
+        for &cand in self.classes.members(Class::N(i)) {
+            if !self.scheduled[cand.index()] && in_prev_box(cand) {
+                return cand;
+            }
+        }
+        for &cand in self.classes.members(Class::N(i)) {
+            if !in_prev_box(cand) {
+                continue;
+            }
+            let enters = ctx
+                .moves
+                .iter()
+                .any(|m| m.pkt == cand && m.to.x == col && m.from.x != col);
+            if !enters {
+                return cand;
+            }
+        }
+        panic!(
+            "no eligible N_{i} exchange partner at step {} (construction bug)",
+            ctx.t
+        );
+    }
+}
+
+impl StepHook for DimOrderHook {
+    #[allow(clippy::while_let_loop)]
+    fn on_scheduled(&mut self, ctx: &mut HookCtx<'_>) {
+        let t = ctx.t;
+        self.scheduled.iter_mut().for_each(|b| *b = false);
+        for m in ctx.moves {
+            self.scheduled[m.pkt.index()] = true;
+        }
+        let dn = self.cons.params.dn as u64;
+        let l = self.cons.params.l;
+        let mut passes = 0;
+        loop {
+            let before = ctx.exchange_count();
+            for mi in 0..ctx.moves.len() {
+                let m = ctx.moves[mi];
+                loop {
+                    let Some(Class::N(j)) = self.classes.class_of(m.pkt) else { break };
+                    // Entering some N_i-column (from outside it)?
+                    let to_i =
+                        m.to.x as i64 + self.cons.params.cn as i64 + 2 - self.cons.params.n as i64;
+                    if !(1..=l as i64).contains(&to_i) || m.from.x == m.to.x {
+                        break;
+                    }
+                    let i = to_i as u32;
+                    if j > i && t <= i as u64 * dn {
+                        let partner = self.find_partner(ctx, i);
+                        ctx.exchange(m.pkt, partner);
+                        self.classes.record_exchange(m.pkt, partner);
+                        // Re-evaluate this move with its new class.
+                        continue;
+                    }
+                    break;
+                }
+            }
+            if ctx.exchange_count() == before {
+                break;
+            }
+            passes += 1;
+            assert!(passes < 64, "exchange fixpoint did not converge");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::DimOrderParams;
+
+    fn cons(n: u32, k: u32) -> DimOrderConstruction {
+        DimOrderConstruction::new(DimOrderParams::new(n, k).unwrap())
+    }
+
+    #[test]
+    fn geometry_and_classes() {
+        let c = cons(216, 1);
+        // N_1-column is the easternmost source column.
+        assert_eq!(c.n_col(1), 216 - 36 - 1);
+        assert_eq!(c.n_col(c.params.l), 216 - 2);
+        // Classes decode from destinations.
+        for i in 1..=c.params.l {
+            let d = Coord::new(c.n_col(i), 216 - 1);
+            assert_eq!(c.classify_dst(d), Some(Class::N(i)));
+        }
+        // South of row cn: never a destination.
+        assert_eq!(c.classify_dst(Coord::new(c.n_col(1), 0)), None);
+    }
+
+    #[test]
+    fn boxes_nest_and_zero_box_is_strict() {
+        let c = cons(216, 1);
+        let edge = c.n_col(1);
+        assert!(c.in_box(Coord::new(edge, 0), 1));
+        assert!(!c.in_box(Coord::new(edge, 0), 0));
+        assert!(c.in_box(Coord::new(edge - 1, 35), 0));
+        // Above row cn-1: outside every box.
+        assert!(!c.in_box(Coord::new(0, 36), 1));
+    }
+
+    #[test]
+    fn placement_preconditions() {
+        let c = cons(216, 1);
+        let pb = c.initial_problem();
+        assert!(pb.is_partial_permutation());
+        assert_eq!(pb.len(), (c.params.p * c.params.l) as usize);
+        for pk in &pb.packets {
+            let cls = c.classify_dst(pk.dst).unwrap();
+            // Sources in the cn southern rows, west of or on the N_1-column.
+            assert!(pk.src.y < c.params.cn);
+            assert!(pk.src.x <= c.n_col(1));
+            // Only N_1 packets on the N_1-column.
+            if pk.src.x == c.n_col(1) {
+                assert_eq!(cls, Class::N(1));
+            }
+            // Classes >= 2 start strictly west (0-box).
+            if cls.index() >= 2 {
+                assert!(pk.src.x < c.n_col(1));
+            }
+            // Destinations in the northernmost (1-c)n rows.
+            assert!(pk.dst.y >= c.params.cn);
+        }
+    }
+}

@@ -1,0 +1,461 @@
+//! The §3 construction: an adversary that builds, for **any**
+//! destination-exchangeable minimal adaptive routing algorithm, a
+//! permutation requiring `⌊l⌋·dn = Ω(n²/k²)` steps.
+//!
+//! The adversary runs the algorithm on an initial placement (step 1 of §3),
+//! watching every scheduled transmission. Whenever a packet of a
+//! too-high class is about to cross a protected column or row, the adversary
+//! *exchanges* destinations per rules EX1–EX4 (step 3), which the algorithm —
+//! being destination-exchangeable — cannot detect (Lemma 10). After
+//! `⌊l⌋·dn` steps the packets' current destinations define the **constructed
+//! permutation** (step 4); replaying the algorithm on it without exchanges
+//! reproduces the exact same execution (Lemma 12) and therefore still has
+//! undelivered packets at step `⌊l⌋·dn` (Theorem 13).
+
+use crate::classify::{Class, ClassMap};
+use crate::constants::GeneralParams;
+use crate::geometry::BoxGeometry;
+use crate::invariants::InvariantChecker;
+use mesh_engine::{HookCtx, Loc, Router, Sim, StepHook};
+use mesh_topo::{Coord, Topology};
+use mesh_traffic::{PacketId, RoutingProblem};
+
+/// The §3 general construction (one instance per `(n, k, h)`).
+///
+/// For the torus extension (§5) build the parameters for the submesh side
+/// `m` and run on a torus of side `≥ 2m`: all construction traffic stays in
+/// the southwest `m × m` submesh, where torus and mesh profitable outlinks
+/// coincide.
+#[derive(Clone, Debug)]
+pub struct GeneralConstruction {
+    pub params: GeneralParams,
+    pub geom: BoxGeometry,
+    /// Side of the full grid the problem is defined on (= `params.n` for the
+    /// mesh; `≥ 2·params.n` for the torus extension).
+    pub grid_n: u32,
+}
+
+/// Everything the construction produces.
+pub struct ConstructionOutcome {
+    /// The constructed (partial) permutation — the paper's hard instance.
+    pub constructed: RoutingProblem,
+    /// Exact per-packet configuration after `⌊l⌋·dn` construction steps,
+    /// for the Lemma 12 replay-equivalence check.
+    pub final_snapshot: Vec<(Loc, Coord, u64)>,
+    /// Destination exchanges performed.
+    pub exchanges: u64,
+    /// Packets still undelivered at the bound (Corollary 9 demands > 0).
+    pub undelivered_at_bound: usize,
+    /// The proven bound `⌊l⌋·dn`.
+    pub bound_steps: u64,
+}
+
+impl GeneralConstruction {
+    /// Construction on the `n × n` mesh.
+    pub fn new(params: GeneralParams) -> GeneralConstruction {
+        GeneralConstruction {
+            geom: BoxGeometry { cn: params.cn },
+            grid_n: params.n,
+            params,
+        }
+    }
+
+    /// Construction embedded in the southwest corner of a larger grid
+    /// (the §5 torus extension: `grid_n ≥ 2·params.n`).
+    pub fn embedded(params: GeneralParams, grid_n: u32) -> GeneralConstruction {
+        assert!(grid_n >= params.n);
+        GeneralConstruction {
+            geom: BoxGeometry { cn: params.cn },
+            grid_n,
+            params,
+        }
+    }
+
+    /// The class of a construction destination (`None` for other coords).
+    ///
+    /// N_i destinations sit in the N_i-column strictly north of the E_i-row,
+    /// so `dst.y > dst.x`; E_i destinations mirror (`dst.x > dst.y`).
+    pub fn classify_dst(&self, d: Coord) -> Option<Class> {
+        let cn = self.params.cn;
+        let l = self.params.l;
+        if d.y > d.x && d.x + 2 >= cn && d.x + 2 <= cn + l + 1 {
+            let i = d.x + 2 - cn;
+            (1..=l).contains(&i).then_some(Class::N(i))
+        } else if d.x > d.y && d.y + 2 >= cn && d.y + 2 <= cn + l + 1 {
+            let i = d.y + 2 - cn;
+            (1..=l).contains(&i).then_some(Class::E(i))
+        } else {
+            None
+        }
+    }
+
+    /// Step 1 of §3: the initial placement.
+    ///
+    /// * the N_1-column within the 1-box (east edge of the `cn × cn`
+    ///   submesh) holds only N_1-packets;
+    /// * the E_1-row west of the N_1-column (north edge) holds only
+    ///   E_1-packets;
+    /// * everything else — including all N_2/E_2 packets, which Lemma 5/6
+    ///   require to start inside the 0-box — goes into the 0-box, which is
+    ///   exactly the remainder of the 1-box;
+    /// * `h` packets per node (`h = 1` for permutations);
+    /// * N_i-packet `m` is destined for `(n_col(i), n − 1 − ⌊m/h⌋)`;
+    ///   E_i-packet `m` for `(n − 1 − ⌊m/h⌋, e_row(i))` — unique
+    ///   destinations outside the `⌊l⌋`-box.
+    pub fn initial_problem(&self) -> RoutingProblem {
+        let GeneralParams { n, cn, p, l, h, .. } = self.params;
+        let g = &self.geom;
+        let mut pairs: Vec<(Coord, Coord)> = Vec::with_capacity((2 * p * l) as usize);
+
+        // Destination allocators per class.
+        let n_dst = |i: u32, m: u32| Coord::new(g.n_col(i), n - 1 - m / h);
+        let e_dst = |i: u32, m: u32| Coord::new(n - 1 - m / h, g.e_row(i));
+
+        // East edge: N_1 packets.
+        let mut n1_used = 0u32;
+        for y in 0..cn {
+            for _ in 0..h {
+                pairs.push((Coord::new(cn - 1, y), n_dst(1, n1_used)));
+                n1_used += 1;
+            }
+        }
+        // North edge (west of the corner): E_1 packets.
+        let mut e1_used = 0u32;
+        for x in 0..cn - 1 {
+            for _ in 0..h {
+                pairs.push((Coord::new(x, cn - 1), e_dst(1, e1_used)));
+                e1_used += 1;
+            }
+        }
+        assert!(n1_used <= p && e1_used <= p, "edges need p >= h*cn");
+
+        // Remaining assignments, in class order, into 0-box cells row-major.
+        let mut todo: Vec<(Class, u32)> = Vec::new();
+        for m in n1_used..p {
+            todo.push((Class::N(1), m));
+        }
+        for m in e1_used..p {
+            todo.push((Class::E(1), m));
+        }
+        for i in 2..=l {
+            for m in 0..p {
+                todo.push((Class::N(i), m));
+            }
+            for m in 0..p {
+                todo.push((Class::E(i), m));
+            }
+        }
+        let mut cell_iter = (0..cn - 1)
+            .flat_map(|y| (0..cn - 1).map(move |x| Coord::new(x, y)))
+            .flat_map(|c| std::iter::repeat_n(c, h as usize));
+        for (cls, m) in todo {
+            let cell = cell_iter
+                .next()
+                .expect("0-box too small for the construction placement");
+            let dst = match cls {
+                Class::N(i) => n_dst(i, m),
+                Class::E(i) => e_dst(i, m),
+            };
+            pairs.push((cell, dst));
+        }
+
+        let pb = RoutingProblem::from_pairs(
+            self.grid_n,
+            format!(
+                "clt-initial(n={n},k={},h={h},cn={cn},p={p},l={l})",
+                self.params.k
+            ),
+            pairs,
+        );
+        debug_assert!(pb.is_hh(h));
+        pb
+    }
+
+    /// Runs the full construction (steps 1–4 of §3) against `router`.
+    ///
+    /// With `check_invariants`, Lemmas 1–8 are machine-verified after every
+    /// step (a panic means either the construction or the engine is wrong —
+    /// never the router).
+    pub fn run<T: Topology, R: Router>(
+        &self,
+        topo: &T,
+        router: R,
+        check_invariants: bool,
+    ) -> ConstructionOutcome {
+        assert_eq!(topo.side(), self.grid_n);
+        let pb = self.initial_problem();
+        let mut sim = Sim::new(topo, router, &pb);
+        let dsts: Vec<Coord> = pb.packets.iter().map(|p| p.dst).collect();
+        let classes = ClassMap::new(&dsts, |d| self.classify_dst(d));
+        let mut hook = GeneralHook {
+            geom: self.geom,
+            dn: self.params.dn,
+            l: self.params.l,
+            classes,
+            scheduled: vec![false; pb.len()],
+        };
+        let mut checker = check_invariants.then(|| InvariantChecker::new(&self.params));
+        let bound = self.params.bound_steps();
+        for t in 1..=bound {
+            sim.step_with_hook(&mut hook);
+            if let Some(ch) = checker.as_mut() {
+                ch.check_after_step(t, &self.geom, &hook.classes, |p| sim.loc(p))
+                    .unwrap_or_else(|e| panic!("invariant violated at step {t}: {e}"));
+            }
+        }
+        ConstructionOutcome {
+            constructed: sim.current_problem(format!(
+                "clt-constructed(n={},k={},h={})",
+                self.params.n, self.params.k, self.params.h
+            )),
+            final_snapshot: sim.packet_snapshot(),
+            exchanges: sim.report().exchanges,
+            undelivered_at_bound: sim.num_packets() - sim.delivered(),
+            bound_steps: bound,
+        }
+    }
+}
+
+/// The per-step adversary implementing EX1–EX4.
+struct GeneralHook {
+    geom: BoxGeometry,
+    dn: u32,
+    l: u32,
+    classes: ClassMap,
+    scheduled: Vec<bool>,
+}
+
+impl GeneralHook {
+    /// Finds an exchange partner: a packet of class `want` (`N_i` or `E_i`),
+    /// located in the `(i−1)`-box, and *not scheduled to enter* the protected
+    /// N_i-column / E_i-row (the paper's exact eligibility; Lemmas 3/4
+    /// guarantee existence). We prefer partners that are not scheduled at
+    /// all — they cannot cascade into further violations this step — and
+    /// fall back to the paper's weaker condition otherwise.
+    fn find_partner(&self, ctx: &HookCtx<'_>, want: Class) -> PacketId {
+        let i = want.index();
+        let g = &self.geom;
+        let in_prev_box = |cand: PacketId| match ctx.node_of(cand) {
+            Some(c) => g.in_box(c, i - 1),
+            None => false,
+        };
+        // Pass 1: unscheduled partners.
+        for &cand in self.classes.members(want) {
+            if !self.scheduled[cand.index()] && in_prev_box(cand) {
+                return cand;
+            }
+        }
+        // Pass 2: scheduled, but not into the protected column/row.
+        for &cand in self.classes.members(want) {
+            if !in_prev_box(cand) {
+                continue;
+            }
+            let enters_protected = ctx.moves.iter().any(|m| {
+                m.pkt == cand
+                    && match want {
+                        Class::N(_) => m.to.x == g.n_col(i) && m.to.y < g.e_row(i),
+                        Class::E(_) => m.to.y == g.e_row(i) && m.to.x < g.n_col(i),
+                    }
+            });
+            if !enters_protected {
+                return cand;
+            }
+        }
+        panic!(
+            "no eligible exchange partner of class {want:?} at step {} — \
+             Lemma 3/4 violated (construction bug)",
+            ctx.t
+        );
+    }
+}
+
+impl StepHook for GeneralHook {
+    #[allow(clippy::while_let_loop)]
+    fn on_scheduled(&mut self, ctx: &mut HookCtx<'_>) {
+        let t = ctx.t;
+        // Mark which packets are scheduled (partners must not be).
+        self.scheduled.iter_mut().for_each(|b| *b = false);
+        for m in ctx.moves {
+            self.scheduled[m.pkt.index()] = true;
+        }
+
+        let g = self.geom;
+        let cn = g.cn;
+        // Exchanging with a partner that is itself scheduled (pass 2 of
+        // find_partner) can create a new violation on an earlier move, so
+        // iterate the whole schedule to a fixpoint.
+        let mut passes = 0;
+        loop {
+            let exchanges_before = ctx.exchange_count();
+            self.scan_moves(ctx, g, cn, t);
+            if ctx.exchange_count() == exchanges_before {
+                break;
+            }
+            passes += 1;
+            assert!(passes < 64, "exchange fixpoint did not converge");
+        }
+    }
+}
+
+impl GeneralHook {
+    #[allow(clippy::while_let_loop)]
+    fn scan_moves(&mut self, ctx: &mut HookCtx<'_>, g: BoxGeometry, cn: u32, t: u64) {
+        for mi in 0..ctx.moves.len() {
+            let m = ctx.moves[mi];
+            // A move may trip a column rule and a row rule (corner targets);
+            // re-evaluate after each exchange. Two passes suffice, but loop
+            // defensively until clean.
+            loop {
+                let Some(cls) = self.classes.class_of(m.pkt) else { break };
+                let j = cls.index();
+                let mut exchanged = false;
+
+                // Entering the N_i-column south of the E_i-row?
+                if m.to.x + 2 >= cn && m.to.x + 2 <= cn + self.l + 1 {
+                    let i = m.to.x + 2 - cn;
+                    if (1..=self.l).contains(&i)
+                        && m.to.y < g.e_row(i)
+                        && t <= i as u64 * self.dn as u64
+                    {
+                        let violates = match cls {
+                            Class::N(_) => j > i,  // EX2
+                            Class::E(_) => j >= i, // EX3
+                        };
+                        if violates {
+                            let partner = self.find_partner(ctx, Class::N(i));
+                            ctx.exchange(m.pkt, partner);
+                            self.classes.record_exchange(m.pkt, partner);
+                            exchanged = true;
+                        }
+                    }
+                }
+                if exchanged {
+                    continue;
+                }
+                // Entering the E_i-row west of the N_i-column?
+                if m.to.y + 2 >= cn && m.to.y + 2 <= cn + self.l + 1 {
+                    let i = m.to.y + 2 - cn;
+                    if (1..=self.l).contains(&i)
+                        && m.to.x < g.n_col(i)
+                        && t <= i as u64 * self.dn as u64
+                    {
+                        let violates = match cls {
+                            Class::E(_) => j > i,  // EX1
+                            Class::N(_) => j >= i, // EX4
+                        };
+                        if violates {
+                            let partner = self.find_partner(ctx, Class::E(i));
+                            ctx.exchange(m.pkt, partner);
+                            self.classes.record_exchange(m.pkt, partner);
+                            exchanged = true;
+                        }
+                    }
+                }
+                if !exchanged {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::GeneralParams;
+
+    fn cons(n: u32, k: u32) -> GeneralConstruction {
+        GeneralConstruction::new(GeneralParams::new(n, k).unwrap())
+    }
+
+    #[test]
+    fn classify_matches_destination_layout() {
+        let c = cons(216, 1);
+        let g = &c.geom;
+        // N_i destinations: in the N_i-column strictly north of the E_i-row.
+        for i in 1..=c.params.l {
+            let d = Coord::new(g.n_col(i), g.e_row(i) + 5);
+            assert_eq!(c.classify_dst(d), Some(Class::N(i)));
+            let d = Coord::new(g.n_col(i) + 5, g.e_row(i));
+            assert_eq!(c.classify_dst(d), Some(Class::E(i)));
+        }
+        // Outside the class columns/rows: none.
+        assert_eq!(c.classify_dst(Coord::new(0, 0)), None);
+        assert_eq!(c.classify_dst(Coord::new(215, 215)), None);
+        // On the diagonal (would be both): impossible by construction.
+        let diag = Coord::new(c.geom.n_col(1), c.geom.e_row(1));
+        assert_eq!(c.classify_dst(diag), None);
+    }
+
+    #[test]
+    fn initial_placement_satisfies_the_paper_preconditions() {
+        for (n, k) in [(216u32, 1u32), (384, 2)] {
+            let c = cons(n, k);
+            let pb = c.initial_problem();
+            let g = &c.geom;
+            assert!(pb.is_partial_permutation());
+            assert_eq!(pb.len() as u64, c.params.total_packets());
+            let mut per_class = std::collections::HashMap::new();
+            for pk in &pb.packets {
+                let cls = c.classify_dst(pk.dst).expect("every packet classed");
+                *per_class.entry(cls).or_insert(0u32) += 1;
+                // Everything starts in the 1-box.
+                assert!(g.in_box(pk.src, 1), "{:?} outside the 1-box", pk.src);
+                match cls {
+                    Class::N(1) => {}
+                    Class::E(1) => {
+                        // Lemma 8 basis: not at/east of the N_1-column south
+                        // of the E_1-row.
+                        assert!(
+                            !(pk.src.x >= g.n_col(1) && pk.src.y < g.e_row(1)),
+                            "E_1 packet at {:?}",
+                            pk.src
+                        );
+                    }
+                    // Lemma 5/6 basis: classes >= 2 start inside the 0-box.
+                    _ => assert!(g.in_box(pk.src, 0), "{cls:?} at {:?}", pk.src),
+                }
+                // The N_1-column (in-box part) holds only N_1 packets;
+                // the E_1-row west of it holds only E_1 packets.
+                if g.in_n_col_south(pk.src, 1) {
+                    assert_eq!(cls, Class::N(1));
+                }
+                if g.in_e_row_west(pk.src, 1) {
+                    assert_eq!(cls, Class::E(1));
+                }
+                // Destinations lie strictly outside the l-box.
+                assert!(!g.in_box(pk.dst, c.params.l), "dst {:?} inside l-box", pk.dst);
+            }
+            // Exactly p packets per class.
+            for i in 1..=c.params.l {
+                assert_eq!(per_class[&Class::N(i)], c.params.p, "N_{i} count");
+                assert_eq!(per_class[&Class::E(i)], c.params.p, "E_{i} count");
+            }
+            // At most one packet per node (h = 1).
+            assert!(pb.send_counts().iter().all(|&s| s <= 1));
+        }
+    }
+
+    #[test]
+    fn hh_placement_puts_h_packets_per_node() {
+        let params = GeneralParams::hh(600, 4, 2).unwrap();
+        let c = GeneralConstruction::new(params);
+        let pb = c.initial_problem();
+        assert!(pb.is_hh(2));
+        let max_send = pb.send_counts().into_iter().max().unwrap();
+        assert_eq!(max_send, 2, "h = 2 packets on loaded nodes");
+    }
+
+    #[test]
+    fn embedded_construction_offsets_nothing_but_the_grid() {
+        let params = GeneralParams::new(216, 1).unwrap();
+        let c = GeneralConstruction::embedded(params, 432);
+        let pb = c.initial_problem();
+        assert_eq!(pb.n, 432);
+        // All construction traffic confined to the 216x216 corner.
+        for pk in &pb.packets {
+            assert!(pk.src.x < 216 && pk.src.y < 216);
+            assert!(pk.dst.x < 216 && pk.dst.y < 216);
+        }
+    }
+}

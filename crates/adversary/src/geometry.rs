@@ -1,0 +1,116 @@
+//! Geometry of the constructions: N_i-columns, E_i-rows, and i-boxes.
+//!
+//! All coordinates are 0-based (the paper's column `c` is `x = c − 1`).
+
+use mesh_topo::Coord;
+use serde::{Deserialize, Serialize};
+
+/// The box geometry of the §3 general construction for a given `cn`.
+///
+/// * N_i-column (paper: the `(cn − 1 + i)`-th column): `x = cn + i − 2`;
+/// * E_i-row: `y = cn + i − 2`;
+/// * i-box: `x ≤ cn + i − 2` and `y ≤ cn + i − 2` (for `i ≥ 1`);
+/// * 0-box: `x < cn − 1` and `y < cn − 1` (strictly inside both).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoxGeometry {
+    pub cn: u32,
+}
+
+impl BoxGeometry {
+    /// The `x` coordinate of the N_i-column (`i ≥ 1`).
+    #[inline]
+    pub fn n_col(&self, i: u32) -> u32 {
+        debug_assert!(i >= 1);
+        self.cn + i - 2
+    }
+
+    /// The `y` coordinate of the E_i-row (`i ≥ 1`).
+    #[inline]
+    pub fn e_row(&self, i: u32) -> u32 {
+        debug_assert!(i >= 1);
+        self.cn + i - 2
+    }
+
+    /// True if `c` is in the i-box. `i = 0` is the paper's (strict) 0-box.
+    #[inline]
+    pub fn in_box(&self, c: Coord, i: u32) -> bool {
+        if i == 0 {
+            c.x + 1 < self.cn && c.y + 1 < self.cn
+        } else {
+            c.x <= self.n_col(i) && c.y <= self.e_row(i)
+        }
+    }
+
+    /// True if `c` lies in the N_i-column at or south of the E_i-row
+    /// (the part of the column inside the i-box).
+    #[inline]
+    pub fn in_n_col_south(&self, c: Coord, i: u32) -> bool {
+        c.x == self.n_col(i) && c.y <= self.e_row(i)
+    }
+
+    /// True if `c` lies in the E_i-row strictly west of the N_i-column.
+    #[inline]
+    pub fn in_e_row_west(&self, c: Coord, i: u32) -> bool {
+        c.y == self.e_row(i) && c.x < self.n_col(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_nesting() {
+        let g = BoxGeometry { cn: 36 };
+        // The 1-box is exactly the cn × cn corner submesh.
+        assert_eq!(g.n_col(1), 35);
+        assert!(g.in_box(Coord::new(35, 35), 1));
+        assert!(!g.in_box(Coord::new(36, 0), 1));
+        assert!(!g.in_box(Coord::new(0, 36), 1));
+        // Boxes nest: i-box ⊂ (i+1)-box.
+        for i in 1..10u32 {
+            let corner = Coord::new(g.n_col(i), g.e_row(i));
+            assert!(g.in_box(corner, i));
+            assert!(g.in_box(corner, i + 1));
+            assert!(!g.in_box(Coord::new(g.n_col(i + 1), 0), i));
+        }
+    }
+
+    #[test]
+    fn zero_box_is_strict() {
+        let g = BoxGeometry { cn: 10 };
+        // 0-box: x < 9 and y < 9 (west of N_1-column x=9, south of E_1-row y=9).
+        assert!(g.in_box(Coord::new(8, 8), 0));
+        assert!(!g.in_box(Coord::new(9, 0), 0));
+        assert!(!g.in_box(Coord::new(0, 9), 0));
+        // 1-box partitions into 0-box ∪ N_1-column-south ∪ E_1-row-west.
+        for x in 0..10u32 {
+            for y in 0..10u32 {
+                let c = Coord::new(x, y);
+                let parts = [
+                    g.in_box(c, 0),
+                    g.in_n_col_south(c, 1),
+                    g.in_e_row_west(c, 1),
+                ];
+                assert_eq!(
+                    parts.iter().filter(|&&b| b).count(),
+                    1,
+                    "{c:?} must be in exactly one part"
+                );
+                assert!(g.in_box(c, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn column_and_row_predicates() {
+        let g = BoxGeometry { cn: 10 };
+        // N_2-column is x = 10; in-box part is y ≤ 10.
+        assert!(g.in_n_col_south(Coord::new(10, 10), 2));
+        assert!(g.in_n_col_south(Coord::new(10, 0), 2));
+        assert!(!g.in_n_col_south(Coord::new(10, 11), 2));
+        assert!(!g.in_n_col_south(Coord::new(9, 5), 2));
+        assert!(g.in_e_row_west(Coord::new(9, 10), 2));
+        assert!(!g.in_e_row_west(Coord::new(10, 10), 2));
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end tests of the lower-bound constructions (Theorems 13/14 and the
+//! §5 variants): construction invariants, bound certification, and Lemma 12
+//! replay equivalence.
+
+use mesh_adversary::dimorder::DimOrderConstruction;
+use mesh_adversary::farthest::FarthestFirstConstruction;
+use mesh_adversary::{
+    verify_lower_bound, DimOrderParams, GeneralConstruction, GeneralParams,
+};
+use mesh_routers::{alt_adaptive, dim_order, theorem15, FarthestFirst};
+use mesh_topo::Mesh;
+
+#[test]
+fn general_construction_beats_dim_order_k1() {
+    let params = GeneralParams::new(216, 1).unwrap();
+    let cons = GeneralConstruction::new(params);
+    let topo = Mesh::new(216);
+    let outcome = cons.run(&topo, dim_order(1), true);
+    assert!(outcome.undelivered_at_bound > 0, "Corollary 9");
+    let report = verify_lower_bound(&topo, dim_order(1), &outcome, None);
+    assert!(report.undelivered_at_bound > 0, "Theorem 13");
+    assert!(report.replay_matches_construction, "Lemma 12");
+}
+
+#[test]
+fn general_construction_beats_alt_adaptive_k1() {
+    let params = GeneralParams::new(216, 1).unwrap();
+    let cons = GeneralConstruction::new(params);
+    let topo = Mesh::new(216);
+    let outcome = cons.run(&topo, alt_adaptive(1), true);
+    assert!(outcome.undelivered_at_bound > 0);
+    let report = verify_lower_bound(&topo, alt_adaptive(1), &outcome, None);
+    assert!(report.undelivered_at_bound > 0);
+    assert!(report.replay_matches_construction);
+}
+
+#[test]
+fn general_construction_beats_theorem15_k1() {
+    // Theorem 15's router is destination-exchangeable, so the Ω(n²/k²)
+    // bound applies to it as well (k enters through its inlink queues).
+    let params = GeneralParams::new(216, 1).unwrap();
+    let cons = GeneralConstruction::new(params);
+    let topo = Mesh::new(216);
+    let outcome = cons.run(&topo, theorem15(1), true);
+    let report = verify_lower_bound(&topo, theorem15(1), &outcome, Some(2_000_000));
+    assert!(report.undelivered_at_bound > 0);
+    assert!(report.replay_matches_construction);
+    // Theorem 15's router always completes; its time must respect both the
+    // lower bound and the O(n²/k + n) upper bound.
+    let total = report.completion_steps.expect("theorem15 completes");
+    assert!(total >= outcome.bound_steps);
+    let n = 216u64;
+    assert!(total <= 8 * (n * n + n), "upper bound violated: {total}");
+}
+
+#[test]
+fn general_construction_k2() {
+    let params = GeneralParams::new(384, 2).unwrap();
+    let cons = GeneralConstruction::new(params);
+    let topo = Mesh::new(384);
+    let outcome = cons.run(&topo, dim_order(2), true);
+    let report = verify_lower_bound(&topo, dim_order(2), &outcome, None);
+    assert!(report.undelivered_at_bound > 0);
+    assert!(report.replay_matches_construction);
+}
+
+#[test]
+fn dimorder_construction_k1() {
+    let params = DimOrderParams::new(216, 1).unwrap();
+    let cons = DimOrderConstruction::new(params);
+    let topo = Mesh::new(216);
+    let outcome = cons.run(&topo, dim_order(1));
+    assert!(outcome.undelivered_at_bound > 0);
+    let report = verify_lower_bound(&topo, dim_order(1), &outcome, None);
+    assert!(report.undelivered_at_bound > 0, "Theorem: Ω(n²/k) for dim order");
+    assert!(report.replay_matches_construction);
+}
+
+#[test]
+fn farthest_first_construction_k1() {
+    let params = DimOrderParams::farthest_first(216, 1).unwrap();
+    let cons = FarthestFirstConstruction::new(params);
+    let topo = Mesh::new(216);
+    let outcome = cons.run(&topo, FarthestFirst::new(1));
+    assert!(outcome.undelivered_at_bound > 0);
+    let report = verify_lower_bound(&topo, FarthestFirst::new(1), &outcome, None);
+    assert!(report.undelivered_at_bound > 0);
+    assert!(
+        report.replay_matches_construction,
+        "farthest-first exchange commutation failed"
+    );
+}

@@ -1,0 +1,43 @@
+//! Criterion benches of the adversarial constructions: cost of building one
+//! hard permutation (construction run + exchanges) and of the replay
+//! verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mesh_routing::prelude::*;
+use mesh_routing::topo::Mesh;
+
+fn bench_construction(c: &mut Criterion) {
+    let params = GeneralParams::new(216, 1).unwrap();
+    let cons = GeneralConstruction::new(params);
+    let topo = Mesh::new(216);
+
+    c.bench_function("general_construction_n216_k1", |b| {
+        b.iter(|| {
+            let outcome = cons.run(&topo, mesh_routing::routers::dim_order(1), false);
+            outcome.exchanges
+        })
+    });
+
+    let outcome = cons.run(&topo, mesh_routing::routers::dim_order(1), false);
+    c.bench_function("replay_verification_n216_k1", |b| {
+        b.iter(|| {
+            let rep =
+                verify_lower_bound(&topo, mesh_routing::routers::dim_order(1), &outcome, None);
+            rep.undelivered_at_bound
+        })
+    });
+
+    c.bench_function("construction_with_invariant_checks", |b| {
+        b.iter(|| {
+            let outcome = cons.run(&topo, mesh_routing::routers::dim_order(1), true);
+            outcome.exchanges
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches of the simulator itself: wall-clock cost of routing
+//! one permutation end to end under each engine-based router. These measure
+//! *our simulator's* performance (steps/second), not the paper's step
+//! counts — those come from the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mesh_routing::prelude::*;
+
+fn bench_routers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("route_random_permutation");
+    for n in [32u32, 64] {
+        let pb = workloads::random_permutation(n, 1);
+        let topo = Mesh::new(n);
+        g.bench_with_input(BenchmarkId::new("greedy_unbounded", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Sim::new(&topo, FarthestFirst::unbounded(n), &pb);
+                sim.run(100_000).unwrap();
+                sim.report().steps
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("theorem15_k2", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Sim::new(&topo, Dx::new(Theorem15::new(2)), &pb);
+                sim.run(1_000_000).unwrap();
+                sim.report().steps
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dim_order_ample", n), &n, |b, _| {
+            b.iter(|| {
+                let mut sim = Sim::new(&topo, Dx::new(DimOrder::new(n * n)), &pb);
+                sim.run(100_000).unwrap();
+                sim.report().steps
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_routers
+}
+criterion_main!(benches);

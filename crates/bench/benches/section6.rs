@@ -1,0 +1,27 @@
+//! Criterion benches of the §6 phased engine: full-route wall time per mesh
+//! size (the step counts themselves are in experiment E6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mesh_routing::prelude::*;
+use mesh_routing::Section6Router;
+
+fn bench_section6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("section6_route");
+    for n in [27u32, 81] {
+        let pb = workloads::random_permutation(n, 1);
+        g.bench_with_input(BenchmarkId::new("q408", n), &n, |b, _| {
+            b.iter(|| Section6Router::new().route(&pb).scheduled_steps)
+        });
+        g.bench_with_input(BenchmarkId::new("q102", n), &n, |b, _| {
+            b.iter(|| Section6Router::improved().route(&pb).scheduled_steps)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_section6
+}
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Experiment runner: regenerates the per-theorem tables of the
+//! reproduction (see DESIGN.md §3 and EXPERIMENTS.md).
+//!
+//! ```sh
+//! experiments [--full] [--csv DIR] [--jobs N] [all | e1 e2 … a3]
+//! ```
+
+use mesh_bench::experiments;
+use mesh_bench::Table;
+use parking_lot::Mutex;
+use std::path::PathBuf;
+
+fn main() {
+    let mut full = false;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut jobs = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => full = true,
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(args.next().expect("--csv needs a directory")))
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--jobs needs a number")
+            }
+            "all" => ids.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other => {
+                if experiments::ALL.contains(&other) {
+                    ids.push(other.to_string());
+                } else {
+                    eprintln!("unknown experiment '{other}'; valid: {:?}", experiments::ALL);
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("usage: experiments [--full] [--csv DIR] [--jobs N] [all | e1 … a3]");
+        std::process::exit(2);
+    }
+    ids.dedup();
+
+    // Run experiments in parallel (each is single-threaded and deterministic),
+    // print in requested order.
+    let results: Mutex<Vec<Option<Table>>> = Mutex::new(vec![None; ids.len()]);
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..jobs.min(ids.len()) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= ids.len() {
+                    break;
+                }
+                let id = &ids[i];
+                let t0 = std::time::Instant::now();
+                let outcome = std::panic::catch_unwind(|| {
+                    experiments::run(id, full).expect("validated id")
+                });
+                match outcome {
+                    Ok(table) => {
+                        eprintln!("[{id} done in {:.1?}]", t0.elapsed());
+                        results.lock()[i] = Some(table);
+                    }
+                    Err(_) => {
+                        eprintln!("[{id} FAILED after {:.1?}]", t0.elapsed());
+                        let mut t = mesh_bench::Table::new(
+                            id,
+                            "EXPERIMENT FAILED",
+                            "a panic occurred; see stderr",
+                            &["status"],
+                        );
+                        t.row(vec!["failed".to_string()]);
+                        results.lock()[i] = Some(t);
+                    }
+                }
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+
+    for table in results.into_inner().into_iter().flatten() {
+        println!("{}", table.markdown());
+        if let Some(dir) = &csv_dir {
+            table.write_csv(dir).expect("csv write");
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! `mesh` — command-line front end to the reproduction.
+//!
+//! ```text
+//! mesh workload  <kind> --n N [--seed S] [--h H] [--load F] [-o FILE]
+//! mesh route     <algorithm> (--problem FILE | --workload KIND --n N [--seed S])
+//!                [--k K] [--cap STEPS] [--json] [--latency] [--heatmap]
+//! mesh construct <general|dimorder|farthest> --n N --k K
+//!                [--victim ALGO] [--h H] [-o FILE] [--check]
+//! ```
+//!
+//! Workload kinds: `random`, `partial`, `transpose`, `bit-reversal`,
+//! `rotation`, `hotspot`, `funnel`, `random-dst`, `hh`.
+//! Algorithms: `dim-order`, `dim-order-yx`, `alt-adaptive`, `theorem15`,
+//! `farthest-first`, `greedy`, `hot-potato`, `section6`, `section6-improved`.
+
+use mesh_routing::adversary::dimorder::DimOrderConstruction;
+use mesh_routing::adversary::farthest::FarthestFirstConstruction;
+use mesh_routing::prelude::*;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("{}", USAGE);
+    exit(2);
+}
+
+const USAGE: &str = "usage:
+  mesh workload  <kind> --n N [--seed S] [--h H] [--load F] [-o FILE]
+  mesh route     <algorithm> (--problem FILE | --workload KIND --n N) \\
+                 [--k K] [--seed S] [--cap STEPS] [--json] [--latency] [--heatmap]
+  mesh construct <general|dimorder|farthest> --n N --k K [--victim ALGO] [--h H] [-o FILE] [--check]
+
+workloads:  random partial transpose bit-reversal rotation hotspot funnel random-dst hh
+algorithms: dim-order dim-order-yx alt-adaptive theorem15 farthest-first greedy hot-potato
+            west-first bounded-deflect section6 section6-improved";
+
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut it = std::env::args().skip(1).peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let val = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                _ => "true".to_string(),
+            };
+            flags.insert(name.to_string(), val);
+        } else if a == "-o" {
+            flags.insert("out".into(), it.next().unwrap_or_else(|| usage()));
+        } else {
+            positional.push(a);
+        }
+    }
+    Args { positional, flags }
+}
+
+impl Args {
+    fn u32_flag(&self, name: &str) -> Option<u32> {
+        self.flags.get(name).and_then(|v| v.parse().ok())
+    }
+    fn u64_flag(&self, name: &str) -> Option<u64> {
+        self.flags.get(name).and_then(|v| v.parse().ok())
+    }
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+fn make_workload(kind: &str, args: &Args) -> RoutingProblem {
+    let n = args.u32_flag("n").unwrap_or_else(|| {
+        eprintln!("--n is required");
+        usage()
+    });
+    let seed = args.u64_flag("seed").unwrap_or(1);
+    match kind {
+        "random" => workloads::random_permutation(n, seed),
+        "partial" => {
+            let load: f64 = args
+                .flags
+                .get("load")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.5);
+            workloads::random_partial_permutation(n, load, seed)
+        }
+        "transpose" => workloads::transpose(n),
+        "bit-reversal" => workloads::bit_reversal(n),
+        "rotation" => workloads::rotation(n, n / 2, n / 3),
+        "hotspot" => workloads::hotspot(n, (n / 6).max(2), seed),
+        "funnel" => workloads::column_funnel(n),
+        "random-dst" => workloads::random_destinations(n, seed),
+        "hh" => workloads::hh_random(n, args.u32_flag("h").unwrap_or(2), seed),
+        other => {
+            eprintln!("unknown workload '{other}'");
+            usage()
+        }
+    }
+}
+
+fn make_algorithm(name: &str, k: u32) -> Algorithm {
+    match name {
+        "dim-order" => Algorithm::DimOrder { k },
+        "dim-order-yx" => Algorithm::DimOrderYx { k },
+        "alt-adaptive" => Algorithm::AltAdaptive { k },
+        "theorem15" => Algorithm::Theorem15 { k },
+        "farthest-first" => Algorithm::FarthestFirst { k },
+        "greedy" => Algorithm::GreedyUnbounded,
+        "hot-potato" => Algorithm::HotPotato,
+        "west-first" => Algorithm::WestFirst { k },
+        "bounded-deflect" => Algorithm::BoundedDeflect { k, delta: 2 },
+        "section6" => Algorithm::Section6,
+        "section6-improved" => Algorithm::Section6Improved,
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            usage()
+        }
+    }
+}
+
+fn load_problem(path: &str) -> RoutingProblem {
+    let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    serde_json::from_str(&data).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn save_json<T: serde::Serialize>(value: &T, path: &str) {
+    let data = serde_json::to_string(value).expect("serialize");
+    std::fs::write(path, data).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1);
+    });
+    eprintln!("wrote {path}");
+}
+
+fn cmd_workload(args: &Args) {
+    let kind = args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    let pb = make_workload(kind, args);
+    eprintln!(
+        "{}: {} packets, class {:?}, total work {}",
+        pb.label,
+        pb.len(),
+        pb.classify(),
+        pb.total_work()
+    );
+    match args.flags.get("out") {
+        Some(path) => save_json(&pb, path),
+        None => println!("{}", serde_json::to_string(&pb).unwrap()),
+    }
+}
+
+fn cmd_route(args: &Args) {
+    let algo_name = args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    let k = args.u32_flag("k").unwrap_or(4);
+    let algo = make_algorithm(algo_name, k);
+    let pb = if let Some(path) = args.flags.get("problem") {
+        load_problem(path)
+    } else if let Some(kind) = args.flags.get("workload") {
+        make_workload(kind, args)
+    } else {
+        eprintln!("route needs --problem FILE or --workload KIND --n N");
+        usage()
+    };
+    let cap = args
+        .u64_flag("cap")
+        .unwrap_or(64 * pb.n as u64 * pb.n as u64 + 4096);
+
+    // For the extra reports we need the live sim, so route manually for
+    // engine algorithms; fall back to the API for §6.
+    let out = mesh_routing::route_with_cap(algo, &pb, cap);
+    if args.has("json") {
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    } else {
+        println!(
+            "{} on {}: steps={}{} max_queue={} moves={} delivered={}/{}",
+            out.algorithm,
+            out.workload,
+            out.steps,
+            if out.completed { "" } else { " (STALLED)" },
+            out.max_queue,
+            out.total_moves,
+            out.delivered,
+            out.total_packets
+        );
+        if let Some(s6) = &out.section6 {
+            println!(
+                "  section6: scheduled={} ({:.1}n)  quiescent={} ({:.1}n)  iterations={}",
+                s6.scheduled_steps,
+                s6.steps_per_n(),
+                s6.quiescent_steps,
+                s6.quiescent_steps as f64 / s6.n as f64,
+                s6.iterations
+            );
+        }
+    }
+    if args.has("latency") || args.has("heatmap") {
+        // Re-run through the engine to collect stats (engine algorithms only).
+        if matches!(algo, Algorithm::Section6 | Algorithm::Section6Improved) {
+            eprintln!("(--latency/--heatmap are engine-router features)");
+            return;
+        }
+        let topo = Mesh::new(pb.n);
+        macro_rules! with_sim {
+            ($router:expr) => {{
+                let mut sim = Sim::new(&topo, $router, &pb);
+                let _ = sim.run(cap);
+                if args.has("latency") {
+                    let d = sim.latency_distribution();
+                    println!(
+                        "latency: min={} p50={} p90={} p99={} max={} mean={:.1}",
+                        d.min, d.p50, d.p90, d.p99, d.max, d.mean
+                    );
+                }
+                if args.has("heatmap") {
+                    println!("{}", sim.congestion_map().ascii());
+                }
+            }};
+        }
+        match algo {
+            Algorithm::DimOrder { k } => with_sim!(Dx::new(DimOrder::new(k))),
+            Algorithm::DimOrderYx { k } => with_sim!(Dx::new(DimOrder::yx(k))),
+            Algorithm::AltAdaptive { k } => with_sim!(Dx::new(AltAdaptive::new(k))),
+            Algorithm::Theorem15 { k } => with_sim!(Dx::new(Theorem15::new(k))),
+            Algorithm::FarthestFirst { k } => with_sim!(FarthestFirst::new(k)),
+            Algorithm::GreedyUnbounded => with_sim!(FarthestFirst::unbounded(pb.n)),
+            Algorithm::HotPotato => {
+                with_sim!(Dx::new(mesh_routing::routers::HotPotato::new(pb.n)))
+            }
+            Algorithm::WestFirst { k } => {
+                with_sim!(Dx::new(mesh_routing::routers::WestFirst::new(k)))
+            }
+            Algorithm::BoundedDeflect { k, delta } => {
+                with_sim!(Dx::new(mesh_routing::routers::BoundedDeflect::new(pb.n, k, delta)))
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn cmd_construct(args: &Args) {
+    let kind = args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    let n = args.u32_flag("n").unwrap_or_else(|| usage());
+    let k = args.u32_flag("k").unwrap_or(1);
+    let check = args.has("check");
+    let victim = args
+        .flags
+        .get("victim")
+        .map(String::as_str)
+        .unwrap_or("dim-order");
+    let topo = Mesh::new(n);
+
+    let outcome = match kind {
+        "general" => {
+            let h = args.u32_flag("h").unwrap_or(1);
+            let params = GeneralParams::hh(n, k, h).unwrap_or_else(|e| {
+                eprintln!("invalid parameters: {e}");
+                exit(1);
+            });
+            let cons = GeneralConstruction::new(params);
+            match victim {
+                "dim-order" => cons.run(&topo, mesh_routing::routers::dim_order(k), check),
+                "alt-adaptive" => cons.run(&topo, mesh_routing::routers::alt_adaptive(k), check),
+                "theorem15" => cons.run(&topo, mesh_routing::routers::theorem15(k), check),
+                other => {
+                    eprintln!("unsupported victim '{other}' for the general construction");
+                    exit(2);
+                }
+            }
+        }
+        "dimorder" => {
+            let params = DimOrderParams::new(n, k).unwrap_or_else(|e| {
+                eprintln!("invalid parameters: {e}");
+                exit(1);
+            });
+            DimOrderConstruction::new(params).run(&topo, mesh_routing::routers::dim_order(k))
+        }
+        "farthest" => {
+            let params = DimOrderParams::farthest_first(n, k).unwrap_or_else(|e| {
+                eprintln!("invalid parameters: {e}");
+                exit(1);
+            });
+            FarthestFirstConstruction::new(params).run(&topo, FarthestFirst::new(k))
+        }
+        other => {
+            eprintln!("unknown construction '{other}'");
+            usage()
+        }
+    };
+
+    eprintln!(
+        "constructed {} packets; bound {} steps; {} exchanges; {} undelivered at bound",
+        outcome.constructed.len(),
+        outcome.bound_steps,
+        outcome.exchanges,
+        outcome.undelivered_at_bound
+    );
+    match args.flags.get("out") {
+        Some(path) => save_json(&outcome.constructed, path),
+        None => println!("{}", serde_json::to_string(&outcome.constructed).unwrap()),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    match args.positional.first().map(String::as_str) {
+        Some("workload") => cmd_workload(&args),
+        Some("route") => cmd_route(&args),
+        Some("construct") => cmd_construct(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,21 @@
+//! # mesh-bench
+//!
+//! The experiment harness of the reproduction: every theorem of the paper
+//! has an experiment that regenerates its quantitative content as a table
+//! (see DESIGN.md §3 for the index, EXPERIMENTS.md for recorded results).
+//!
+//! Run them with the `experiments` binary:
+//!
+//! ```sh
+//! cargo run --release -p mesh-bench --bin experiments -- all
+//! cargo run --release -p mesh-bench --bin experiments -- e1 e6
+//! cargo run --release -p mesh-bench --bin experiments -- --full e1
+//! ```
+//!
+//! Criterion wall-clock benches of the *simulator itself* live in
+//! `benches/`.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,243 @@
+//! One-call routing API over every algorithm in the reproduction.
+
+use crate::section6::{Section6Report, Section6Router};
+use mesh_engine::{Dx, Sim};
+use mesh_routers::{AltAdaptive, BoundedDeflect, DimOrder, FarthestFirst, HotPotato, Theorem15, WestFirst};
+use mesh_topo::Mesh;
+use mesh_traffic::RoutingProblem;
+use serde::{Deserialize, Serialize};
+
+/// The algorithms of the paper (and this reproduction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Destination-exchangeable XY dimension order, central queue size `k`
+    /// (§1.1/§2; may deadlock on adversarial traffic — bounded-queue
+    /// minimal routing is allowed to be slow, which is the point of the
+    /// lower bounds).
+    DimOrder { k: u32 },
+    /// Column-first variant.
+    DimOrderYx { k: u32 },
+    /// The §2 alternating minimal-adaptive example, central queue size `k`.
+    AltAdaptive { k: u32 },
+    /// Theorem 15: `O(n²/k + n)` dimension order, four inlink queues of
+    /// size `k`. Always delivers.
+    Theorem15 { k: u32 },
+    /// Farthest-first dimension order, central queue size `k` (not
+    /// destination-exchangeable).
+    FarthestFirst { k: u32 },
+    /// Farthest-first with effectively unbounded queues: the classic
+    /// `2n − 2` greedy router (§1.1).
+    GreedyUnbounded,
+    /// Hot-potato deflection routing: destination-exchangeable but
+    /// **nonminimal**, with one-slot buffers (§5's nonminimal discussion).
+    HotPotato,
+    /// δ-bounded deflection (§5's nonminimal-extensions class): stays within
+    /// `delta` of the shortest-path rectangle; `delta = 0` is minimal.
+    BoundedDeflect { k: u32, delta: u8 },
+    /// West-first turn-model minimal adaptive routing (the §2-cited
+    /// planar-adaptive family), central queue size `k`.
+    WestFirst { k: u32 },
+    /// The §6 `O(n)`-time, `O(1)`-queue minimal adaptive algorithm
+    /// (requires `n` to be a power of 3).
+    Section6,
+    /// §6 with the improved `q = 102` refinement (§6.4; 564n bound).
+    Section6Improved,
+}
+
+impl Algorithm {
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::DimOrder { k } => format!("dim-order(k={k})"),
+            Algorithm::DimOrderYx { k } => format!("dim-order-yx(k={k})"),
+            Algorithm::AltAdaptive { k } => format!("alt-adaptive(k={k})"),
+            Algorithm::Theorem15 { k } => format!("theorem15(k={k})"),
+            Algorithm::FarthestFirst { k } => format!("farthest-first(k={k})"),
+            Algorithm::GreedyUnbounded => "greedy-unbounded".into(),
+            Algorithm::HotPotato => "hot-potato".into(),
+            Algorithm::BoundedDeflect { k, delta } => {
+                format!("bounded-deflect(k={k},d={delta})")
+            }
+            Algorithm::WestFirst { k } => format!("west-first(k={k})"),
+            Algorithm::Section6 => "section6".into(),
+            Algorithm::Section6Improved => "section6-improved".into(),
+        }
+    }
+
+    /// Whether the algorithm is destination-exchangeable (§2) — i.e. within
+    /// the scope of the Theorem 14 lower bound.
+    pub fn is_destination_exchangeable(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::DimOrder { .. }
+                | Algorithm::DimOrderYx { .. }
+                | Algorithm::AltAdaptive { .. }
+                | Algorithm::Theorem15 { .. }
+                | Algorithm::HotPotato
+                | Algorithm::BoundedDeflect { .. }
+                | Algorithm::WestFirst { .. }
+        )
+    }
+}
+
+/// Normalized result of routing one problem with one algorithm.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RouteOutcome {
+    pub algorithm: String,
+    pub workload: String,
+    pub n: u32,
+    /// Steps to deliver everything (for §6: the provable *scheduled* figure;
+    /// the quiescent figure is in `section6`).
+    pub steps: u64,
+    /// False if the step cap was reached first (bounded-queue minimal
+    /// routers may stall — that is a *finding*, not an error).
+    pub completed: bool,
+    /// Largest per-queue occupancy (engine routers) or per-node load (§6).
+    pub max_queue: u32,
+    pub total_moves: u64,
+    pub delivered: usize,
+    pub total_packets: usize,
+    /// The full §6 report, when applicable.
+    pub section6: Option<Section6Report>,
+}
+
+/// Routes `problem` with `algorithm` on the mesh, with a generous default
+/// step cap of `64·n² + 4096`.
+pub fn route(algorithm: Algorithm, problem: &RoutingProblem) -> RouteOutcome {
+    let n = problem.n as u64;
+    route_with_cap(algorithm, problem, 64 * n * n + 4096)
+}
+
+/// [`route`] with an explicit step cap (ignored by §6, which always
+/// terminates by construction).
+pub fn route_with_cap(
+    algorithm: Algorithm,
+    problem: &RoutingProblem,
+    cap: u64,
+) -> RouteOutcome {
+    let topo = Mesh::new(problem.n);
+    match algorithm {
+        Algorithm::DimOrder { k } => {
+            engine_route(algorithm, Sim::new(&topo, Dx::new(DimOrder::new(k)), problem), cap)
+        }
+        Algorithm::DimOrderYx { k } => {
+            engine_route(algorithm, Sim::new(&topo, Dx::new(DimOrder::yx(k)), problem), cap)
+        }
+        Algorithm::AltAdaptive { k } => {
+            engine_route(algorithm, Sim::new(&topo, Dx::new(AltAdaptive::new(k)), problem), cap)
+        }
+        Algorithm::Theorem15 { k } => {
+            engine_route(algorithm, Sim::new(&topo, Dx::new(Theorem15::new(k)), problem), cap)
+        }
+        Algorithm::FarthestFirst { k } => {
+            engine_route(algorithm, Sim::new(&topo, FarthestFirst::new(k), problem), cap)
+        }
+        Algorithm::GreedyUnbounded => engine_route(
+            algorithm,
+            Sim::new(&topo, FarthestFirst::unbounded(problem.n), problem),
+            cap,
+        ),
+        Algorithm::HotPotato => engine_route(
+            algorithm,
+            Sim::new(&topo, Dx::new(HotPotato::new(problem.n)), problem),
+            cap,
+        ),
+        Algorithm::BoundedDeflect { k, delta } => engine_route(
+            algorithm,
+            Sim::new(&topo, Dx::new(BoundedDeflect::new(problem.n, k, delta)), problem),
+            cap,
+        ),
+        Algorithm::WestFirst { k } => engine_route(
+            algorithm,
+            Sim::new(&topo, Dx::new(WestFirst::new(k)), problem),
+            cap,
+        ),
+        Algorithm::Section6 | Algorithm::Section6Improved => {
+            let router = if algorithm == Algorithm::Section6 {
+                Section6Router::new()
+            } else {
+                Section6Router::improved()
+            };
+            let r = router.route(problem);
+            RouteOutcome {
+                algorithm: algorithm.name(),
+                workload: problem.label.clone(),
+                n: problem.n,
+                steps: r.scheduled_steps,
+                completed: true,
+                max_queue: r.max_node_load,
+                total_moves: r.total_moves,
+                delivered: r.delivered,
+                total_packets: r.total_packets,
+                section6: Some(r),
+            }
+        }
+    }
+}
+
+fn engine_route<R: mesh_engine::Router>(
+    algorithm: Algorithm,
+    mut sim: Sim<'_, Mesh, R>,
+    cap: u64,
+) -> RouteOutcome {
+    let _ = sim.run(cap);
+    let r = sim.report();
+    RouteOutcome {
+        algorithm: algorithm.name(),
+        workload: r.workload.clone(),
+        n: r.n,
+        steps: r.steps,
+        completed: r.completed,
+        max_queue: r.max_queue,
+        total_moves: r.total_moves,
+        delivered: r.delivered,
+        total_packets: r.total_packets,
+        section6: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_traffic::workloads;
+
+    #[test]
+    fn all_engine_algorithms_route_a_small_permutation() {
+        let pb = workloads::random_permutation(16, 4);
+        for algo in [
+            Algorithm::DimOrder { k: 64 },
+            Algorithm::DimOrderYx { k: 64 },
+            Algorithm::AltAdaptive { k: 64 },
+            Algorithm::Theorem15 { k: 2 },
+            Algorithm::FarthestFirst { k: 64 },
+            Algorithm::GreedyUnbounded,
+            Algorithm::HotPotato,
+            Algorithm::WestFirst { k: 64 },
+            Algorithm::BoundedDeflect { k: 64, delta: 2 },
+        ] {
+            let out = route(algo, &pb);
+            assert!(out.completed, "{} failed", out.algorithm);
+            assert_eq!(out.delivered, 256);
+        }
+    }
+
+    #[test]
+    fn section6_via_api() {
+        let pb = workloads::random_permutation(27, 9);
+        let out = route(Algorithm::Section6, &pb);
+        assert!(out.completed);
+        assert!(out.section6.is_some());
+        assert!(out.steps <= 972 * 27);
+    }
+
+    #[test]
+    fn dx_classification() {
+        assert!(Algorithm::DimOrder { k: 1 }.is_destination_exchangeable());
+        assert!(Algorithm::Theorem15 { k: 1 }.is_destination_exchangeable());
+        assert!(!Algorithm::FarthestFirst { k: 1 }.is_destination_exchangeable());
+        assert!(!Algorithm::Section6.is_destination_exchangeable());
+        // Hot potato is destination-exchangeable but nonminimal — the §5
+        // combination that escapes Theorem 14.
+        assert!(Algorithm::HotPotato.is_destination_exchangeable());
+    }
+}

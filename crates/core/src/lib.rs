@@ -1,0 +1,47 @@
+//! # mesh-routing
+//!
+//! A complete, executable reproduction of **Chinn, Leighton & Tompa,
+//! "Minimal Adaptive Routing on the Mesh with Bounded Queue Size"**
+//! (SPAA 1994): the `Ω(n²/k²)` lower bound for destination-exchangeable
+//! minimal adaptive routing (with its §5 extensions), the matching
+//! dimension-order bounds, the Theorem 15 `O(n²/k + n)` bounded-queue
+//! router, and the §6 `O(n)`-time `O(1)`-queue minimal adaptive algorithm.
+//!
+//! This crate is the facade: it re-exports the substrate crates and adds
+//! the §6 algorithm (which needs its own phased engine) plus a one-call
+//! [`route`] API.
+//!
+//! ```
+//! use mesh_routing::prelude::*;
+//!
+//! let problem = workloads::random_permutation(27, 7);
+//! let outcome = mesh_routing::route(Algorithm::Section6, &problem);
+//! assert!(outcome.completed);
+//! assert!(outcome.max_queue <= 834); // Theorem 34's queue bound
+//! ```
+
+pub mod api;
+pub mod section6;
+
+pub use api::{route, route_with_cap, Algorithm, RouteOutcome};
+pub use section6::{Section6Config, Section6Report, Section6Router};
+
+// Re-export the substrate crates under stable names.
+pub use mesh_adversary as adversary;
+pub use mesh_engine as engine;
+pub use mesh_routers as routers;
+pub use mesh_topo as topo;
+pub use mesh_traffic as traffic;
+
+/// Everything needed for typical use.
+pub mod prelude {
+    pub use crate::api::{route, route_with_cap, Algorithm, RouteOutcome};
+    pub use crate::section6::{Section6Report, Section6Router};
+    pub use mesh_adversary::{
+        verify_lower_bound, DimOrderParams, GeneralConstruction, GeneralParams,
+    };
+    pub use mesh_engine::{Dx, DxRouter, Router, Sim, SimReport};
+    pub use mesh_routers::{AltAdaptive, DimOrder, FarthestFirst, Theorem15};
+    pub use mesh_topo::{Coord, Dir, DirSet, Mesh, Topology, Torus};
+    pub use mesh_traffic::{workloads, Packet, PacketId, Quadrant, RoutingProblem};
+}

@@ -1,0 +1,530 @@
+//! The Vertical Phase of §6.1 — March, Sort and Smooth, and Balancing —
+//! implemented once in virtual coordinates (see [`super::virt`]): packets
+//! always march **north** and balance **east**. The Horizontal Phase is this
+//! same code run under a transposed transform.
+//!
+//! Each stage is simulated step-exactly: one packet per directed link per
+//! step, all decisions from pre-step state, so the reported durations are
+//! faithful synchronous step counts. Stage durations are also checked
+//! against the paper's scheduled bounds (Lemmas 29–31).
+
+use super::state::S6State;
+use super::virt::Transform;
+use mesh_topo::{Coord, Rect, Tiling};
+use std::collections::HashMap;
+
+/// Durations (in steps) of the four stages of one phase for one tiling,
+/// maximized over the tiling's tiles (tiles run in parallel).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseDurations {
+    pub march: u64,
+    pub ss_even: u64,
+    pub ss_odd: u64,
+    pub balance: u64,
+}
+
+impl PhaseDurations {
+    pub fn total(&self) -> u64 {
+        self.march + self.ss_even + self.ss_odd + self.balance
+    }
+}
+
+/// Scheduled (worst-case, Lemmas 29–31) stage durations for strip height `d`,
+/// node bound `q`, and tile side `t`.
+pub fn scheduled_durations(d: u64, q: u64, t: u64) -> PhaseDurations {
+    PhaseDurations {
+        march: q * d - 1,
+        ss_even: (d - 1) + q * d,
+        ss_odd: (d - 1) + q * d,
+        balance: 3 * t - 4,
+    }
+}
+
+/// One phase (vertical in virtual coordinates) of one tiling, applied to the
+/// packets in `class_pkts`. Returns the per-stage durations (max over tiles).
+///
+/// `check_lemma16` additionally verifies the Sort-and-Smooth post-condition
+/// (Lemma 16) on every tile — O(area·d) work, for tests.
+pub fn run_phase(
+    st: &mut S6State,
+    tf: &Transform,
+    tiling: &Tiling,
+    d: u32,
+    q: u32,
+    class_pkts: &[u32],
+    check_lemma16: bool,
+) -> PhaseDurations {
+    let n = st.n;
+    let t_side = tiling.tile;
+    debug_assert_eq!(t_side, 27 * d);
+
+    // Group participants by tile: a packet participates iff its (virtual)
+    // position and destination lie in the same tile.
+    let mut groups: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+    for &p in class_pkts {
+        let pi = p as usize;
+        if st.delivered[pi] {
+            continue;
+        }
+        let vp = tf.to_virtual(st.pos[pi].x, st.pos[pi].y);
+        let vd = tf.to_virtual(st.dst[pi].x, st.dst[pi].y);
+        let tp = tiling.tile_containing(mesh_topo::Coord::new(vp.0, vp.1));
+        let td = tiling.tile_containing(mesh_topo::Coord::new(vd.0, vd.1));
+        if tp == td {
+            groups.entry((tp.x0, tp.y0)).or_default().push(p);
+        }
+    }
+
+    let mut dur = PhaseDurations::default();
+    let mut keys: Vec<(i64, i64)> = groups.keys().copied().collect();
+    keys.sort_unstable(); // determinism
+    for key in keys {
+        let pkts = &groups[&key];
+        let tile = Rect::new(key.0, key.1, key.0 + t_side as i64 - 1, key.1 + t_side as i64 - 1);
+        let mut sim = TilePhase::new(st, tf, tile, d, q, n);
+        // Active: at least 3 strips south of the destination strip, at the
+        // beginning of the phase.
+        let actives: Vec<u32> = pkts
+            .iter()
+            .copied()
+            .filter(|&p| {
+                let pi = p as usize;
+                let vp = tf.to_virtual(st.pos[pi].x, st.pos[pi].y);
+                let vd = tf.to_virtual(st.dst[pi].x, st.dst[pi].y);
+                sim.strip_of(vp.1) + 3 <= sim.strip_of(vd.1)
+            })
+            .collect();
+        if actives.is_empty() {
+            continue;
+        }
+        dur.march = dur.march.max(sim.march(st, &actives));
+        dur.ss_even = dur.ss_even.max(sim.sort_smooth(st, &actives, 0));
+        dur.ss_odd = dur.ss_odd.max(sim.sort_smooth(st, &actives, 1));
+        if check_lemma16 {
+            sim.check_lemma16(st, &actives);
+        }
+        dur.balance = dur.balance.max(sim.balance(st, &actives));
+    }
+
+    // Lemmas 29–31: actual durations never exceed the scheduled ones.
+    let sched = scheduled_durations(d as u64, q as u64, t_side as u64);
+    assert!(dur.march <= sched.march, "Lemma 29 violated: {} > {}", dur.march, sched.march);
+    assert!(dur.ss_even <= sched.ss_even && dur.ss_odd <= sched.ss_odd, "Lemma 30 violated");
+    assert!(dur.balance <= sched.balance, "Lemma 31 violated: {} > {}", dur.balance, sched.balance);
+    dur
+}
+
+/// Per-tile phase simulator (virtual coordinates).
+struct TilePhase {
+    tf: Transform,
+    tile: Rect,
+    d: u32,
+    q: u32,
+    n: u32,
+}
+
+impl TilePhase {
+    fn new(_st: &S6State, tf: &Transform, tile: Rect, d: u32, q: u32, n: u32) -> TilePhase {
+        TilePhase { tf: *tf, tile, d, q, n }
+    }
+
+    /// Strip number (1..=27) of a virtual row.
+    #[inline]
+    fn strip_of(&self, vy: u32) -> u32 {
+        debug_assert!((vy as i64) >= self.tile.y0 && (vy as i64) <= self.tile.y1);
+        ((vy as i64 - self.tile.y0) as u32 / self.d) + 1
+    }
+
+    #[inline]
+    fn vpos(&self, st: &S6State, p: u32) -> (u32, u32) {
+        let c = st.pos[p as usize];
+        self.tf.to_virtual(c.x, c.y)
+    }
+
+    #[inline]
+    fn vdst(&self, st: &S6State, p: u32) -> (u32, u32) {
+        let c = st.dst[p as usize];
+        self.tf.to_virtual(c.x, c.y)
+    }
+
+    /// Moves packet `p` one step north in virtual space.
+    #[inline]
+    fn move_north(&self, st: &mut S6State, p: u32) {
+        let (vx, vy) = self.vpos(st, p);
+        let (rx, ry) = self.tf.to_real((vx, vy + 1));
+        let delivered = st.move_packet(p as usize, Coord::new(rx, ry));
+        debug_assert!(!delivered, "phase moves never deliver (destinations are ≥ d+1 away)");
+    }
+
+    /// Moves packet `p` one step east in virtual space.
+    #[inline]
+    fn move_east(&self, st: &mut S6State, p: u32) {
+        let (vx, vy) = self.vpos(st, p);
+        let (rx, ry) = self.tf.to_real((vx + 1, vy));
+        let delivered = st.move_packet(p as usize, Coord::new(rx, ry));
+        debug_assert!(!delivered, "balancing never delivers");
+    }
+
+    /// Stage 2 — the March: every active packet moves north, via column
+    /// edges only, into strip `i−3` (where strip `i` holds its destination).
+    /// A node in strip `i−3` refuses dst-strip-`i` packets once it holds `q`
+    /// of them; nodes prefer forwarding the packet received from the south
+    /// on the previous step (the Lemma 29 priority).
+    fn march(&mut self, st: &mut S6State, actives: &[u32]) -> u64 {
+        // Group actives by virtual column.
+        let mut by_col: HashMap<u32, Vec<u32>> = HashMap::new();
+        for &p in actives {
+            by_col.entry(self.vpos(st, p).0).or_default().push(p);
+        }
+        let t = self.tile.width() as usize;
+        // Reusable per-column buffers, indexed by local row.
+        let mut pools: Vec<Vec<u32>> = (0..t).map(|_| Vec::new()).collect();
+        let mut stop_cnt: Vec<u32> = vec![0; t];
+        let mut from_south: Vec<(u32, u64)> = vec![(u32::MAX, 0); t];
+        let mut max_steps = 0u64;
+
+        let mut cols: Vec<u32> = by_col.keys().copied().collect();
+        cols.sort_unstable();
+        for col in cols {
+            let pkts = &by_col[&col];
+            let mut touched: Vec<usize> = Vec::new();
+            let mut work: Vec<usize> = Vec::new();
+            let mut in_work = vec![false; t];
+            for &p in pkts {
+                let ly = (self.vpos(st, p).1 as i64 - self.tile.y0) as usize;
+                if pools[ly].is_empty() {
+                    touched.push(ly);
+                }
+                pools[ly].push(p);
+                // Initial stop counts: packets already settled in strip i-3.
+                if self.strip_of(self.vpos(st, p).1) + 3 == self.strip_of(self.vdst(st, p).1) {
+                    stop_cnt[ly] += 1;
+                }
+                if !in_work[ly] {
+                    in_work[ly] = true;
+                    work.push(ly);
+                }
+            }
+
+            let mut steps = 0u64;
+            let mut moves: Vec<(usize, u32)> = Vec::new(); // (from_ly, pkt)
+            loop {
+                moves.clear();
+                let mut next_work: Vec<usize> = Vec::new();
+                #[allow(clippy::needless_range_loop)]
+                for wi in 0..work.len() {
+                    let ly = work[wi];
+                    in_work[ly] = false;
+                    // Pick the packet to send north from this node.
+                    let pref = {
+                        let (p, s) = from_south[ly];
+                        (s == steps).then_some(p)
+                    };
+                    let mut chosen: Option<u32> = None;
+                    for &p in &pools[ly] {
+                        if !self.march_eligible(st, p, ly, &stop_cnt) {
+                            continue;
+                        }
+                        if Some(p) == pref {
+                            chosen = Some(p);
+                            break;
+                        }
+                        if chosen.is_none_or(|c| Some(c) != pref && p < c) {
+                            chosen = Some(p);
+                        }
+                    }
+                    if let Some(p) = chosen {
+                        moves.push((ly, p));
+                        // Node may still have eligible packets next step.
+                        if !in_work[ly] {
+                            in_work[ly] = true;
+                            next_work.push(ly);
+                        }
+                    }
+                    // Nodes with no eligible packet leave the worklist; they
+                    // re-enter only when they receive a packet (a node's
+                    // blocking conditions never relax otherwise: stop counts
+                    // only grow).
+                }
+                if moves.is_empty() {
+                    work = next_work; // empty
+                    break;
+                }
+                for &(ly, p) in &moves {
+                    let pool = &mut pools[ly];
+                    let ix = pool.iter().position(|&x| x == p).unwrap();
+                    pool.swap_remove(ix);
+                    let i_dst = self.strip_of(self.vdst(st, p).1);
+                    if self.strip_of(self.vpos(st, p).1) + 3 == i_dst {
+                        // A settled packet moving further north within strip
+                        // i−3 frees a slot: wake the southern neighbor, whose
+                        // packets may have been blocked on this node's count.
+                        stop_cnt[ly] -= 1;
+                        if ly > 0 && !in_work[ly - 1] && !pools[ly - 1].is_empty() {
+                            in_work[ly - 1] = true;
+                            next_work.push(ly - 1);
+                        }
+                    }
+                    self.move_north(st, p);
+                    let nly = ly + 1;
+                    if pools[nly].is_empty() {
+                        touched.push(nly);
+                    }
+                    pools[nly].push(p);
+                    if self.strip_of(self.vpos(st, p).1) + 3 == i_dst {
+                        stop_cnt[nly] += 1;
+                    }
+                    from_south[nly] = (p, steps + 1);
+                    if !in_work[nly] {
+                        in_work[nly] = true;
+                        next_work.push(nly);
+                    }
+                }
+                work = next_work;
+                steps += 1;
+            }
+
+            // Post-condition: every active of this column sits in strip i−3.
+            #[cfg(debug_assertions)]
+            for &p in pkts {
+                let s = self.strip_of(self.vpos(st, p).1);
+                let i = self.strip_of(self.vdst(st, p).1);
+                debug_assert_eq!(s + 3, i, "March left packet {p} in strip {s}, dst strip {i}");
+            }
+
+            max_steps = max_steps.max(steps);
+            // Reset buffers for the next column.
+            for &ly in &touched {
+                pools[ly].clear();
+                stop_cnt[ly] = 0;
+                from_south[ly] = (u32::MAX, 0);
+            }
+        }
+        max_steps
+    }
+
+    /// Whether packet `p`, at local row `ly` of its column, may move north
+    /// this step.
+    #[inline]
+    fn march_eligible(&self, st: &S6State, p: u32, ly: usize, stop_cnt: &[u32]) -> bool {
+        let vy = self.vpos(st, p).1;
+        let s = self.strip_of(vy);
+        let i = self.strip_of(self.vdst(st, p).1);
+        if s + 3 > i {
+            return false; // already in (or past) strip i−3: settled
+        }
+        // The destination strip is on-grid, so the row above exists.
+        let above = vy + 1;
+        debug_assert!(above < self.n);
+        let ts = self.strip_of(above);
+        if ts + 3 < i {
+            true // passing through, south of strip i−3
+        } else if ts + 3 == i {
+            // Entering / moving within strip i−3: subject to the q bound.
+            stop_cnt[ly + 1] < self.q
+        } else {
+            false // would enter strip i−2: the March stops at i−3
+        }
+    }
+
+    /// Stage 3 — Sort and Smooth, for destination strips of the given
+    /// parity (`i % 2 == parity`): move the actives of each column from
+    /// strip `i−3` to strip `i−2`, streamed in decreasing order of
+    /// horizontal distance-to-go; the `t`-th node from the strip's north end
+    /// holds every `t`-th packet it receives.
+    fn sort_smooth(&mut self, st: &mut S6State, actives: &[u32], parity: u32) -> u64 {
+        // Group by (column, destination strip).
+        let mut by_ci: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for &p in actives {
+            let i = self.strip_of(self.vdst(st, p).1);
+            if i % 2 != parity {
+                continue;
+            }
+            by_ci.entry((self.vpos(st, p).0, i)).or_default().push(p);
+        }
+        let mut keys: Vec<(u32, u32)> = by_ci.keys().copied().collect();
+        keys.sort_unstable();
+        let d = self.d as usize;
+        let mut max_steps = 0u64;
+        for key in keys {
+            let (_, i) = key;
+            let group = &by_ci[&key];
+            // Local rows 0..d = strip i−3 (south→north), d..2d = strip i−2.
+            let base = self.tile.y0 + ((i - 3 - 1) * self.d) as i64;
+            let lrow = |vy: u32| (vy as i64 - base) as usize;
+            let mut pools: Vec<Vec<u32>> = vec![Vec::new(); d]; // strip i−3
+            for &p in group {
+                let r = lrow(self.vpos(st, p).1);
+                debug_assert!(r < d, "packet not in strip i-3 after March");
+                pools[r].push(p);
+            }
+            // Strip i−2 state: received counters and at most one passing
+            // packet per node.
+            let mut received = vec![0u64; d];
+            let mut passing: Vec<Option<u32>> = vec![None; d];
+            let mut steps = 0u64;
+            loop {
+                // Decisions from pre-step state.
+                let mut sends: Vec<(usize, u32)> = Vec::new(); // strip i−3 source row, pkt
+                for (r, pool) in pools.iter().enumerate() {
+                    // Node r is (r+1)-th from the southernmost: transmits on
+                    // steps >= r+1 (1-based), i.e. step index >= r.
+                    if steps < r as u64 || pool.is_empty() {
+                        continue;
+                    }
+                    // Farthest east to go; ties to the lowest index.
+                    let p = *pool
+                        .iter()
+                        .max_by_key(|&&p| {
+                            let (vx, _) = self.vpos(st, p);
+                            (self.vdst(st, p).0 - vx, std::cmp::Reverse(p))
+                        })
+                        .unwrap();
+                    sends.push((r, p));
+                }
+                let mut forwards: Vec<usize> = Vec::new(); // strip i−2 rows with passing pkt
+                for (r, slot) in passing.iter().enumerate() {
+                    if slot.is_some() {
+                        forwards.push(r);
+                    }
+                }
+                if sends.is_empty() && forwards.is_empty() {
+                    // Finished only once everything is held in strip i−2:
+                    // nodes deeper in strip i−3 start sending at later steps,
+                    // so an idle step is not yet quiescence.
+                    if pools.iter().all(Vec::is_empty) {
+                        break;
+                    }
+                    steps += 1;
+                    debug_assert!(
+                        steps <= (self.d as u64 - 1) + (self.q as u64 * self.d as u64) + 1,
+                        "Sort&Smooth failed to terminate"
+                    );
+                    continue;
+                }
+                // Apply strip i−2 forwards first (they move into rows above).
+                for &r in forwards.iter().rev() {
+                    let p = passing[r].take().unwrap();
+                    self.move_north(st, p);
+                    let nr = r + 1;
+                    debug_assert!(nr < d, "packet passed the top of strip i-2");
+                    received[nr] += 1;
+                    // Node nr is (d - nr)-th from the northernmost.
+                    let t_from_north = (d - nr) as u64;
+                    if !received[nr].is_multiple_of(t_from_north) {
+                        passing[nr] = Some(p);
+                    }
+                }
+                // Apply strip i−3 sends.
+                for &(r, p) in &sends {
+                    let pool = &mut pools[r];
+                    let ix = pool.iter().position(|&x| x == p).unwrap();
+                    pool.swap_remove(ix);
+                    self.move_north(st, p);
+                    if r + 1 < d {
+                        pools[r + 1].push(p);
+                    } else {
+                        // Crossed into the bottom node of strip i−2, which is
+                        // d-th from the northernmost.
+                        received[0] += 1;
+                        if !received[0].is_multiple_of(d as u64) {
+                            passing[0] = Some(p);
+                        }
+                    }
+                }
+                steps += 1;
+            }
+            // Post-condition: every group packet now sits in strip i−2.
+            #[cfg(debug_assertions)]
+            for &p in group {
+                let s = self.strip_of(self.vpos(st, p).1);
+                debug_assert_eq!(s, i - 2, "Sort&Smooth left packet {p} in strip {s}");
+            }
+            max_steps = max_steps.max(steps);
+        }
+        max_steps
+    }
+
+    /// Stage 4 — Balancing via the 2-rule: any node holding more than two
+    /// active packets sends east the one with the farthest east to go.
+    fn balance(&mut self, st: &mut S6State, actives: &[u32]) -> u64 {
+        let mut at: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+        for &p in actives {
+            at.entry(self.vpos(st, p)).or_default().push(p);
+        }
+        let mut work: Vec<(u32, u32)> = at
+            .iter()
+            .filter(|(_, v)| v.len() > 2)
+            .map(|(&k, _)| k)
+            .collect();
+        work.sort_unstable();
+        let mut steps = 0u64;
+        while !work.is_empty() {
+            // Choose moves from pre-step state.
+            let mut moves: Vec<((u32, u32), u32)> = Vec::new();
+            for &node in &work {
+                let pool = &at[&node];
+                debug_assert!(pool.len() > 2);
+                let p = *pool
+                    .iter()
+                    .max_by_key(|&&p| (self.vdst(st, p).0 - node.0, std::cmp::Reverse(p)))
+                    .unwrap();
+                // Lemma 17 guarantees an overloaded node holds a packet with
+                // east still to go.
+                debug_assert!(self.vdst(st, p).0 > node.0, "2-rule would overshoot");
+                moves.push((node, p));
+            }
+            let mut dirty: Vec<(u32, u32)> = Vec::new();
+            for &(node, p) in &moves {
+                let pool = at.get_mut(&node).unwrap();
+                let ix = pool.iter().position(|&x| x == p).unwrap();
+                pool.swap_remove(ix);
+                self.move_east(st, p);
+                let to = (node.0 + 1, node.1);
+                at.entry(to).or_default().push(p);
+                dirty.push(node);
+                dirty.push(to);
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            work = dirty
+                .into_iter()
+                .filter(|k| at.get(k).is_some_and(|v| v.len() > 2))
+                .collect();
+            // Also retain previously overloaded nodes that stayed overloaded.
+            // (They were sources this step; covered by `dirty`.)
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Lemma 16 check: immediately after Sort and Smooth, for any column `c`,
+    /// row `r`, and `s ≥ 1`, at most `2s` active packets with destination
+    /// column ≤ `c` occupy the `s` nodes of `r` at columns `c−s+1..=c`.
+    fn check_lemma16(&self, st: &S6State, actives: &[u32]) {
+        let mut rows: HashMap<u32, Vec<(u32, u32)>> = HashMap::new(); // vy -> (vx, dstx)
+        for &p in actives {
+            let (vx, vy) = self.vpos(st, p);
+            rows.entry(vy).or_default().push((vx, self.vdst(st, p).0));
+        }
+        for (vy, pkts) in rows {
+            let x0 = self.tile.x0.max(0) as u32;
+            let x1 = (self.tile.x1.min(self.n as i64 - 1)) as u32;
+            for c in x0..=x1 {
+                let mut count = 0u64;
+                let mut s = 0u64;
+                for x in (x0..=c).rev() {
+                    s += 1;
+                    count += pkts
+                        .iter()
+                        .filter(|&&(px, dx)| px == x && dx <= c)
+                        .count() as u64;
+                    assert!(
+                        count <= 2 * s,
+                        "Lemma 16 violated at row {vy}, col {c}, s={s}: {count} packets"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Coordinate transforms: one phase implementation for four quadrants × two
+//! axes.
+//!
+//! §6.1 routes the four packet classes (NE, NW, SE, SW) sequentially, and
+//! each iteration alternates Vertical and Horizontal Phases that are exact
+//! mirror images. We implement the phases **once**, for packets that move
+//! north (and balance east), in a *virtual* coordinate system:
+//!
+//! * a reflection maps the quadrant onto NE (`x → n−1−x` and/or
+//!   `y → n−1−y`);
+//! * an optional transpose (`(x, y) → (y, x)`) turns the Horizontal Phase
+//!   into a Vertical Phase.
+//!
+//! All geometric reasoning (tiles, strips, "north", "farthest east to go")
+//! happens in virtual coordinates; only the load accounting uses real nodes.
+
+use mesh_traffic::Quadrant;
+
+/// A virtual coordinate (same range as real: `0..n` per axis).
+pub type V = (u32, u32);
+
+/// An involutive coordinate transform: reflection per axis + optional
+/// transpose. `to_virtual` and `to_real` are the same map (it is an
+/// involution: reflect ∘ transpose⁻¹ composition chosen to self-invert).
+#[derive(Clone, Copy, Debug)]
+pub struct Transform {
+    n: u32,
+    flip_x: bool,
+    flip_y: bool,
+    transpose: bool,
+}
+
+impl Transform {
+    /// Transform for a quadrant's **Vertical** Phase: reflect so the packet
+    /// class moves north/east.
+    pub fn vertical(n: u32, q: Quadrant) -> Transform {
+        let (sx, sy) = q.signs();
+        Transform {
+            n,
+            flip_x: sx < 0,
+            flip_y: sy < 0,
+            transpose: false,
+        }
+    }
+
+    /// Transform for the **Horizontal** Phase: the vertical transform
+    /// followed by a transpose, so "north" in virtual space is the packet's
+    /// profitable horizontal direction.
+    pub fn horizontal(n: u32, q: Quadrant) -> Transform {
+        let (sx, sy) = q.signs();
+        Transform {
+            n,
+            // Transpose first, then flip: flips apply to virtual axes.
+            // Virtual y = real x (possibly flipped by sx), virtual x = real y.
+            flip_x: sy < 0,
+            flip_y: sx < 0,
+            transpose: true,
+        }
+    }
+
+    /// Real → virtual.
+    #[inline]
+    pub fn to_virtual(&self, x: u32, y: u32) -> V {
+        let (mut vx, mut vy) = if self.transpose { (y, x) } else { (x, y) };
+        if self.flip_x {
+            vx = self.n - 1 - vx;
+        }
+        if self.flip_y {
+            vy = self.n - 1 - vy;
+        }
+        (vx, vy)
+    }
+
+    /// Virtual → real.
+    #[inline]
+    pub fn to_real(&self, v: V) -> (u32, u32) {
+        let (mut vx, mut vy) = v;
+        if self.flip_x {
+            vx = self.n - 1 - vx;
+        }
+        if self.flip_y {
+            vy = self.n - 1 - vy;
+        }
+        if self.transpose {
+            (vy, vx)
+        } else {
+            (vx, vy)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_traffic::Quadrant;
+
+    #[test]
+    fn roundtrip_all_transforms() {
+        let n = 27;
+        for q in [Quadrant::NE, Quadrant::NW, Quadrant::SE, Quadrant::SW] {
+            for t in [Transform::vertical(n, q), Transform::horizontal(n, q)] {
+                for x in 0..n {
+                    for y in 0..n {
+                        let v = t.to_virtual(x, y);
+                        assert_eq!(t.to_real(v), (x, y), "{q:?} {t:?}");
+                        assert!(v.0 < n && v.1 < n);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_transform_makes_quadrant_move_ne() {
+        let n = 9;
+        // For every quadrant, a (pos, dst) pair of that class maps to a
+        // virtual pair with vdst.x >= vpos.x and vdst.y >= vpos.y.
+        let cases = [
+            (Quadrant::NE, (1, 1), (5, 7)),
+            (Quadrant::NW, (7, 1), (2, 6)),
+            (Quadrant::SE, (1, 7), (6, 2)),
+            (Quadrant::SW, (7, 7), (1, 2)),
+        ];
+        for (q, pos, dst) in cases {
+            let t = Transform::vertical(n, q);
+            let vp = t.to_virtual(pos.0, pos.1);
+            let vd = t.to_virtual(dst.0, dst.1);
+            assert!(vd.0 >= vp.0 && vd.1 >= vp.1, "{q:?}: {vp:?} -> {vd:?}");
+        }
+    }
+
+    #[test]
+    fn horizontal_transform_swaps_axes() {
+        let n = 9;
+        for (q, pos, dst) in [
+            (Quadrant::NE, (1, 1), (5, 7)),
+            (Quadrant::NW, (7, 1), (2, 6)),
+            (Quadrant::SE, (1, 7), (6, 2)),
+            (Quadrant::SW, (7, 7), (1, 2)),
+        ] {
+            let t = Transform::horizontal(n, q);
+            let vp = t.to_virtual(pos.0, pos.1);
+            let vd = t.to_virtual(dst.0, dst.1);
+            // Vertical (virtual) distance = horizontal (real) distance.
+            assert_eq!(
+                vd.1.abs_diff(vp.1),
+                (dst.0 as i64 - pos.0 as i64).unsigned_abs() as u32
+            );
+            assert!(vd.0 >= vp.0 && vd.1 >= vp.1, "{q:?}: {vp:?} -> {vd:?}");
+        }
+    }
+
+    #[test]
+    fn neighbor_preservation() {
+        // Virtual "north" neighbors are real grid neighbors.
+        let n = 9;
+        let t = Transform::horizontal(n, Quadrant::SW);
+        for x in 0..n {
+            for y in 0..n - 1 {
+                let a = t.to_real((x, y));
+                let b = t.to_real((x, y + 1));
+                let dist = (a.0 as i64 - b.0 as i64).abs() + (a.1 as i64 - b.1 as i64).abs();
+                assert_eq!(dist, 1);
+            }
+        }
+    }
+}

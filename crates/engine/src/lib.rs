@@ -1,0 +1,62 @@
+//! # mesh-engine
+//!
+//! A synchronous, multi-port packet-routing simulator implementing §2 of
+//! Chinn, Leighton & Tompa (SPAA 1994) exactly.
+//!
+//! ## The step (§3 of the paper)
+//!
+//! Every simulated step performs, in order:
+//!
+//! 1. **(a) Outqueue** — each node's outqueue policy chooses at most one
+//!    packet per outlink to attempt to transmit.
+//! 2. **(b) Hook** — an optional [`StepHook`] observes the schedule and may
+//!    *exchange* the destinations of packet pairs. This is the adversary
+//!    interface used by the lower-bound constructions of §§3 and 5; ordinary
+//!    simulations use [`NoHook`].
+//! 3. **(c) Inqueue** — each node's inqueue policy decides which scheduled
+//!    incoming packets to accept (it must not overflow its queues).
+//! 4. **(d) Transmit** — packets that were both scheduled and accepted move;
+//!    a packet arriving at its destination is delivered and removed.
+//! 5. **(e) State update** — node and packet states update as a function of
+//!    the information the model permits.
+//!
+//! ## Destination exchangeability, enforced by types
+//!
+//! The lower bound applies to *destination-exchangeable* algorithms: routing
+//! decisions may depend only on packet **states**, **source addresses**, and
+//! **profitable outlinks** — never on the destination itself. The engine
+//! encodes this restriction in the [`DxRouter`] trait, whose policy methods
+//! receive [`DxView`]s that simply contain no destination field. Any
+//! `DxRouter` is run through the [`Dx`] adapter, which projects the full
+//! packet information down to the permitted view. Lemma 10 of the paper
+//! (exchanges are invisible to the algorithm) therefore holds for every
+//! `DxRouter` by parametricity — and is additionally checked empirically in
+//! tests.
+//!
+//! Algorithms that legitimately use full destinations (the farthest-first
+//! outqueue policy of §5, the §6 algorithm's base case) implement the
+//! unrestricted [`Router`] trait directly.
+//!
+//! ## Queue architectures (§2 and §5 "Other Queue Types")
+//!
+//! [`QueueArch::Central`] gives every node one queue of capacity `k`;
+//! [`QueueArch::PerInlink`] gives every node four inlink queues of capacity
+//! `k` each (the Theorem 15 model). In both cases queues need not be FIFO —
+//! order is the policies' business; the engine only enforces capacity.
+
+pub mod hook;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod sim;
+pub mod stats;
+pub mod view;
+
+pub use hook::{HookCtx, NoHook, ScheduledMove, StepHook};
+pub use metrics::SimReport;
+pub use queue::{QueueArch, QueueKind};
+pub use router::{Dx, DxRouter, Router};
+pub use sim::{Sim, SimConfig, SimError};
+pub use sim::Loc;
+pub use stats::{DeliveryCurve, Distribution, NodeField};
+pub use view::{Arrival, DxView, FullView};

@@ -1,0 +1,64 @@
+//! Simulation reports: the measurements every experiment consumes.
+
+use crate::queue::QueueArch;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a finished (or step-capped) simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Algorithm name (from the router).
+    pub algorithm: String,
+    /// Workload label (from the routing problem).
+    pub workload: String,
+    /// Grid side.
+    pub n: u32,
+    /// Queue architecture and capacity.
+    pub arch: QueueArch,
+    /// Number of packets in the problem.
+    pub total_packets: usize,
+    /// Packets delivered so far.
+    pub delivered: usize,
+    /// Steps executed.
+    pub steps: u64,
+    /// True if every packet was delivered.
+    pub completed: bool,
+    /// Maximum occupancy any single bounded queue ever reached.
+    pub max_queue: u32,
+    /// Maximum number of packets simultaneously in any node (all queues,
+    /// including injection).
+    pub max_node_load: u32,
+    /// Total link traversals performed.
+    pub total_moves: u64,
+    /// Destination exchanges performed by the hook (0 without an adversary).
+    pub exchanges: u64,
+    /// Mean delivery step over delivered packets (steps are 1-based: a packet
+    /// delivered during the first step has latency 1).
+    pub avg_latency: f64,
+    /// Latest delivery step.
+    pub max_latency: u64,
+}
+
+impl SimReport {
+    /// Slowdown relative to the `2n - 2` mesh diameter bound.
+    pub fn slowdown_vs_diameter(&self) -> f64 {
+        let d = (2 * self.n).saturating_sub(2).max(1) as f64;
+        self.steps as f64 / d
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} on {} (n={}): steps={}{} maxq={} load={} moves={} delivered={}/{}",
+            self.algorithm,
+            self.workload,
+            self.n,
+            self.steps,
+            if self.completed { "" } else { " (INCOMPLETE)" },
+            self.max_queue,
+            self.max_node_load,
+            self.total_moves,
+            self.delivered,
+            self.total_packets,
+        )
+    }
+}

@@ -1,0 +1,225 @@
+//! The two routing-algorithm interfaces: unrestricted [`Router`] and
+//! destination-exchangeable [`DxRouter`], plus the [`Dx`] adapter.
+
+use crate::queue::QueueArch;
+use crate::view::{Arrival, DxView, FullView};
+use mesh_topo::Coord;
+use std::cell::RefCell;
+
+/// A deterministic routing algorithm with **full** information: its policies
+/// may inspect complete destination addresses. Implemented directly only by
+/// algorithms the paper explicitly places outside the destination-
+/// exchangeable class (farthest-first dimension order in §5; the §6
+/// algorithm's base case).
+///
+/// All policy methods are deterministic functions of their arguments; the
+/// engine stores one `NodeState` per node and threads it through. Policies
+/// may mutate the node state in place — everything they can observe is
+/// within the information the model grants them, so any state so computed is
+/// expressible in the paper's "state update at end of step" formulation.
+pub trait Router {
+    /// Per-node algorithm state (the paper's "state of a node").
+    type NodeState: Clone + Default;
+
+    /// Human-readable algorithm name for reports.
+    fn name(&self) -> String;
+
+    /// The queue architecture this algorithm runs on.
+    fn queue_arch(&self) -> QueueArch;
+
+    /// Whether the algorithm promises minimal (always-profitable) moves.
+    /// When `true` the engine panics if a packet is ever scheduled on a
+    /// non-profitable outlink — catching implementation bugs early.
+    fn is_minimal(&self) -> bool {
+        true
+    }
+
+    /// Step (a): choose at most one resident packet per outlink.
+    /// `out[d]` is an index into `pkts`; a packet may appear at most once.
+    fn outqueue(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        pkts: &[FullView],
+        out: &mut [Option<usize>; 4],
+    );
+
+    /// Step (c): decide which scheduled arrivals to accept. `accept` has one
+    /// flag per entry of `arrivals`, all initially `false`. The policy must
+    /// not accept more packets than its queues can hold by the end of the
+    /// step (the engine verifies and panics on overflow).
+    fn inqueue(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        residents: &[FullView],
+        arrivals: &[Arrival<FullView>],
+        accept: &mut [bool],
+    );
+
+    /// Step (e): update node state and resident packets' state words after
+    /// transmission. `states[i]` is the mutable state word of `residents[i]`.
+    /// Default: no-op.
+    fn end_of_step(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        residents: &[FullView],
+        states: &mut [u64],
+    ) {
+        let _ = (step, node, state, residents, states);
+    }
+}
+
+/// A deterministic **destination-exchangeable** routing algorithm (§2): its
+/// policies see packets only through [`DxView`]s — state, source address,
+/// and profitable outlinks. The destination never reaches the policy, so the
+/// exchange-invariance Lemma 10 holds for every implementation by
+/// construction.
+///
+/// Run a `DxRouter` by wrapping it: `Dx(MyRouter)`.
+pub trait DxRouter {
+    /// Per-node algorithm state.
+    type NodeState: Clone + Default;
+
+    /// Human-readable algorithm name for reports.
+    fn name(&self) -> String;
+
+    /// The queue architecture this algorithm runs on.
+    fn queue_arch(&self) -> QueueArch;
+
+    /// Whether the algorithm is minimal. The §3 lower bound needs both
+    /// destination-exchangeability *and* minimality; §5 notes that
+    /// destination-exchangeable **nonminimal** algorithms exist (hot-potato
+    /// routing) and get a weaker Ω(n²/(δ+1)³k²) bound.
+    fn is_minimal(&self) -> bool {
+        true
+    }
+
+    /// Step (a): choose at most one resident packet per outlink; indices
+    /// into `pkts`.
+    ///
+    /// For a minimal algorithm every scheduled direction must be profitable
+    /// for its packet (engine-enforced).
+    fn outqueue(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        pkts: &[DxView],
+        out: &mut [Option<usize>; 4],
+    );
+
+    /// Step (c): decide which scheduled arrivals to accept.
+    fn inqueue(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        residents: &[DxView],
+        arrivals: &[Arrival<DxView>],
+        accept: &mut [bool],
+    );
+
+    /// Step (e): update node state and resident packet states. The mutable
+    /// state access is mediated: the callback receives the restricted views
+    /// plus a parallel slice of state words to rewrite.
+    fn end_of_step(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        residents: &[DxView],
+        states: &mut [u64],
+    ) {
+        let _ = (step, node, state, residents, states);
+    }
+}
+
+/// Adapter running a [`DxRouter`] as a [`Router`] by projecting every view
+/// down to the destination-free [`DxView`]. The engine stays monomorphic;
+/// the restriction is purely in what crosses this boundary.
+pub struct Dx<R> {
+    pub inner: R,
+    resident_buf: RefCell<Vec<DxView>>,
+    arrival_buf: RefCell<Vec<Arrival<DxView>>>,
+}
+
+impl<R> Dx<R> {
+    /// Wraps a destination-exchangeable router for execution.
+    pub fn new(inner: R) -> Dx<R> {
+        Dx {
+            inner,
+            resident_buf: RefCell::new(Vec::new()),
+            arrival_buf: RefCell::new(Vec::new()),
+        }
+    }
+}
+
+impl<R: DxRouter> Router for Dx<R> {
+    type NodeState = R::NodeState;
+
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn queue_arch(&self) -> QueueArch {
+        self.inner.queue_arch()
+    }
+
+    fn is_minimal(&self) -> bool {
+        self.inner.is_minimal()
+    }
+
+    fn outqueue(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        pkts: &[FullView],
+        out: &mut [Option<usize>; 4],
+    ) {
+        let mut buf = self.resident_buf.borrow_mut();
+        buf.clear();
+        buf.extend(pkts.iter().map(FullView::dx));
+        self.inner.outqueue(step, node, state, &buf, out);
+    }
+
+    fn inqueue(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        residents: &[FullView],
+        arrivals: &[Arrival<FullView>],
+        accept: &mut [bool],
+    ) {
+        let mut rbuf = self.resident_buf.borrow_mut();
+        rbuf.clear();
+        rbuf.extend(residents.iter().map(FullView::dx));
+        let mut abuf = self.arrival_buf.borrow_mut();
+        abuf.clear();
+        abuf.extend(arrivals.iter().map(|a| Arrival {
+            view: a.view.dx(),
+            travel: a.travel,
+        }));
+        self.inner.inqueue(step, node, state, &rbuf, &abuf, accept);
+    }
+
+    fn end_of_step(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        residents: &[FullView],
+        states: &mut [u64],
+    ) {
+        let mut rbuf = self.resident_buf.borrow_mut();
+        rbuf.clear();
+        rbuf.extend(residents.iter().map(FullView::dx));
+        self.inner.end_of_step(step, node, state, &rbuf, states);
+    }
+}

@@ -1,0 +1,196 @@
+//! Extended measurement: latency distributions, per-node congestion maps,
+//! and delivery time series. All derived from per-packet delivery records
+//! the simulator keeps anyway, so collection is free.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a set of samples (latencies, loads, …).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    pub count: usize,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    /// Percentiles at 50/90/99 (nearest-rank).
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+impl Distribution {
+    /// Computes the distribution of a sample set (empty ⇒ all zeros).
+    pub fn of(samples: &[u64]) -> Distribution {
+        if samples.is_empty() {
+            return Distribution {
+                count: 0,
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+            };
+        }
+        let mut v = samples.to_vec();
+        v.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            // Nearest-rank percentile.
+            let rank = ((p / 100.0) * v.len() as f64).ceil().max(1.0) as usize;
+            v[rank - 1]
+        };
+        Distribution {
+            count: v.len(),
+            min: v[0],
+            max: *v.last().unwrap(),
+            mean: v.iter().sum::<u64>() as f64 / v.len() as f64,
+            p50: pct(50.0),
+            p90: pct(90.0),
+            p99: pct(99.0),
+        }
+    }
+}
+
+/// A per-node scalar field (congestion map): row-major over the grid.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeField {
+    pub n: u32,
+    pub values: Vec<u32>,
+}
+
+impl NodeField {
+    /// The hottest nodes, as `(x, y, value)` sorted descending, capped at
+    /// `top`.
+    pub fn hottest(&self, top: usize) -> Vec<(u32, u32, u32)> {
+        let mut v: Vec<(u32, u32, u32)> = self
+            .values
+            .iter()
+            .enumerate()
+            .filter(|(_, &val)| val > 0)
+            .map(|(i, &val)| (i as u32 % self.n, i as u32 / self.n, val))
+            .collect();
+        v.sort_by_key(|&(x, y, val)| (std::cmp::Reverse(val), y, x));
+        v.truncate(top);
+        v
+    }
+
+    /// Renders a coarse ASCII heat map (small grids only), north at the top.
+    pub fn ascii(&self) -> String {
+        const SHADES: &[u8] = b" .:-=+*#%@";
+        let max = self.values.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::with_capacity((self.n as usize + 1) * self.n as usize);
+        for y in (0..self.n).rev() {
+            for x in 0..self.n {
+                let v = self.values[(y * self.n + x) as usize] as usize;
+                let idx = (v * (SHADES.len() - 1)).div_ceil(max as usize);
+                out.push(SHADES[idx.min(SHADES.len() - 1)] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Time series of deliveries: `delivered[t]` = packets delivered during
+/// (1-based) step `t+1`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeliveryCurve {
+    pub per_step: Vec<u32>,
+}
+
+impl DeliveryCurve {
+    /// Builds the curve from per-packet delivery steps (1-based; 0 =
+    /// delivered at injection).
+    pub fn from_delivery_steps(steps: impl IntoIterator<Item = u64>) -> DeliveryCurve {
+        let mut per_step: Vec<u32> = Vec::new();
+        for s in steps {
+            let idx = s as usize;
+            if per_step.len() <= idx {
+                per_step.resize(idx + 1, 0);
+            }
+            per_step[idx] += 1;
+        }
+        DeliveryCurve { per_step }
+    }
+
+    /// The step by which `frac` (0..=1) of `total` packets were delivered.
+    pub fn completion_step(&self, total: usize, frac: f64) -> Option<u64> {
+        let need = (total as f64 * frac).ceil() as u64;
+        let mut acc = 0u64;
+        for (t, &c) in self.per_step.iter().enumerate() {
+            acc += c as u64;
+            if acc >= need {
+                return Some(t as u64);
+            }
+        }
+        None
+    }
+
+    /// Peak deliveries in a single step (the router's drain throughput).
+    pub fn peak_rate(&self) -> u32 {
+        self.per_step.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_basics() {
+        let d = Distribution::of(&[5, 1, 9, 3, 7]);
+        assert_eq!(d.count, 5);
+        assert_eq!(d.min, 1);
+        assert_eq!(d.max, 9);
+        assert!((d.mean - 5.0).abs() < 1e-9);
+        assert_eq!(d.p50, 5);
+        assert_eq!(d.p99, 9);
+    }
+
+    #[test]
+    fn distribution_empty() {
+        let d = Distribution::of(&[]);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.max, 0);
+    }
+
+    #[test]
+    fn distribution_single() {
+        let d = Distribution::of(&[42]);
+        assert_eq!((d.min, d.p50, d.p90, d.p99, d.max), (42, 42, 42, 42, 42));
+    }
+
+    #[test]
+    fn node_field_hottest() {
+        let f = NodeField {
+            n: 3,
+            values: vec![0, 5, 0, 2, 0, 0, 0, 0, 9],
+        };
+        let h = f.hottest(2);
+        assert_eq!(h, vec![(2, 2, 9), (1, 0, 5)]);
+    }
+
+    #[test]
+    fn node_field_ascii_shape() {
+        let f = NodeField {
+            n: 2,
+            values: vec![0, 4, 2, 4],
+        };
+        let s = f.ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // North (y=1) row first: values [2, 4] -> mid shade then max shade.
+        assert_eq!(lines[0].len(), 2);
+        assert!(lines[0].ends_with('@'));
+        assert!(lines[1].starts_with(' ')); // zero stays blank
+    }
+
+    #[test]
+    fn delivery_curve() {
+        let c = DeliveryCurve::from_delivery_steps([1u64, 1, 2, 5]);
+        assert_eq!(c.per_step, vec![0, 2, 1, 0, 0, 1]);
+        assert_eq!(c.peak_rate(), 2);
+        assert_eq!(c.completion_step(4, 0.5), Some(1));
+        assert_eq!(c.completion_step(4, 1.0), Some(5));
+        assert_eq!(c.completion_step(5, 1.0), None);
+    }
+}

@@ -1,0 +1,67 @@
+//! Packet views: what the two classes of routing algorithms may see.
+
+use crate::queue::QueueKind;
+use mesh_topo::{Coord, Dir, DirSet};
+use mesh_traffic::PacketId;
+
+/// Full information about a packet in (or scheduled into) a node, available
+/// to unrestricted [`Router`](crate::Router) policies.
+#[derive(Clone, Copy, Debug)]
+pub struct FullView {
+    pub id: PacketId,
+    /// Source address.
+    pub src: Coord,
+    /// Destination address. **Absent** from [`DxView`].
+    pub dst: Coord,
+    /// The packet's mutable state word.
+    pub state: u64,
+    /// Profitable outlinks. For residents: measured from the holding node.
+    /// For arrivals: measured from the *sending* node (§2: "profitable
+    /// outlinks of scheduled packets are measured as profitable from the node
+    /// from which they are coming").
+    pub profitable: DirSet,
+    /// Which queue holds the packet.
+    pub queue: QueueKind,
+    /// Arrival-order position within its queue (0 = oldest). FIFO policies
+    /// serve position 0 first.
+    pub pos: u32,
+}
+
+/// The restricted view available to destination-exchangeable policies (§2):
+/// state, source address, and profitable outlinks — and nothing else about
+/// the destination. The absence of a `dst` field is the point.
+#[derive(Clone, Copy, Debug)]
+pub struct DxView {
+    pub id: PacketId,
+    pub src: Coord,
+    pub state: u64,
+    pub profitable: DirSet,
+    pub queue: QueueKind,
+    pub pos: u32,
+}
+
+impl FullView {
+    /// Projects the full view down to the destination-exchangeable view.
+    #[inline]
+    pub fn dx(&self) -> DxView {
+        DxView {
+            id: self.id,
+            src: self.src,
+            state: self.state,
+            profitable: self.profitable,
+            queue: self.queue,
+            pos: self.pos,
+        }
+    }
+}
+
+/// A packet scheduled to enter a node, as seen by the inqueue policy.
+#[derive(Clone, Copy, Debug)]
+pub struct Arrival<V> {
+    /// The packet (profitable outlinks measured from the sender, per §2).
+    pub view: V,
+    /// Its direction of travel (it enters across the `travel.opposite()`
+    /// side of the accepting node).
+    pub travel: Dir,
+}
+

@@ -1,0 +1,99 @@
+//! Shared policy building blocks.
+
+use mesh_topo::{Dir, DirSet};
+
+/// A movement axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Axis {
+    Horizontal,
+    Vertical,
+}
+
+impl Axis {
+    /// The other axis.
+    pub fn other(self) -> Axis {
+        match self {
+            Axis::Horizontal => Axis::Vertical,
+            Axis::Vertical => Axis::Horizontal,
+        }
+    }
+
+    /// The profitable direction on this axis, if any (canonical order within
+    /// the axis: E before W, N before S — ties only arise on the torus).
+    pub fn profitable_dir(self, profitable: DirSet) -> Option<Dir> {
+        let dirs = match self {
+            Axis::Horizontal => [Dir::East, Dir::West],
+            Axis::Vertical => [Dir::North, Dir::South],
+        };
+        dirs.into_iter().find(|&d| profitable.contains(d))
+    }
+}
+
+/// The direction a dimension-order packet wants next, from its profitable
+/// set alone: finish the `first` axis, then the other. `None` only for a
+/// delivered packet.
+pub fn dim_order_dir(profitable: DirSet, first: Axis) -> Option<Dir> {
+    first
+        .profitable_dir(profitable)
+        .or_else(|| first.other().profitable_dir(profitable))
+}
+
+/// A round-robin arbitration pointer over the four inlink sides: the
+/// "round-robin inqueue policy" example of §2. Stored in node state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin {
+    next: u8,
+}
+
+impl RoundRobin {
+    /// Returns the priority rank (0 = highest) of direction `d` in the
+    /// current rotation.
+    pub fn rank(&self, d: Dir) -> u8 {
+        ((d.index() as u8 + 4) - self.next) % 4
+    }
+
+    /// Advances the rotation by one position (call once per arbitration).
+    pub fn advance(&mut self) {
+        self.next = (self.next + 1) % 4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_topo::DirSet;
+
+    #[test]
+    fn dim_order_prefers_first_axis() {
+        let p = DirSet::from_dirs([Dir::East, Dir::North]);
+        assert_eq!(dim_order_dir(p, Axis::Horizontal), Some(Dir::East));
+        assert_eq!(dim_order_dir(p, Axis::Vertical), Some(Dir::North));
+    }
+
+    #[test]
+    fn dim_order_falls_back_to_other_axis() {
+        let p = DirSet::single(Dir::South);
+        assert_eq!(dim_order_dir(p, Axis::Horizontal), Some(Dir::South));
+        let p = DirSet::single(Dir::West);
+        assert_eq!(dim_order_dir(p, Axis::Vertical), Some(Dir::West));
+    }
+
+    #[test]
+    fn dim_order_none_when_delivered() {
+        assert_eq!(dim_order_dir(DirSet::EMPTY, Axis::Horizontal), None);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut rr = RoundRobin::default();
+        assert_eq!(rr.rank(Dir::North), 0);
+        assert_eq!(rr.rank(Dir::West), 3);
+        rr.advance();
+        assert_eq!(rr.rank(Dir::East), 0);
+        assert_eq!(rr.rank(Dir::North), 3);
+        rr.advance();
+        rr.advance();
+        rr.advance();
+        assert_eq!(rr.rank(Dir::North), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Hot-potato (deflection) routing: the nonminimal destination-exchangeable
+//! family discussed in §5 of the paper.
+//!
+//! §5 ("Nonminimal extensions"): the `O(n^{3/2})` hot-potato algorithm of
+//! Bar-Noy et al. *is* destination-exchangeable, so the paper's Theorem 14
+//! restriction to minimal routing "cannot be eliminated entirely" — the
+//! technique only yields `Ω(n²/(δ+1)³k²)` for algorithms that stay within
+//! `δ` of the shortest-path rectangle, and unbounded-deflection routers
+//! escape it.
+//!
+//! This router is a standard greedy deflection scheme (in the spirit of the
+//! hot-potato literature the paper cites [1, 5, 8, 9, 12, 22], not a
+//! faithful Bar-Noy implementation): every packet received in the previous
+//! step **must** leave this step. Each node assigns packets to outlinks in
+//! priority order (older packets first, age carried in the packet state
+//! word), giving each packet a profitable outlink when one is free and
+//! *deflecting* it on any free outlink otherwise. A node's own packet is
+//! injected when a suitable outlink remains free. Buffering is one packet
+//! per inlink, so queues never exceed one — the extreme of bounded-queue
+//! routing, at the price of nonminimal paths.
+
+use mesh_engine::{Arrival, DxRouter, DxView, QueueArch, QueueKind};
+use mesh_topo::{Coord, Dir, ALL_DIRS};
+
+/// Greedy deflection router (queues: one slot per inlink).
+///
+/// Knows the grid side `n` — static machine configuration every physical
+/// router has; it carries no destination information, so
+/// destination-exchangeability is unaffected.
+#[derive(Clone, Debug)]
+pub struct HotPotato {
+    n: u32,
+}
+
+impl HotPotato {
+    /// Creates the router for a side-`n` grid.
+    pub fn new(n: u32) -> HotPotato {
+        HotPotato { n }
+    }
+}
+
+/// Packet age (deflection priority) lives in the state word.
+fn age(v: &DxView) -> u64 {
+    v.state
+}
+
+impl DxRouter for HotPotato {
+    type NodeState = ();
+
+    fn name(&self) -> String {
+        "hot-potato".into()
+    }
+
+    fn queue_arch(&self) -> QueueArch {
+        QueueArch::PerInlink { k: 1 }
+    }
+
+    fn is_minimal(&self) -> bool {
+        false
+    }
+
+    fn outqueue(
+        &self,
+        _step: u64,
+        node: Coord,
+        _state: &mut (),
+        pkts: &[DxView],
+        out: &mut [Option<usize>; 4],
+    ) {
+        // Which outlinks exist here? A profitable direction always has a
+        // link; deflections must additionally avoid the mesh edge, which a
+        // node can tell from its own position and the grid side.
+        let n = self.n;
+        let link_exists = |d: Dir| -> bool {
+            match d {
+                Dir::West => node.x > 0,
+                Dir::South => node.y > 0,
+                Dir::East => node.x + 1 < n,
+                Dir::North => node.y + 1 < n,
+            }
+        };
+
+        // Transit packets (inlink buffers) MUST leave; order them oldest
+        // first (ties: lower queue slot, then lower id — all
+        // destination-blind).
+        let mut transit: Vec<usize> = (0..pkts.len())
+            .filter(|&i| matches!(pkts[i].queue, QueueKind::Inlink(_)))
+            .collect();
+        transit.sort_by_key(|&i| (std::cmp::Reverse(age(&pkts[i])), pkts[i].id));
+
+        let mut used = [false; 4];
+        let mut pending: Vec<usize> = Vec::new();
+        for &i in &transit {
+            let choice = pkts[i]
+                .profitable
+                .iter()
+                .find(|d| !used[d.index()]);
+            match choice {
+                Some(d) => {
+                    used[d.index()] = true;
+                    out[d.index()] = Some(i);
+                }
+                None => pending.push(i),
+            }
+        }
+        // Deflect the rest onto any free existing outlink. Every direction a
+        // packet arrived from has a link back (its opposite side's link), so
+        // a valid assignment always exists (in-degree = out-degree).
+        for &i in &pending {
+            let back = match pkts[i].queue {
+                QueueKind::Inlink(side) => side, // link toward that neighbor exists
+                _ => unreachable!("pending transit packet not in an inlink queue"),
+            };
+            let d = ALL_DIRS
+                .into_iter()
+                .find(|&d| !used[d.index()] && (d == back || link_exists(d)))
+                .unwrap_or(back);
+            assert!(!used[d.index()], "deflection assignment failed");
+            used[d.index()] = true;
+            out[d.index()] = Some(i);
+        }
+
+        // Inject the node's own packet if a profitable outlink is free.
+        if let Some(i) = (0..pkts.len()).find(|&i| pkts[i].queue == QueueKind::Injection) {
+            if let Some(d) = pkts[i].profitable.iter().find(|d| !used[d.index()]) {
+                out[d.index()] = Some(i);
+            }
+        }
+    }
+
+    fn inqueue(
+        &self,
+        _step: u64,
+        _node: Coord,
+        _state: &mut (),
+        _residents: &[DxView],
+        _arrivals: &[Arrival<DxView>],
+        accept: &mut [bool],
+    ) {
+        // Hot potato: always accept — every buffered packet leaves each
+        // step, so each one-slot inlink buffer is free again.
+        accept.iter_mut().for_each(|a| *a = true);
+    }
+
+    fn end_of_step(
+        &self,
+        _step: u64,
+        _node: Coord,
+        _state: &mut (),
+        _residents: &[DxView],
+        states: &mut [u64],
+    ) {
+        // Age every packet still in the network (deflection priority).
+        for s in states.iter_mut() {
+            *s += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_engine::{Dx, Sim};
+    use mesh_topo::{Mesh, Topology};
+    use mesh_traffic::{workloads, RoutingProblem};
+
+    #[test]
+    fn lone_packet_is_fast() {
+        let topo = Mesh::new(8);
+        let pb = RoutingProblem::from_pairs(8, "one", [(Coord::new(0, 0), Coord::new(5, 4))]);
+        let mut sim = Sim::new(&topo, Dx::new(HotPotato::new(topo.side())), &pb);
+        let steps = sim.run(100).unwrap();
+        assert_eq!(steps, 9, "no contention → minimal path");
+    }
+
+    #[test]
+    fn routes_random_permutations() {
+        for n in [8u32, 16] {
+            let topo = Mesh::new(n);
+            for seed in 0..3 {
+                let pb = workloads::random_permutation(n, seed);
+                let mut sim = Sim::new(&topo, Dx::new(HotPotato::new(topo.side())), &pb);
+                let steps = sim
+                    .run(10_000)
+                    .unwrap_or_else(|e| panic!("n={n} seed={seed}: {e}"));
+                let r = sim.report();
+                assert!(r.completed);
+                assert!(r.max_queue <= 1, "hot potato never queues");
+                // Nonminimal: usually more moves than the minimal total work.
+                assert!(r.total_moves >= pb.total_work());
+                assert!(steps >= pb.diameter_bound() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn takes_nonminimal_paths_under_contention() {
+        // Force a collision: two packets cross the same node simultaneously.
+        let topo = Mesh::new(4);
+        let pb = RoutingProblem::from_pairs(
+            4,
+            "cross",
+            [
+                (Coord::new(0, 1), Coord::new(2, 1)),
+                (Coord::new(1, 0), Coord::new(1, 2)),
+                (Coord::new(1, 1), Coord::new(3, 3)), // occupies the crossing
+            ],
+        );
+        let mut sim = Sim::new(&topo, Dx::new(HotPotato::new(topo.side())), &pb);
+        sim.run(200).unwrap();
+        let r = sim.report();
+        assert!(r.completed);
+        // At least one deflection happened (moves exceed minimal work) OR the
+        // schedule dodged it — either way queues stayed at 1.
+        assert!(r.max_queue <= 1);
+    }
+
+    #[test]
+    fn transpose_completes_with_unit_buffers() {
+        let n = 16;
+        let topo = Mesh::new(n);
+        let pb = workloads::transpose(n);
+        let mut sim = Sim::new(&topo, Dx::new(HotPotato::new(topo.side())), &pb);
+        let steps = sim.run(50_000).expect("hot potato should drain transpose");
+        assert!(sim.report().completed);
+        assert!(steps < 50_000);
+    }
+}

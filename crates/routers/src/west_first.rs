@@ -1,0 +1,164 @@
+//! West-first turn-model routing: a minimal adaptive router in the spirit
+//! of the planar-adaptive/turn-model family the paper cites in §2 as
+//! implementable destination-exchangeable algorithms (Chien–Kim [6],
+//! Cypher–Gravano [7]).
+//!
+//! Rule: if the packet needs to move west at all, it moves **fully west
+//! first** (no adaptivity — westward packets turn only after finishing the
+//! west leg). Packets with no westward component route fully adaptively
+//! among their profitable {east, north, south} directions. On minimal paths
+//! this is precisely the classic *west-first* turn restriction, and every
+//! decision depends only on the profitable-outlink set — destination-
+//! exchangeable by construction.
+//!
+//! Like the other central-queue routers here it uses conservative
+//! acceptance, so it is subject to the same Theorem 14 lower bound (and the
+//! same practical stalls) — it exists to show the bound's universality
+//! across the §2-cited adaptive family.
+
+use crate::common::RoundRobin;
+use mesh_engine::{Arrival, DxRouter, DxView, QueueArch};
+use mesh_topo::{Coord, Dir, ALL_DIRS};
+
+/// West-first minimal adaptive router on a central queue of capacity `k`.
+#[derive(Clone, Debug)]
+pub struct WestFirst {
+    k: u32,
+}
+
+impl WestFirst {
+    /// Creates the router with central queues of capacity `k`.
+    pub fn new(k: u32) -> WestFirst {
+        WestFirst { k }
+    }
+}
+
+/// Directions this packet may take, in preference order.
+fn choices(p: &DxView) -> impl Iterator<Item = Dir> + '_ {
+    let west = p.profitable.contains(Dir::West);
+    ALL_DIRS.into_iter().filter(move |&d| {
+        if !p.profitable.contains(d) {
+            return false;
+        }
+        // West-first: while a west leg remains, only West is permitted.
+        !west || d == Dir::West
+    })
+}
+
+impl DxRouter for WestFirst {
+    type NodeState = RoundRobin;
+
+    fn name(&self) -> String {
+        format!("west-first(k={})", self.k)
+    }
+
+    fn queue_arch(&self) -> QueueArch {
+        QueueArch::Central { k: self.k }
+    }
+
+    fn outqueue(
+        &self,
+        step: u64,
+        _node: Coord,
+        _state: &mut RoundRobin,
+        pkts: &[DxView],
+        out: &mut [Option<usize>; 4],
+    ) {
+        // FIFO order. Adaptive packets rotate their first choice by step
+        // parity so contention spreads over the allowed directions.
+        let mut order: Vec<usize> = (0..pkts.len()).collect();
+        order.sort_by_key(|&i| pkts[i].pos);
+        for i in order {
+            let opts: Vec<Dir> = choices(&pkts[i]).collect();
+            if opts.is_empty() {
+                continue;
+            }
+            let start = (step as usize) % opts.len();
+            for off in 0..opts.len() {
+                let d = opts[(start + off) % opts.len()];
+                if out[d.index()].is_none() {
+                    out[d.index()] = Some(i);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn inqueue(
+        &self,
+        _step: u64,
+        _node: Coord,
+        state: &mut RoundRobin,
+        residents: &[DxView],
+        arrivals: &[Arrival<DxView>],
+        accept: &mut [bool],
+    ) {
+        let mut room = (self.k as usize).saturating_sub(residents.len());
+        let mut order: Vec<usize> = (0..arrivals.len()).collect();
+        order.sort_by_key(|&i| state.rank(arrivals[i].travel.opposite()));
+        for i in order {
+            if room == 0 {
+                break;
+            }
+            accept[i] = true;
+            room -= 1;
+        }
+        state.advance();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mesh_engine::{Dx, Loc, Sim};
+    use mesh_topo::{DirSet, Mesh};
+    use mesh_traffic::{workloads, PacketId, RoutingProblem};
+
+    #[test]
+    fn west_leg_comes_first() {
+        let mk = |prof: DirSet| DxView {
+            id: PacketId(0),
+            src: Coord::new(0, 0),
+            state: 0,
+            profitable: prof,
+            queue: mesh_engine::QueueKind::Central,
+            pos: 0,
+        };
+        // Needs west and north: only west allowed.
+        let v = mk(DirSet::from_dirs([Dir::West, Dir::North]));
+        assert_eq!(choices(&v).collect::<Vec<_>>(), vec![Dir::West]);
+        // Needs east and north: both allowed (adaptive).
+        let v = mk(DirSet::from_dirs([Dir::East, Dir::North]));
+        assert_eq!(
+            choices(&v).collect::<Vec<_>>(),
+            vec![Dir::North, Dir::East]
+        );
+    }
+
+    #[test]
+    fn westbound_packet_routes_west_then_turns() {
+        let topo = Mesh::new(8);
+        let pb = RoutingProblem::from_pairs(8, "wf", [(Coord::new(6, 1), Coord::new(2, 5))]);
+        let mut sim = Sim::new(&topo, Dx::new(WestFirst::new(2)), &pb);
+        for _ in 0..4 {
+            sim.step();
+        }
+        // After 4 steps the west leg (4 hops) must be complete.
+        assert_eq!(sim.loc(PacketId(0)), Loc::At(Coord::new(2, 1)));
+        let steps = sim.run(100).unwrap();
+        assert_eq!(steps, 8, "minimal path overall");
+    }
+
+    #[test]
+    fn routes_permutations_with_ample_queues() {
+        let topo = Mesh::new(12);
+        for seed in 0..3 {
+            let pb = workloads::random_permutation(12, seed);
+            let mut sim = Sim::new(&topo, Dx::new(WestFirst::new(144)), &pb);
+            let steps = sim.run(10_000).unwrap();
+            assert!(sim.report().completed);
+            assert!(steps <= 100, "seed {seed}: {steps}");
+            assert_eq!(sim.report().total_moves, pb.total_work());
+        }
+    }
+}

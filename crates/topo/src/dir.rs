@@ -1,0 +1,263 @@
+//! The four mesh directions and compact sets of them.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four link directions on a mesh or torus.
+///
+/// Orientation follows the paper: north increases `y`, east increases `x`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Dir {
+    North = 0,
+    East = 1,
+    South = 2,
+    West = 3,
+}
+
+/// All four directions in a fixed canonical order (N, E, S, W).
+///
+/// Every per-direction array in the workspace is indexed by `Dir as usize`
+/// in this order.
+pub const ALL_DIRS: [Dir; 4] = [Dir::North, Dir::East, Dir::South, Dir::West];
+
+impl Dir {
+    /// Index into 4-element per-direction arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a direction from its canonical index (panics if `i >= 4`).
+    #[inline]
+    pub const fn from_index(i: usize) -> Dir {
+        match i {
+            0 => Dir::North,
+            1 => Dir::East,
+            2 => Dir::South,
+            3 => Dir::West,
+            _ => panic!("direction index out of range"),
+        }
+    }
+
+    /// The opposite direction (the inlink matching this outlink).
+    #[inline]
+    pub const fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::East => Dir::West,
+            Dir::South => Dir::North,
+            Dir::West => Dir::East,
+        }
+    }
+
+    /// Unit displacement `(dx, dy)` of one hop in this direction.
+    #[inline]
+    pub const fn delta(self) -> (i64, i64) {
+        match self {
+            Dir::North => (0, 1),
+            Dir::East => (1, 0),
+            Dir::South => (0, -1),
+            Dir::West => (-1, 0),
+        }
+    }
+
+    /// True for North/South.
+    #[inline]
+    pub const fn is_vertical(self) -> bool {
+        matches!(self, Dir::North | Dir::South)
+    }
+
+    /// True for East/West.
+    #[inline]
+    pub const fn is_horizontal(self) -> bool {
+        matches!(self, Dir::East | Dir::West)
+    }
+}
+
+impl core::fmt::Display for Dir {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Dir::North => "N",
+            Dir::East => "E",
+            Dir::South => "S",
+            Dir::West => "W",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of directions, packed into one byte.
+///
+/// This is the "profitable outlinks" type: for a packet on a minimal route it
+/// is the complete destination information a destination-exchangeable policy
+/// is allowed to inspect (§2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DirSet(u8);
+
+impl DirSet {
+    /// The empty set (a delivered packet has no profitable outlinks).
+    pub const EMPTY: DirSet = DirSet(0);
+
+    /// The set of all four directions.
+    pub const ALL: DirSet = DirSet(0b1111);
+
+    /// Creates a set containing exactly `dir`.
+    #[inline]
+    pub const fn single(dir: Dir) -> DirSet {
+        DirSet(1 << dir as u8)
+    }
+
+    /// Builds a set from an iterator of directions.
+    pub fn from_dirs(dirs: impl IntoIterator<Item = Dir>) -> DirSet {
+        let mut s = DirSet::EMPTY;
+        for d in dirs {
+            s.insert(d);
+        }
+        s
+    }
+
+    /// Inserts `dir` into the set.
+    #[inline]
+    pub fn insert(&mut self, dir: Dir) {
+        self.0 |= 1 << dir as u8;
+    }
+
+    /// Removes `dir` from the set.
+    #[inline]
+    pub fn remove(&mut self, dir: Dir) {
+        self.0 &= !(1 << dir as u8);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, dir: Dir) -> bool {
+        self.0 & (1 << dir as u8) != 0
+    }
+
+    /// Number of directions in the set (0..=4).
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if the set is empty.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: DirSet) -> DirSet {
+        DirSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: DirSet) -> DirSet {
+        DirSet(self.0 & other.0)
+    }
+
+    /// Iterates the directions in canonical (N, E, S, W) order.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = Dir> {
+        ALL_DIRS.into_iter().filter(move |d| self.contains(*d))
+    }
+
+    /// The first direction in canonical order, if any.
+    #[inline]
+    pub fn first(self) -> Option<Dir> {
+        self.iter().next()
+    }
+}
+
+impl FromIterator<Dir> for DirSet {
+    fn from_iter<T: IntoIterator<Item = Dir>>(iter: T) -> Self {
+        DirSet::from_dirs(iter)
+    }
+}
+
+impl core::fmt::Debug for DirSet {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{{")?;
+        for d in self.iter() {
+            write!(f, "{d}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involutive() {
+        for d in ALL_DIRS {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn delta_cancels_with_opposite() {
+        for d in ALL_DIRS {
+            let (dx, dy) = d.delta();
+            let (ox, oy) = d.opposite().delta();
+            assert_eq!(dx + ox, 0);
+            assert_eq!(dy + oy, 0);
+        }
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for d in ALL_DIRS {
+            assert_eq!(Dir::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn vertical_horizontal_partition() {
+        for d in ALL_DIRS {
+            assert!(d.is_vertical() ^ d.is_horizontal());
+        }
+    }
+
+    #[test]
+    fn dirset_basic_ops() {
+        let mut s = DirSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(Dir::North);
+        s.insert(Dir::West);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(Dir::North));
+        assert!(s.contains(Dir::West));
+        assert!(!s.contains(Dir::East));
+        s.remove(Dir::North);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first(), Some(Dir::West));
+    }
+
+    #[test]
+    fn dirset_iter_is_canonical_order() {
+        let s = DirSet::from_dirs([Dir::West, Dir::North, Dir::East]);
+        let v: Vec<Dir> = s.iter().collect();
+        assert_eq!(v, vec![Dir::North, Dir::East, Dir::West]);
+    }
+
+    #[test]
+    fn dirset_union_intersection() {
+        let a = DirSet::from_dirs([Dir::North, Dir::East]);
+        let b = DirSet::from_dirs([Dir::East, Dir::South]);
+        assert_eq!(a.union(b), DirSet::from_dirs([Dir::North, Dir::East, Dir::South]));
+        assert_eq!(a.intersection(b), DirSet::single(Dir::East));
+    }
+
+    #[test]
+    fn dirset_all_contains_everything() {
+        for d in ALL_DIRS {
+            assert!(DirSet::ALL.contains(d));
+        }
+        assert_eq!(DirSet::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,294 @@
+//! The network model of §2: a directed graph whose links come in
+//! opposite-direction pairs, instantiated as the `n × n` mesh and torus.
+
+use crate::coord::{Coord, NodeId};
+use crate::dir::{Dir, DirSet, ALL_DIRS};
+
+/// A side-`n` grid network (mesh or torus).
+///
+/// This is the directed graph `G = (V, E)` of §2: `(u, v) ∈ E` iff
+/// `(v, u) ∈ E`. The trait also captures *minimal routing* geometry:
+///
+/// * [`Topology::distance`] — shortest-path length between two nodes;
+/// * [`Topology::profitable`] — the set of outlinks that strictly decrease
+///   the distance to a destination. A packet follows a minimal path iff every
+///   hop uses a profitable outlink.
+pub trait Topology: Send + Sync {
+    /// Side length `n` of the grid.
+    fn side(&self) -> u32;
+
+    /// The neighbor of `node` across its `dir` outlink, or `None` if that
+    /// outlink does not exist (mesh edges).
+    fn neighbor(&self, node: Coord, dir: Dir) -> Option<Coord>;
+
+    /// Shortest-path (link) distance between two nodes.
+    fn distance(&self, a: Coord, b: Coord) -> u32;
+
+    /// The profitable outlinks of a packet at `from` destined for `to`:
+    /// exactly those directions `d` with an existing neighbor `v` such that
+    /// `distance(v, to) == distance(from, to) - 1`.
+    fn profitable(&self, from: Coord, to: Coord) -> DirSet;
+
+    /// Total number of nodes.
+    fn num_nodes(&self) -> u32 {
+        self.side() * self.side()
+    }
+
+    /// Dense id of a node.
+    #[inline]
+    fn id(&self, c: Coord) -> NodeId {
+        NodeId::from_coord(c, self.side())
+    }
+
+    /// Coordinate of a dense id.
+    #[inline]
+    fn coord(&self, id: NodeId) -> Coord {
+        id.coord(self.side())
+    }
+
+    /// Iterates all node coordinates in row-major order.
+    fn coords(&self) -> Box<dyn Iterator<Item = Coord> + '_> {
+        let n = self.side();
+        Box::new((0..n).flat_map(move |y| (0..n).map(move |x| Coord::new(x, y))))
+    }
+}
+
+/// The `n × n` mesh (Figure 1 of the paper): no wraparound links.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mesh {
+    n: u32,
+}
+
+impl Mesh {
+    /// Creates a side-`n` mesh (`n >= 1`).
+    pub fn new(n: u32) -> Mesh {
+        assert!(n >= 1, "mesh side must be at least 1");
+        Mesh { n }
+    }
+}
+
+impl Topology for Mesh {
+    #[inline]
+    fn side(&self) -> u32 {
+        self.n
+    }
+
+    #[inline]
+    fn neighbor(&self, node: Coord, dir: Dir) -> Option<Coord> {
+        let (dx, dy) = dir.delta();
+        let x = node.x as i64 + dx;
+        let y = node.y as i64 + dy;
+        if x < 0 || y < 0 || x >= self.n as i64 || y >= self.n as i64 {
+            None
+        } else {
+            Some(Coord::new(x as u32, y as u32))
+        }
+    }
+
+    #[inline]
+    fn distance(&self, a: Coord, b: Coord) -> u32 {
+        a.manhattan(b)
+    }
+
+    #[inline]
+    fn profitable(&self, from: Coord, to: Coord) -> DirSet {
+        let mut s = DirSet::EMPTY;
+        if to.x > from.x {
+            s.insert(Dir::East);
+        } else if to.x < from.x {
+            s.insert(Dir::West);
+        }
+        if to.y > from.y {
+            s.insert(Dir::North);
+        } else if to.y < from.y {
+            s.insert(Dir::South);
+        }
+        s
+    }
+}
+
+/// The `n × n` torus: the mesh plus wraparound links in both dimensions.
+///
+/// On the torus a dimension may have *two* profitable directions when the
+/// destination is exactly `n/2` away in that dimension (both ways around are
+/// minimal).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    n: u32,
+}
+
+impl Torus {
+    /// Creates a side-`n` torus (`n >= 2` so opposite links are distinct).
+    pub fn new(n: u32) -> Torus {
+        assert!(n >= 2, "torus side must be at least 2");
+        Torus { n }
+    }
+
+    /// Signed shortest displacement from `a` to `b` in one dimension,
+    /// in `-(n/2)..=(n/2)`; positive means the increasing direction is
+    /// (weakly) shorter.
+    #[inline]
+    fn wrap_delta(&self, a: u32, b: u32) -> (u32, u32) {
+        // (forward, backward) distances.
+        let n = self.n;
+        let fwd = (b + n - a) % n;
+        (fwd, (n - fwd) % n)
+    }
+}
+
+impl Topology for Torus {
+    #[inline]
+    fn side(&self) -> u32 {
+        self.n
+    }
+
+    #[inline]
+    fn neighbor(&self, node: Coord, dir: Dir) -> Option<Coord> {
+        let n = self.n as i64;
+        let (dx, dy) = dir.delta();
+        let x = (node.x as i64 + dx).rem_euclid(n);
+        let y = (node.y as i64 + dy).rem_euclid(n);
+        Some(Coord::new(x as u32, y as u32))
+    }
+
+    #[inline]
+    fn distance(&self, a: Coord, b: Coord) -> u32 {
+        let (fx, bx) = self.wrap_delta(a.x, b.x);
+        let (fy, by) = self.wrap_delta(a.y, b.y);
+        fx.min(bx) + fy.min(by)
+    }
+
+    #[inline]
+    fn profitable(&self, from: Coord, to: Coord) -> DirSet {
+        let mut s = DirSet::EMPTY;
+        let (fx, bx) = self.wrap_delta(from.x, to.x);
+        if fx != 0 {
+            if fx <= bx {
+                s.insert(Dir::East);
+            }
+            if bx <= fx {
+                s.insert(Dir::West);
+            }
+        }
+        let (fy, by) = self.wrap_delta(from.y, to.y);
+        if fy != 0 {
+            if fy <= by {
+                s.insert(Dir::North);
+            }
+            if by <= fy {
+                s.insert(Dir::South);
+            }
+        }
+        s
+    }
+}
+
+/// Checks the defining property of [`Topology::profitable`] against
+/// [`Topology::distance`] by brute force; used by tests of both topologies
+/// and available to downstream property tests.
+pub fn validate_profitable<T: Topology>(topo: &T, from: Coord, to: Coord) -> bool {
+    let claimed = topo.profitable(from, to);
+    let d = topo.distance(from, to);
+    for dir in ALL_DIRS {
+        let is_profitable = match topo.neighbor(from, dir) {
+            Some(v) => topo.distance(v, to) + 1 == d,
+            None => false,
+        };
+        if claimed.contains(dir) != is_profitable {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_edges_have_no_neighbor() {
+        let m = Mesh::new(4);
+        assert_eq!(m.neighbor(Coord::new(0, 0), Dir::West), None);
+        assert_eq!(m.neighbor(Coord::new(0, 0), Dir::South), None);
+        assert_eq!(m.neighbor(Coord::new(3, 3), Dir::East), None);
+        assert_eq!(m.neighbor(Coord::new(3, 3), Dir::North), None);
+        assert_eq!(m.neighbor(Coord::new(1, 1), Dir::North), Some(Coord::new(1, 2)));
+    }
+
+    #[test]
+    fn mesh_profitable_matches_distance_exhaustively() {
+        let m = Mesh::new(6);
+        for a in m.coords() {
+            for b in Mesh::new(6).coords() {
+                assert!(validate_profitable(&m, a, b), "mesh profitable wrong at {a:?}->{b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_profitable_matches_distance_exhaustively() {
+        for n in [2u32, 3, 4, 5, 6, 7] {
+            let t = Torus::new(n);
+            for a in t.coords() {
+                for b in Torus::new(n).coords() {
+                    assert!(
+                        validate_profitable(&t, a, b),
+                        "torus n={n} profitable wrong at {a:?}->{b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let t = Torus::new(5);
+        assert_eq!(t.neighbor(Coord::new(0, 0), Dir::West), Some(Coord::new(4, 0)));
+        assert_eq!(t.neighbor(Coord::new(4, 2), Dir::East), Some(Coord::new(0, 2)));
+        assert_eq!(t.neighbor(Coord::new(2, 4), Dir::North), Some(Coord::new(2, 0)));
+        assert_eq!(t.neighbor(Coord::new(2, 0), Dir::South), Some(Coord::new(2, 4)));
+    }
+
+    #[test]
+    fn torus_distance_uses_wraparound() {
+        let t = Torus::new(8);
+        assert_eq!(t.distance(Coord::new(0, 0), Coord::new(7, 0)), 1);
+        assert_eq!(t.distance(Coord::new(0, 0), Coord::new(4, 4)), 8);
+        assert_eq!(t.distance(Coord::new(1, 1), Coord::new(1, 1)), 0);
+    }
+
+    #[test]
+    fn torus_tie_gives_two_profitable_dirs() {
+        let t = Torus::new(8);
+        // Destination exactly n/2 away horizontally: both E and W profitable.
+        let p = t.profitable(Coord::new(0, 0), Coord::new(4, 0));
+        assert!(p.contains(Dir::East) && p.contains(Dir::West));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn mesh_profitable_empty_iff_delivered() {
+        let m = Mesh::new(9);
+        for a in m.coords() {
+            assert!(m.profitable(a, a).is_empty());
+        }
+        assert!(!m.profitable(Coord::new(0, 0), Coord::new(0, 1)).is_empty());
+    }
+
+    #[test]
+    fn distance_triangle_inequality_spot() {
+        let t = Torus::new(9);
+        let a = Coord::new(0, 0);
+        let b = Coord::new(5, 7);
+        let c = Coord::new(8, 3);
+        assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+    }
+
+    #[test]
+    fn coords_iterates_all_nodes() {
+        let m = Mesh::new(5);
+        assert_eq!(m.coords().count(), 25);
+        let t = Torus::new(3);
+        assert_eq!(t.coords().count(), 9);
+    }
+}

@@ -1,0 +1,134 @@
+//! The four movement classes of the §6 algorithm.
+//!
+//! §6.1: "we assume that we are routing just packets that need to move either
+//! northeast or directly north … The entire algorithm consists of sequential
+//! applications of this algorithm, corresponding to the four kinds of packets
+//! (NE, NW, SE, SW)."
+//!
+//! Packets whose remaining displacement is axis-aligned must belong to exactly
+//! one class; we fix the convention: due north → NE, due east → SE,
+//! due south → SW, due west → NW (each pure direction joins the class that
+//! lists it first in the paper's "northeast or directly north" phrasing,
+//! rotated consistently).
+
+use mesh_topo::Coord;
+use serde::{Deserialize, Serialize};
+
+/// A diagonal movement class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Quadrant {
+    /// Needs to move north, and possibly east (`dx >= 0, dy > 0`).
+    NE,
+    /// Needs to move east, and possibly south (`dx > 0, dy <= 0`).
+    SE,
+    /// Needs to move south, and possibly west (`dx <= 0, dy < 0`).
+    SW,
+    /// Needs to move west, and possibly north (`dx < 0, dy >= 0`).
+    NW,
+}
+
+/// All four quadrants in the order the §6 algorithm processes them.
+pub const ALL_QUADRANTS: [Quadrant; 4] = [Quadrant::NE, Quadrant::NW, Quadrant::SE, Quadrant::SW];
+
+impl Quadrant {
+    /// The class of a packet currently at `from` destined for `to`, or `None`
+    /// if it is already delivered (`from == to`).
+    ///
+    /// Every undelivered packet belongs to exactly one class.
+    pub fn of(from: Coord, to: Coord) -> Option<Quadrant> {
+        let dx = to.x as i64 - from.x as i64;
+        let dy = to.y as i64 - from.y as i64;
+        match (dx, dy) {
+            (0, 0) => None,
+            (dx, dy) if dx >= 0 && dy > 0 => Some(Quadrant::NE),
+            (dx, dy) if dx > 0 && dy <= 0 => Some(Quadrant::SE),
+            (dx, dy) if dx <= 0 && dy < 0 => Some(Quadrant::SW),
+            _ => Some(Quadrant::NW),
+        }
+    }
+
+    /// Signs `(sx, sy)` of this quadrant's movement: multiplying coordinates
+    /// by these signs maps the quadrant onto NE, letting the §6 engine be
+    /// written once for NE and reused by reflection.
+    pub fn signs(self) -> (i64, i64) {
+        match self {
+            Quadrant::NE => (1, 1),
+            Quadrant::NW => (-1, 1),
+            Quadrant::SE => (1, -1),
+            Quadrant::SW => (-1, -1),
+        }
+    }
+}
+
+impl core::fmt::Display for Quadrant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Quadrant::NE => "NE",
+            Quadrant::NW => "NW",
+            Quadrant::SE => "SE",
+            Quadrant::SW => "SW",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivered_packet_has_no_quadrant() {
+        assert_eq!(Quadrant::of(Coord::new(3, 3), Coord::new(3, 3)), None);
+    }
+
+    #[test]
+    fn strict_diagonals() {
+        let o = Coord::new(5, 5);
+        assert_eq!(Quadrant::of(o, Coord::new(7, 8)), Some(Quadrant::NE));
+        assert_eq!(Quadrant::of(o, Coord::new(2, 9)), Some(Quadrant::NW));
+        assert_eq!(Quadrant::of(o, Coord::new(8, 1)), Some(Quadrant::SE));
+        assert_eq!(Quadrant::of(o, Coord::new(0, 0)), Some(Quadrant::SW));
+    }
+
+    #[test]
+    fn pure_directions_follow_convention() {
+        let o = Coord::new(5, 5);
+        assert_eq!(Quadrant::of(o, Coord::new(5, 9)), Some(Quadrant::NE)); // due north
+        assert_eq!(Quadrant::of(o, Coord::new(9, 5)), Some(Quadrant::SE)); // due east
+        assert_eq!(Quadrant::of(o, Coord::new(5, 1)), Some(Quadrant::SW)); // due south
+        assert_eq!(Quadrant::of(o, Coord::new(1, 5)), Some(Quadrant::NW)); // due west
+    }
+
+    #[test]
+    fn every_pair_has_exactly_one_class() {
+        for fy in 0..6u32 {
+            for fx in 0..6u32 {
+                for ty in 0..6u32 {
+                    for tx in 0..6u32 {
+                        let from = Coord::new(fx, fy);
+                        let to = Coord::new(tx, ty);
+                        let q = Quadrant::of(from, to);
+                        assert_eq!(q.is_none(), from == to);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signs_map_to_ne() {
+        for q in ALL_QUADRANTS {
+            let (sx, sy) = q.signs();
+            assert_eq!(sx.abs(), 1);
+            assert_eq!(sy.abs(), 1);
+        }
+        // A SW packet reflected by its signs moves NE.
+        let from = Coord::new(5, 5);
+        let to = Coord::new(2, 1);
+        assert_eq!(Quadrant::of(from, to), Some(Quadrant::SW));
+        let (sx, sy) = Quadrant::SW.signs();
+        let rdx = (to.x as i64 - from.x as i64) * sx;
+        let rdy = (to.y as i64 - from.y as i64) * sy;
+        assert!(rdx >= 0 && rdy >= 0);
+    }
+}

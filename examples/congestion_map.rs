@@ -1,0 +1,54 @@
+//! Congestion heat maps: where queues build up under different routers.
+//!
+//! Routes the same hotspot workload with the oblivious dimension-order
+//! router and the §2 adaptive router, then prints per-node peak-occupancy
+//! heat maps (darker = more queueing). The adaptive router spreads the
+//! hotspot's inbound pressure over a wider region.
+//!
+//! ```sh
+//! cargo run --release --example congestion_map [n]
+//! ```
+
+use mesh_routing::prelude::*;
+
+fn run_and_map<R: mesh_routing::engine::Router>(
+    topo: &Mesh,
+    router: R,
+    pb: &RoutingProblem,
+) -> (String, mesh_routing::engine::NodeField, SimReport) {
+    let mut sim = Sim::new(topo, router, pb);
+    let _ = sim.run(200_000);
+    (sim.report().algorithm.clone(), sim.congestion_map(), sim.report())
+}
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32);
+    let topo = Mesh::new(n);
+    let pb = workloads::hotspot(n, (n / 6).max(2), 3);
+    println!("workload: {}\n", pb.label);
+
+    for (name, map, rep) in [
+        run_and_map(&topo, Dx::new(DimOrder::new(4)), &pb),
+        run_and_map(&topo, Dx::new(AltAdaptive::new(4)), &pb),
+        run_and_map(&topo, Dx::new(mesh_routing::routers::HotPotato::new(n)), &pb),
+    ] {
+        println!(
+            "--- {name}: steps={}{} max queue={} ---",
+            rep.steps,
+            if rep.completed { "" } else { " (stalled)" },
+            rep.max_queue
+        );
+        println!("{}", map.ascii());
+        let hot = map.hottest(3);
+        println!(
+            "hottest nodes: {}\n",
+            hot.iter()
+                .map(|(x, y, v)| format!("({x},{y})={v}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+    }
+}

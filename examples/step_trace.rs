@@ -1,0 +1,82 @@
+//! Step-by-step trace of a tiny routing run: prints the grid after every
+//! step with per-node packet counts, plus the schedule of the step — a
+//! debugging/teaching view of the §2 model in motion.
+//!
+//! ```sh
+//! cargo run --release --example step_trace [algorithm] [n]
+//! ```
+//!
+//! Algorithms: dim-order | alt-adaptive | theorem15 | hot-potato (default
+//! dim-order, n = 8).
+
+use mesh_routing::prelude::*;
+
+fn render(topo: &Mesh, get: impl Fn(Coord) -> usize) -> String {
+    let n = topo.side();
+    let mut out = String::new();
+    for y in (0..n).rev() {
+        for x in 0..n {
+            let c = get(Coord::new(x, y));
+            out.push(match c {
+                0 => '.',
+                1..=9 => char::from_digit(c as u32, 10).unwrap(),
+                _ => '#',
+            });
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn trace<R: mesh_routing::engine::Router>(topo: &Mesh, router: R, pb: &RoutingProblem) {
+    let mut sim = Sim::new(topo, router, pb);
+    println!("algorithm: {}   workload: {}", sim.report().algorithm, pb.label);
+    println!("initial:\n{}", render(topo, |c| sim.packets_at(c).len()));
+    let mut step = 0u64;
+    loop {
+        let mut scheduled = 0usize;
+        let mut hook = |ctx: &mut mesh_routing::engine::HookCtx<'_>| {
+            scheduled = ctx.moves.len();
+        };
+        let done = sim.step_with_hook(&mut hook);
+        step += 1;
+        println!(
+            "after step {step}: {} scheduled, {}/{} delivered",
+            scheduled,
+            sim.delivered(),
+            sim.num_packets()
+        );
+        println!("{}", render(topo, |c| sim.packets_at(c).len()));
+        if done || step > 200 {
+            break;
+        }
+    }
+    let r = sim.report();
+    println!(
+        "finished: steps={} moves={} max queue={}",
+        r.steps, r.total_moves, r.max_queue
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let algo = args.next().unwrap_or_else(|| "dim-order".into());
+    let n: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let topo = Mesh::new(n);
+    let pb = workloads::random_partial_permutation(n, 0.3, 4);
+    match algo.as_str() {
+        "dim-order" => trace(&topo, Dx::new(DimOrder::new(4)), &pb),
+        "alt-adaptive" => trace(&topo, Dx::new(AltAdaptive::new(4)), &pb),
+        "theorem15" => trace(&topo, Dx::new(Theorem15::new(2)), &pb),
+        "hot-potato" => trace(
+            &topo,
+            Dx::new(mesh_routing::routers::HotPotato::new(n)),
+            &pb,
+        ),
+        other => {
+            eprintln!("unknown algorithm '{other}'");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests (proptest) on the core invariants:
+//! delivery + minimality on arbitrary problems, exchange-invariance of
+//! destination-exchangeable routers (Lemma 10), tiling coverage (Lemma 19),
+//! and quadrant/geometry algebra.
+
+use mesh_routing::prelude::*;
+use mesh_routing::Section6Router;
+use mesh_topo::TilingSet;
+use proptest::prelude::*;
+
+/// An arbitrary partial permutation on a side-`n` grid: a random subset of
+/// sources matched to a random subset of destinations.
+fn partial_permutation(n: u32) -> impl Strategy<Value = RoutingProblem> {
+    let cells = (n * n) as usize;
+    (
+        proptest::collection::vec(0..cells as u32, 1..cells.min(64)),
+        proptest::collection::vec(0..cells as u32, 1..cells.min(64)),
+    )
+        .prop_map(move |(mut srcs, mut dsts)| {
+            srcs.sort_unstable();
+            srcs.dedup();
+            dsts.sort_unstable();
+            dsts.dedup();
+            let m = srcs.len().min(dsts.len());
+            let pairs = srcs[..m].iter().zip(&dsts[..m]).map(|(&s, &d)| {
+                (
+                    Coord::new(s % n, s / n),
+                    Coord::new(d % n, d / n),
+                )
+            });
+            RoutingProblem::from_pairs(n, "prop", pairs)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem15_delivers_and_stays_minimal(pb in partial_permutation(16), k in 1u32..4) {
+        let topo = Mesh::new(16);
+        let mut sim = Sim::new(&topo, Dx::new(Theorem15::new(k)), &pb);
+        let steps = sim.run(500_000).expect("theorem15 always delivers");
+        let r = sim.report();
+        prop_assert!(r.completed);
+        prop_assert_eq!(r.total_moves, pb.total_work());
+        prop_assert!(r.max_queue <= k);
+        prop_assert!(steps >= pb.diameter_bound() as u64);
+    }
+
+    #[test]
+    fn greedy_unbounded_meets_2n_minus_2_on_permutations(seed in 0u64..1000) {
+        let n = 12;
+        let pb = workloads::random_permutation(n, seed);
+        let topo = Mesh::new(n);
+        let mut sim = Sim::new(&topo, FarthestFirst::unbounded(n), &pb);
+        let steps = sim.run(10_000).unwrap();
+        prop_assert!(steps <= (2 * n - 2) as u64, "greedy took {} steps", steps);
+    }
+
+    #[test]
+    fn section6_delivers_arbitrary_partial_permutations(pb in partial_permutation(27)) {
+        let r = Section6Router::new().route(&pb);
+        prop_assert_eq!(r.delivered, pb.len());
+        prop_assert!(r.max_node_load <= 834);
+        prop_assert!(r.scheduled_steps <= 972 * 27);
+    }
+
+    #[test]
+    fn section6_and_theorem15_do_identical_minimal_work(pb in partial_permutation(27)) {
+        // Both are minimal routers: on any problem they must perform exactly
+        // the same number of link traversals (the total work), despite
+        // completely different strategies.
+        let s6 = Section6Router::new().route(&pb);
+        let topo = Mesh::new(27);
+        let mut sim = Sim::new(&topo, Dx::new(Theorem15::new(2)), &pb);
+        sim.run(1_000_000).unwrap();
+        prop_assert_eq!(s6.total_moves, sim.report().total_moves);
+        prop_assert_eq!(s6.total_moves, pb.total_work());
+    }
+
+    #[test]
+    fn lemma_10_one_step_exchange_equivalence(seed in 0u64..500, k in 2u32..5, steps in 1u64..4) {
+        // Lemma 10 (literally): if x and x' both have destinations strictly
+        // northeast of both packets' positions — so the exchange does not
+        // change any profitable set — then δ(S_{x,x'}, 1) equals δ(S, 1)
+        // with x and x' exchanged. We iterate it for a few steps while the
+        // precondition provably still holds (margin ≥ steps in every
+        // coordinate gap).
+        let n = 12;
+        let pb = workloads::random_permutation(n, seed);
+        let topo = Mesh::new(n);
+
+        let margin = steps as u32 + 1;
+        let mut pair = None;
+        'outer: for (i, a) in pb.packets.iter().enumerate() {
+            if !(a.dst.x > a.src.x + margin && a.dst.y > a.src.y + margin) { continue; }
+            for b in pb.packets.iter().skip(i + 1) {
+                if b.dst.x > b.src.x + margin && b.dst.y > b.src.y + margin
+                    && b.dst.x > a.src.x + margin && b.dst.y > a.src.y + margin
+                    && a.dst.x > b.src.x + margin && a.dst.y > b.src.y + margin {
+                    pair = Some((a.id, b.id));
+                    break 'outer;
+                }
+            }
+        }
+        prop_assume!(pair.is_some());
+        let (pa, pb_id) = pair.unwrap();
+
+        let mut plain = Sim::new(&topo, Dx::new(DimOrder::new(k)), &pb);
+        let mut adv = Sim::new(&topo, Dx::new(DimOrder::new(k)), &pb);
+        let mut fired = false;
+        let mut hook = |ctx: &mut mesh_routing::engine::HookCtx<'_>| {
+            if !fired {
+                ctx.exchange(pa, pb_id);
+                fired = true;
+            }
+        };
+        for s in 0..steps {
+            plain.step();
+            if s == 0 {
+                adv.step_with_hook(&mut hook);
+            } else {
+                adv.step();
+            }
+        }
+
+        // δ(S_{x,x'}, t) must be δ(S, t) with the destinations swapped back.
+        let sa = plain.packet_snapshot();
+        let mut sb = adv.packet_snapshot();
+        let da = sb[pa.index()].1;
+        sb[pa.index()].1 = sb[pb_id.index()].1;
+        sb[pb_id.index()].1 = da;
+        prop_assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn lemma_19_tiling_coverage(x in 0u32..60, y in 0u32..60, dx in -9i64..=9, dy in -9i64..=9) {
+        // Tile side 27, third = 9: any pair within 9 in both dims shares a
+        // tile of one of the three tilings.
+        let set = TilingSet::new(27);
+        let bx = x as i64 + dx;
+        let by = y as i64 + dy;
+        prop_assume!(bx >= 0 && by >= 0);
+        let a = Coord::new(x, y);
+        let b = Coord::new(bx as u32, by as u32);
+        prop_assert!(set.common_tile(a, b).is_some());
+    }
+
+    #[test]
+    fn quadrant_partition_is_total(fx in 0u32..30, fy in 0u32..30, tx in 0u32..30, ty in 0u32..30) {
+        let from = Coord::new(fx, fy);
+        let to = Coord::new(tx, ty);
+        match Quadrant::of(from, to) {
+            None => prop_assert_eq!(from, to),
+            Some(q) => {
+                let (sx, sy) = q.signs();
+                let dx = to.x as i64 - from.x as i64;
+                let dy = to.y as i64 - from.y as i64;
+                prop_assert!(dx * sx >= 0 && dy * sy >= 0, "{:?} mismatch", q);
+            }
+        }
+    }
+
+    #[test]
+    fn profitable_outlinks_always_decrease_distance(
+        n in 2u32..20, fx in 0u32..19, fy in 0u32..19, tx in 0u32..19, ty in 0u32..19
+    ) {
+        prop_assume!(fx < n && fy < n && tx < n && ty < n);
+        let from = Coord::new(fx, fy);
+        let to = Coord::new(tx, ty);
+        for topo_kind in 0..2 {
+            let (profitable, dist, check): (DirSet, u32, Box<dyn Fn(Coord) -> u32>) = if topo_kind == 0 {
+                let m = Mesh::new(n);
+                (m.profitable(from, to), m.distance(from, to), Box::new(move |c| Mesh::new(n).distance(c, to)))
+            } else {
+                let t = Torus::new(n);
+                (t.profitable(from, to), t.distance(from, to), Box::new(move |c| Torus::new(n).distance(c, to)))
+            };
+            prop_assert_eq!(profitable.is_empty(), from == to);
+            for d in profitable.iter() {
+                let nb = if topo_kind == 0 {
+                    Mesh::new(n).neighbor(from, d)
+                } else {
+                    Torus::new(n).neighbor(from, d)
+                };
+                let nb = nb.expect("profitable dir must have a neighbor");
+                prop_assert_eq!(check(nb) + 1, dist);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_generators_produce_valid_problems(n in 4u32..24, seed in 0u64..100) {
+        prop_assert!(workloads::random_permutation(n, seed).is_permutation());
+        prop_assert!(workloads::transpose(n).is_permutation());
+        prop_assert!(workloads::rotation(n, seed as u32 % n, (seed / 7) as u32 % n).is_permutation());
+        prop_assert!(workloads::column_funnel(n).is_partial_permutation());
+        prop_assert!(workloads::hh_random(n, 2, seed).is_hh(2));
+    }
+}
