@@ -1,9 +1,18 @@
 //! The experiments: one per theorem/claim of the paper (DESIGN.md §3).
 //!
-//! Every function returns a [`Table`]; `full = true` extends the parameter
-//! grids (longer runs for the record, used when regenerating EXPERIMENTS.md).
+//! Every function builds an [`Experiment`]: table metadata plus a flat list
+//! of independent trial cells that the [`crate::runner`] executes across a
+//! thread pool. `full = true` extends the parameter grids (longer runs for
+//! the record, used when regenerating EXPERIMENTS.md).
+//!
+//! Cells that draw a seeded workload are registered with
+//! [`Experiment::seeded`] and re-run once per requested `--trials`, deriving
+//! the trial seed with [`derive_seed`] (trial 0 keeps the historical seed,
+//! so the recorded tables stay byte-for-byte reproducible). Deterministic
+//! cells (the adversary constructions, fixed workloads) run exactly once.
 
 use crate::cells;
+use crate::runner::{derive_seed, Experiment, TrialOutput};
 use crate::table::Table;
 use mesh_routing::adversary::dimorder::DimOrderConstruction;
 use mesh_routing::adversary::farthest::FarthestFirstConstruction;
@@ -15,13 +24,17 @@ fn ratio(a: u64, b: f64) -> String {
     format!("{:.3}", a as f64 / b)
 }
 
+fn short_label(pb: &RoutingProblem) -> String {
+    pb.label.split('(').next().unwrap_or("?").to_string()
+}
+
 /// E1 — Theorem 14: `Ω(n²/k²)` for destination-exchangeable minimal
 /// adaptive algorithms, via the §3 construction. For each `(n, k)` the
 /// adversary attacks the dimension-order and alternating-adaptive routers;
 /// we report the forced bound, its ratio to `n²/k²`, and how many packets
 /// remain undelivered at the bound during the replay.
-pub fn e1(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e1(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e1",
         "Theorem 14 lower bound: constructed permutations vs destination-exchangeable routers",
         "bound/(n²/k²) stays ≈ constant as n grows at fixed k, and does not collapse as k grows: time = Ω(n²/k²); undelivered > 0 certifies Theorem 13 on every row",
@@ -35,60 +48,61 @@ pub fn e1(full: bool) -> Table {
         grid.extend([(864, 1), (1080, 1), (768, 2), (864, 4)]);
     }
     for (n, k) in grid {
-        let params = match GeneralParams::new(n, k) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("e1: skipping n={n} k={k}: {e}");
-                continue;
-            }
-        };
-        let cons = GeneralConstruction::new(params);
-        let topo = Mesh::new(n);
+        if let Err(err) = GeneralParams::new(n, k) {
+            eprintln!("e1: skipping n={n} k={k}: {err}");
+            continue;
+        }
         for victim in ["dim-order", "alt-adaptive"] {
-            let outcome = match victim {
-                "dim-order" => cons.run(&topo, mesh_routing::routers::dim_order(k), false),
-                _ => cons.run(&topo, mesh_routing::routers::alt_adaptive(k), false),
-            };
-            let rep = match victim {
-                "dim-order" => verify_lower_bound(
-                    &topo,
-                    mesh_routing::routers::dim_order(k),
-                    &outcome,
-                    None,
-                ),
-                _ => verify_lower_bound(
-                    &topo,
-                    mesh_routing::routers::alt_adaptive(k),
-                    &outcome,
-                    None,
-                ),
-            };
-            let nf = n as f64;
-            let kf = k as f64;
-            t.row(cells!(
-                n,
-                k,
-                params.cn,
-                params.dn,
-                params.p,
-                params.l,
-                params.bound_steps(),
-                ratio(params.bound_steps(), nf * nf / (kf * kf)),
-                victim,
-                rep.undelivered_at_bound,
-                outcome.exchanges,
-                rep.replay_matches_construction
-            ));
+            e.fixed(format!("n={n} k={k} {victim}"), move |_trial| {
+                let params = GeneralParams::new(n, k).unwrap();
+                let cons = GeneralConstruction::new(params);
+                let topo = Mesh::new(n);
+                let outcome = match victim {
+                    "dim-order" => cons.run(&topo, mesh_routing::routers::dim_order(k), false),
+                    _ => cons.run(&topo, mesh_routing::routers::alt_adaptive(k), false),
+                };
+                let rep = match victim {
+                    "dim-order" => verify_lower_bound(
+                        &topo,
+                        mesh_routing::routers::dim_order(k),
+                        &outcome,
+                        None,
+                    ),
+                    _ => verify_lower_bound(
+                        &topo,
+                        mesh_routing::routers::alt_adaptive(k),
+                        &outcome,
+                        None,
+                    ),
+                };
+                let nf = n as f64;
+                let kf = k as f64;
+                let row = cells!(
+                    n,
+                    k,
+                    params.cn,
+                    params.dn,
+                    params.p,
+                    params.l,
+                    params.bound_steps(),
+                    ratio(params.bound_steps(), nf * nf / (kf * kf)),
+                    victim,
+                    rep.undelivered_at_bound,
+                    outcome.exchanges,
+                    rep.replay_matches_construction
+                );
+                TrialOutput::with_report(row, rep.replay)
+            });
         }
     }
-    t
+    e
 }
 
 /// E2 — Lemmas 1–8 and Lemma 12: run the construction with the invariant
 /// checker enabled (every lemma verified after every step) and check the
 /// exact replay equivalence.
-pub fn e2(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e2(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e2",
         "Construction validity: Lemmas 1-8 checked per step; Lemma 12 replay equivalence",
         "all rows PASS: the invariants of §4.1 hold throughout, and replaying the constructed permutation reproduces the construction's exact final configuration",
@@ -100,9 +114,6 @@ pub fn e2(full: bool) -> Table {
         grid.push((432, 1));
     }
     for (n, k) in grid {
-        let params = GeneralParams::new(n, k).unwrap();
-        let cons = GeneralConstruction::new(params);
-        let topo = Mesh::new(n);
         // The theorem15 victim's four inlink queues hold up to 4k+1 packets
         // per node, which exceeds §4.3's partner-counting budget (the §5
         // "Other Queue Types" remark: recompute constants for a 4k central
@@ -115,44 +126,58 @@ pub fn e2(full: bool) -> Table {
             &["dim-order", "alt-adaptive"]
         };
         for &victim in victims {
-            // `run(.., true)` panics if any lemma fails; reaching the end is
-            // the PASS certificate.
-            let outcome = match victim {
-                "dim-order" => cons.run(&topo, mesh_routing::routers::dim_order(k), true),
-                "alt-adaptive" => cons.run(&topo, mesh_routing::routers::alt_adaptive(k), true),
-                _ => cons.run(&topo, mesh_routing::routers::theorem15(k), true),
-            };
-            let rep = match victim {
-                "dim-order" => {
-                    verify_lower_bound(&topo, mesh_routing::routers::dim_order(k), &outcome, None)
-                }
-                "alt-adaptive" => verify_lower_bound(
-                    &topo,
-                    mesh_routing::routers::alt_adaptive(k),
-                    &outcome,
-                    None,
-                ),
-                _ => {
-                    verify_lower_bound(&topo, mesh_routing::routers::theorem15(k), &outcome, None)
-                }
-            };
-            t.row(cells!(
-                n,
-                k,
-                victim,
-                outcome.bound_steps,
-                "PASS",
-                if rep.replay_matches_construction { "PASS" } else { "FAIL" },
-                if rep.undelivered_at_bound > 0 { "PASS" } else { "FAIL" }
-            ));
+            e.fixed(format!("n={n} k={k} {victim}"), move |_trial| {
+                let params = GeneralParams::new(n, k).unwrap();
+                let cons = GeneralConstruction::new(params);
+                let topo = Mesh::new(n);
+                // `run(.., true)` panics if any lemma fails; reaching the
+                // end is the PASS certificate.
+                let outcome = match victim {
+                    "dim-order" => cons.run(&topo, mesh_routing::routers::dim_order(k), true),
+                    "alt-adaptive" => {
+                        cons.run(&topo, mesh_routing::routers::alt_adaptive(k), true)
+                    }
+                    _ => cons.run(&topo, mesh_routing::routers::theorem15(k), true),
+                };
+                let rep = match victim {
+                    "dim-order" => verify_lower_bound(
+                        &topo,
+                        mesh_routing::routers::dim_order(k),
+                        &outcome,
+                        None,
+                    ),
+                    "alt-adaptive" => verify_lower_bound(
+                        &topo,
+                        mesh_routing::routers::alt_adaptive(k),
+                        &outcome,
+                        None,
+                    ),
+                    _ => verify_lower_bound(
+                        &topo,
+                        mesh_routing::routers::theorem15(k),
+                        &outcome,
+                        None,
+                    ),
+                };
+                let row = cells!(
+                    n,
+                    k,
+                    victim,
+                    outcome.bound_steps,
+                    "PASS",
+                    if rep.replay_matches_construction { "PASS" } else { "FAIL" },
+                    if rep.undelivered_at_bound > 0 { "PASS" } else { "FAIL" }
+                );
+                TrialOutput::with_report(row, rep.replay)
+            });
         }
     }
-    t
+    e
 }
 
 /// E3 — §5 dimension-order bound `Ω(n²/k)`.
-pub fn e3(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e3(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e3",
         "§5 lower bound for destination-exchangeable dimension-order routers",
         "bound·k/n² = k/(4(k+2)) — between 1/12 (k=1) and 1/4 (k→∞), constant in n: time = Ω(n²/k); every replay leaves packets undelivered and matches the construction exactly",
@@ -163,32 +188,36 @@ pub fn e3(full: bool) -> Table {
         grid.extend([(648, 1), (432, 2), (432, 4), (432, 8)]);
     }
     for (n, k) in grid {
-        let params = DimOrderParams::new(n, k).unwrap();
-        let cons = DimOrderConstruction::new(params);
-        let topo = Mesh::new(n);
-        let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k));
-        let rep = verify_lower_bound(&topo, mesh_routing::routers::dim_order(k), &outcome, None);
-        let nf = n as f64;
-        t.row(cells!(
-            n,
-            k,
-            params.cn,
-            params.dn,
-            params.p,
-            params.l,
-            params.bound_steps(),
-            ratio(params.bound_steps(), nf * nf / k as f64),
-            rep.undelivered_at_bound,
-            rep.replay_matches_construction
-        ));
+        e.fixed(format!("n={n} k={k}"), move |_trial| {
+            let params = DimOrderParams::new(n, k).unwrap();
+            let cons = DimOrderConstruction::new(params);
+            let topo = Mesh::new(n);
+            let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k));
+            let rep =
+                verify_lower_bound(&topo, mesh_routing::routers::dim_order(k), &outcome, None);
+            let nf = n as f64;
+            let row = cells!(
+                n,
+                k,
+                params.cn,
+                params.dn,
+                params.p,
+                params.l,
+                params.bound_steps(),
+                ratio(params.bound_steps(), nf * nf / k as f64),
+                rep.undelivered_at_bound,
+                rep.replay_matches_construction
+            );
+            TrialOutput::with_report(row, rep.replay)
+        });
     }
-    t
+    e
 }
 
 /// E4 — §5 farthest-first bound `Ω(n²/k)` (an algorithm *outside* the
 /// destination-exchangeable class).
-pub fn e4(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e4(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e4",
         "§5 lower bound for farthest-first dimension order (full-destination algorithm)",
         "bound/(n²/k) ≈ constant and undelivered > 0 on every row: the bound certifies empirically for all k. Replay equality (the §5 commutation sketch) holds exactly at k = 1; at k ≥ 2 it depends on tie-breaking details the paper leaves open (see DESIGN.md) — the certified bound is unaffected",
@@ -199,33 +228,36 @@ pub fn e4(full: bool) -> Table {
         grid.extend([(648, 1), (432, 2), (432, 4)]);
     }
     for (n, k) in grid {
-        let params = DimOrderParams::farthest_first(n, k).unwrap();
-        let cons = FarthestFirstConstruction::new(params);
-        let topo = Mesh::new(n);
-        let outcome = cons.run(&topo, FarthestFirst::new(k));
-        let rep = verify_lower_bound(&topo, FarthestFirst::new(k), &outcome, None);
-        let nf = n as f64;
-        t.row(cells!(
-            n,
-            k,
-            params.cn,
-            params.dn,
-            params.p,
-            params.l,
-            params.bound_steps(),
-            ratio(params.bound_steps(), nf * nf / k as f64),
-            rep.undelivered_at_bound,
-            rep.replay_matches_construction
-        ));
+        e.fixed(format!("n={n} k={k}"), move |_trial| {
+            let params = DimOrderParams::farthest_first(n, k).unwrap();
+            let cons = FarthestFirstConstruction::new(params);
+            let topo = Mesh::new(n);
+            let outcome = cons.run(&topo, FarthestFirst::new(k));
+            let rep = verify_lower_bound(&topo, FarthestFirst::new(k), &outcome, None);
+            let nf = n as f64;
+            let row = cells!(
+                n,
+                k,
+                params.cn,
+                params.dn,
+                params.p,
+                params.l,
+                params.bound_steps(),
+                ratio(params.bound_steps(), nf * nf / k as f64),
+                rep.undelivered_at_bound,
+                rep.replay_matches_construction
+            );
+            TrialOutput::with_report(row, rep.replay)
+        });
     }
-    t
+    e
 }
 
 /// E5 — Theorem 15: the bounded-queue dimension-order router routes *every*
 /// tested instance in `O(n²/k + n)` steps — including its own hard instance
 /// from E3 — and the measured times actually track `n²/k`.
-pub fn e5(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e5(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e5",
         "Theorem 15 upper bound: O(n²/k + n) with four inlink queues of size k",
         "steps/(n²/k + n) bounded by a small constant on every workload; time falls ≈ linearly as k grows (matching the §5 lower bound's k-dependence); max queue ≤ k always",
@@ -235,51 +267,56 @@ pub fn e5(full: bool) -> Table {
     if full {
         grid.extend([(432, 1), (432, 2), (432, 4), (432, 8), (432, 16)]);
     }
-    for (n, k) in grid {
+    let route_cell = |n: u32, k: u32, pb: RoutingProblem| -> TrialOutput {
         let denom = (n as u64 * n as u64) / k as u64 + n as u64;
+        let out = mesh_routing::route_with_cap(Algorithm::Theorem15 { k }, &pb, 32 * denom);
+        let label = short_label(&pb);
+        assert!(out.completed, "theorem15 must complete on {label}");
+        let row = cells!(
+            n,
+            k,
+            label,
+            out.steps,
+            ratio(out.steps, denom as f64),
+            out.max_queue
+        );
+        TrialOutput {
+            row,
+            report: out.report,
+        }
+    };
+    for (n, k) in grid {
+        e.fixed(format!("n={n} k={k} transpose"), move |_| {
+            route_cell(n, k, workloads::transpose(n))
+        });
+        e.seeded(format!("n={n} k={k} random-permutation"), move |trial| {
+            route_cell(n, k, workloads::random_permutation(n, derive_seed(1, trial)))
+        });
+        e.fixed(format!("n={n} k={k} column-funnel"), move |_| {
+            route_cell(n, k, workloads::column_funnel(n))
+        });
         // Hard instance built against this very router (with the §5 "Other
         // Queue Types" adjustment: four inlink queues of k behave like a
         // central queue of 4k+1 for the adversary's counting).
-        let hard = DimOrderParams::new(n, 4 * k + 1)
-            .ok()
-            .map(DimOrderConstruction::new)
-            .map(|c| {
+        if DimOrderParams::new(n, 4 * k + 1).is_ok() {
+            e.fixed(format!("n={n} k={k} hard-instance"), move |_| {
+                let params = DimOrderParams::new(n, 4 * k + 1).unwrap();
+                let cons = DimOrderConstruction::new(params);
                 let topo = Mesh::new(n);
-                c.run(&topo, mesh_routing::routers::theorem15(k)).constructed
+                let hard = cons
+                    .run(&topo, mesh_routing::routers::theorem15(k))
+                    .constructed;
+                route_cell(n, k, hard)
             });
-        let mut entries: Vec<RoutingProblem> = vec![
-            workloads::transpose(n),
-            workloads::random_permutation(n, 1),
-            workloads::column_funnel(n),
-        ];
-        if let Some(h) = hard {
-            entries.push(h);
-        }
-        for pb in entries {
-            let out = mesh_routing::route_with_cap(
-                Algorithm::Theorem15 { k },
-                &pb,
-                32 * denom,
-            );
-            let label = pb.label.split('(').next().unwrap_or("?").to_string();
-            assert!(out.completed, "theorem15 must complete on {label}");
-            t.row(cells!(
-                n,
-                k,
-                label,
-                out.steps,
-                ratio(out.steps, denom as f64),
-                out.max_queue
-            ));
         }
     }
-    t
+    e
 }
 
 /// E6 — Theorem 34: the §6 algorithm routes any permutation in `O(n)` time
 /// with `O(1)` queues.
-pub fn e6(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e6(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e6",
         "Theorem 34: the §6 minimal adaptive algorithm — O(n) time, O(1) queues",
         "scheduled/n ≤ 972 (564 improved) for every n and workload — constant, not growing: time = O(n); max node load ≤ 834 always; moves = total work (minimal paths)",
@@ -292,39 +329,45 @@ pub fn e6(full: bool) -> Table {
     if full {
         sizes.push(729);
     }
+    let s6_cell = |n: u32, pb: RoutingProblem, variant: &'static str| -> TrialOutput {
+        let router = if variant == "q=408" {
+            Section6Router::new()
+        } else {
+            Section6Router::improved()
+        };
+        let r = router.route(&pb);
+        TrialOutput::new(cells!(
+            n,
+            short_label(&pb),
+            variant,
+            r.scheduled_steps,
+            format!("{:.1}", r.steps_per_n()),
+            r.quiescent_steps,
+            format!("{:.1}", r.quiescent_steps as f64 / n as f64),
+            r.max_node_load,
+            r.total_moves == pb.total_work()
+        ))
+    };
     for n in sizes {
-        for pb in [
-            workloads::random_permutation(n, 11),
-            workloads::transpose(n),
-        ] {
-            let label = pb.label.split('(').next().unwrap_or("?").to_string();
-            for (variant, router) in [
-                ("q=408", Section6Router::new()),
-                ("q=102 (improved)", Section6Router::improved()),
-            ] {
-                let r = router.route(&pb);
-                t.row(cells!(
-                    n,
-                    label.clone(),
-                    variant,
-                    r.scheduled_steps,
-                    format!("{:.1}", r.steps_per_n()),
-                    r.quiescent_steps,
-                    format!("{:.1}", r.quiescent_steps as f64 / n as f64),
-                    r.max_node_load,
-                    r.total_moves == pb.total_work()
-                ));
-            }
+        for variant in ["q=408", "q=102 (improved)"] {
+            e.seeded(format!("n={n} random-permutation {variant}"), move |trial| {
+                s6_cell(n, workloads::random_permutation(n, derive_seed(11, trial)), variant)
+            });
+        }
+        for variant in ["q=408", "q=102 (improved)"] {
+            e.fixed(format!("n={n} transpose {variant}"), move |_| {
+                s6_cell(n, workloads::transpose(n), variant)
+            });
         }
     }
-    t
+    e
 }
 
 /// E7 — §1.1 context results for the classic greedy router: `2n − 2` steps
 /// with `Θ(n)` queues in the worst case, but `2n + O(log n)` steps with
 /// queues ≤ 4 on random destinations.
-pub fn e7(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e7(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e7",
         "§1.1 greedy dimension order (farthest-first, unbounded queues)",
         "steps ≤ 2n−2 on every permutation; max queue grows ≈ n/4 on the column funnel (the Θ(n) queue requirement) but stays ≤ ~4 on random destinations (Leighton's average case)",
@@ -334,34 +377,41 @@ pub fn e7(full: bool) -> Table {
     if full {
         sizes.extend([256, 512]);
     }
-    for n in sizes {
+    let greedy_cell = |n: u32, pb: RoutingProblem| -> TrialOutput {
         let topo = Mesh::new(n);
-        for pb in [
-            workloads::random_permutation(n, 5),
-            workloads::transpose(n),
-            workloads::column_funnel(n),
-            workloads::random_destinations(n, 5),
-        ] {
-            let mut sim = Sim::new(&topo, FarthestFirst::unbounded(n), &pb);
-            sim.run(100 * n as u64).expect("greedy completes");
-            let r = sim.report();
-            let label = pb.label.split('(').next().unwrap_or("?").to_string();
-            t.row(cells!(
-                n,
-                label,
-                r.steps,
-                2 * n - 2,
-                r.max_queue,
-                format!("{:.3}", r.max_queue as f64 / n as f64)
-            ));
-        }
+        let mut sim = Sim::new(&topo, FarthestFirst::unbounded(n), &pb);
+        sim.run(100 * n as u64).expect("greedy completes");
+        let r = sim.report();
+        let row = cells!(
+            n,
+            short_label(&pb),
+            r.steps,
+            2 * n - 2,
+            r.max_queue,
+            format!("{:.3}", r.max_queue as f64 / n as f64)
+        );
+        TrialOutput::with_report(row, r)
+    };
+    for n in sizes {
+        e.seeded(format!("n={n} random-permutation"), move |trial| {
+            greedy_cell(n, workloads::random_permutation(n, derive_seed(5, trial)))
+        });
+        e.fixed(format!("n={n} transpose"), move |_| {
+            greedy_cell(n, workloads::transpose(n))
+        });
+        e.fixed(format!("n={n} column-funnel"), move |_| {
+            greedy_cell(n, workloads::column_funnel(n))
+        });
+        e.seeded(format!("n={n} random-destinations"), move |trial| {
+            greedy_cell(n, workloads::random_destinations(n, derive_seed(5, trial)))
+        });
     }
-    t
+    e
 }
 
 /// E8 — §5 h-h extension: `Ω(h³n²/(k+h)²)`.
-pub fn e8(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e8(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e8",
         "§5 h-h lower bound (h packets per node; static placement needs h ≤ k)",
         "bound grows with h at fixed (n, k) — more traffic per node forces more time even relative to the added load; undelivered > 0 certifies each instance",
@@ -372,39 +422,40 @@ pub fn e8(full: bool) -> Table {
         grid.extend([(600, 4, 3), (600, 4, 4), (900, 6, 2)]);
     }
     for (n, k, h) in grid {
-        let params = match GeneralParams::hh(n, k, h) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("e8: skipping n={n} k={k} h={h}: {e}");
-                continue;
-            }
-        };
-        let cons = GeneralConstruction::new(params);
-        let topo = Mesh::new(n);
-        let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k), false);
-        let rep =
-            verify_lower_bound(&topo, mesh_routing::routers::dim_order(k), &outcome, None);
-        let nf = n as f64;
-        let denom = (h as f64).powi(3) * nf * nf / ((k + h) as f64).powi(2);
-        t.row(cells!(
-            n,
-            k,
-            h,
-            params.p,
-            params.l,
-            params.bound_steps(),
-            ratio(params.bound_steps(), denom),
-            rep.undelivered_at_bound,
-            rep.replay_matches_construction
-        ));
+        if let Err(err) = GeneralParams::hh(n, k, h) {
+            eprintln!("e8: skipping n={n} k={k} h={h}: {err}");
+            continue;
+        }
+        e.fixed(format!("n={n} k={k} h={h}"), move |_trial| {
+            let params = GeneralParams::hh(n, k, h).unwrap();
+            let cons = GeneralConstruction::new(params);
+            let topo = Mesh::new(n);
+            let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k), false);
+            let rep =
+                verify_lower_bound(&topo, mesh_routing::routers::dim_order(k), &outcome, None);
+            let nf = n as f64;
+            let denom = (h as f64).powi(3) * nf * nf / ((k + h) as f64).powi(2);
+            let row = cells!(
+                n,
+                k,
+                h,
+                params.p,
+                params.l,
+                params.bound_steps(),
+                ratio(params.bound_steps(), denom),
+                rep.undelivered_at_bound,
+                rep.replay_matches_construction
+            );
+            TrialOutput::with_report(row, rep.replay)
+        });
     }
-    t
+    e
 }
 
 /// E9 — §5 torus extension: the construction in an (m × m) corner of a
 /// side-2m torus.
-pub fn e9(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e9(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e9",
         "§5 torus extension: Ω(n²/k²) on the torus via an (n/2)×(n/2) submesh",
         "same bound values as the mesh at submesh side m (torus wraparound never helps: minimal paths of the construction stay inside the submesh); undelivered > 0 on every row",
@@ -415,28 +466,31 @@ pub fn e9(full: bool) -> Table {
         grid.extend([(432, 1), (384, 2)]);
     }
     for (m, k) in grid {
-        let n = 2 * m;
-        let params = GeneralParams::new(m, k).unwrap();
-        let cons = GeneralConstruction::embedded(params, n);
-        let topo = Torus::new(n);
-        let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k), false);
-        let rep =
-            verify_lower_bound(&topo, mesh_routing::routers::dim_order(k), &outcome, None);
-        t.row(cells!(
-            n,
-            m,
-            k,
-            params.bound_steps(),
-            rep.undelivered_at_bound,
-            rep.replay_matches_construction
-        ));
+        e.fixed(format!("m={m} k={k}"), move |_trial| {
+            let n = 2 * m;
+            let params = GeneralParams::new(m, k).unwrap();
+            let cons = GeneralConstruction::embedded(params, n);
+            let topo = Torus::new(n);
+            let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k), false);
+            let rep =
+                verify_lower_bound(&topo, mesh_routing::routers::dim_order(k), &outcome, None);
+            let row = cells!(
+                n,
+                m,
+                k,
+                params.bound_steps(),
+                rep.undelivered_at_bound,
+                rep.replay_matches_construction
+            );
+            TrialOutput::with_report(row, rep.replay)
+        });
     }
-    t
+    e
 }
 
 /// E10 — the paper's closing trade-off (§7): all algorithms × workloads.
-pub fn e10(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e10(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e10",
         "§7 trade-off matrix: steps (and max queue) per algorithm × workload",
         "greedy is ~2n fast with big queues; theorem15 bounds queues but pays on adversarial loads; §6 is O(n) with bounded queues; small-k dim-order/adaptive can stall (reported as '-') — exactly the impossibility the paper proves",
@@ -454,104 +508,144 @@ pub fn e10(full: bool) -> Table {
         Algorithm::Section6,
         Algorithm::Section6Improved,
     ];
-    for pb in [
-        workloads::random_permutation(n, 7),
-        workloads::transpose(n),
-        workloads::bit_complement(n),
-        workloads::tornado(n),
-        workloads::column_funnel(n),
-        workloads::hotspot(n, 9, 7),
-    ] {
-        let label = pb.label.split('(').next().unwrap_or("?").to_string();
+    let matrix_cell = move |pb: RoutingProblem, algo: Algorithm| -> TrialOutput {
+        let out = mesh_routing::route_with_cap(algo, &pb, cap);
+        let row = cells!(
+            short_label(&pb),
+            out.algorithm,
+            if out.completed { out.steps.to_string() } else { "-".into() },
+            if out.completed {
+                format!("{:.1}", out.steps as f64 / n as f64)
+            } else {
+                format!("stalled {}/{}", out.delivered, out.total_packets)
+            },
+            out.max_queue,
+            out.completed
+        );
+        TrialOutput {
+            row,
+            report: out.report,
+        }
+    };
+    // Workload builders: (name, seeded, builder by trial).
+    type PbBuilder = Box<dyn Fn(u64) -> RoutingProblem + Send + Sync>;
+    let mut workload_list: Vec<(String, bool, std::sync::Arc<PbBuilder>)> = Vec::new();
+    let arc = |f: PbBuilder| std::sync::Arc::new(f);
+    workload_list.push((
+        "random-permutation".into(),
+        true,
+        arc(Box::new(move |t| workloads::random_permutation(n, derive_seed(7, t)))),
+    ));
+    workload_list.push(("transpose".into(), false, arc(Box::new(move |_| workloads::transpose(n)))));
+    workload_list.push((
+        "bit-complement".into(),
+        false,
+        arc(Box::new(move |_| workloads::bit_complement(n))),
+    ));
+    workload_list.push(("tornado".into(), false, arc(Box::new(move |_| workloads::tornado(n)))));
+    workload_list.push((
+        "column-funnel".into(),
+        false,
+        arc(Box::new(move |_| workloads::column_funnel(n))),
+    ));
+    workload_list.push((
+        "hotspot".into(),
+        false,
+        arc(Box::new(move |_| workloads::hotspot(n, 9, 7))),
+    ));
+    for (wname, seeded, builder) in workload_list {
         for algo in algos {
-            let out = mesh_routing::route_with_cap(algo, &pb, cap);
-            t.row(cells!(
-                label.clone(),
-                out.algorithm,
-                if out.completed { out.steps.to_string() } else { "-".into() },
-                if out.completed {
-                    format!("{:.1}", out.steps as f64 / n as f64)
-                } else {
-                    format!("stalled {}/{}", out.delivered, out.total_packets)
-                },
-                out.max_queue,
-                out.completed
-            ));
+            let builder = builder.clone();
+            let label = format!("{wname} {}", algo.name());
+            let run = move |trial: u64| matrix_cell(builder(trial), algo);
+            if seeded {
+                e.seeded(label, run);
+            } else {
+                e.fixed(label, run);
+            }
         }
     }
-    t
+    e
 }
 
 /// A1 — ablation: FIFO vs farthest-first outqueue arbitration at equal k.
-pub fn a1(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn a1(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "a1",
         "Ablation: outqueue policy (FIFO dim-order vs farthest-first) at equal queue size",
         "farthest-first should match or beat FIFO on funneling workloads (it is the policy behind the 2n−2 result) — but §5 shows neither escapes Ω(n²/k)",
         &["n", "k", "workload", "fifo steps", "farthest steps", "fifo done", "farthest done"],
     );
     let n = if full { 128 } else { 64 };
+    let pair_cell = move |k: u32, pb: RoutingProblem| -> TrialOutput {
+        let cap = 8 * (n as u64) * (n as u64);
+        let f = mesh_routing::route_with_cap(Algorithm::DimOrder { k }, &pb, cap);
+        let ff = mesh_routing::route_with_cap(Algorithm::FarthestFirst { k }, &pb, cap);
+        TrialOutput::new(cells!(
+            n,
+            k,
+            short_label(&pb),
+            if f.completed { f.steps.to_string() } else { "-".into() },
+            if ff.completed { ff.steps.to_string() } else { "-".into() },
+            f.completed,
+            ff.completed
+        ))
+    };
     for k in [2u32, 4, 8, 16] {
-        for pb in [
-            workloads::transpose(n),
-            workloads::column_funnel(n),
-            workloads::random_permutation(n, 3),
-        ] {
-            let cap = 8 * (n as u64) * (n as u64);
-            let f = mesh_routing::route_with_cap(Algorithm::DimOrder { k }, &pb, cap);
-            let ff = mesh_routing::route_with_cap(Algorithm::FarthestFirst { k }, &pb, cap);
-            let label = pb.label.split('(').next().unwrap_or("?").to_string();
-            t.row(cells!(
-                n,
-                k,
-                label,
-                if f.completed { f.steps.to_string() } else { "-".into() },
-                if ff.completed { ff.steps.to_string() } else { "-".into() },
-                f.completed,
-                ff.completed
-            ));
-        }
+        e.fixed(format!("k={k} transpose"), move |_| {
+            pair_cell(k, workloads::transpose(n))
+        });
+        e.fixed(format!("k={k} column-funnel"), move |_| {
+            pair_cell(k, workloads::column_funnel(n))
+        });
+        e.seeded(format!("k={k} random-permutation"), move |trial| {
+            pair_cell(k, workloads::random_permutation(n, derive_seed(3, trial)))
+        });
     }
-    t
+    e
 }
 
 /// A2 — ablation: queue architecture at equal total buffer (central 4k vs
 /// four inlink queues of k).
-pub fn a2(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn a2(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "a2",
         "Ablation: central queue of 4k vs four inlink queues of k (equal buffer budget)",
         "per-inlink structure (theorem15) always completes thanks to its progress guarantees; the central-queue router with the same budget can stall on funneling traffic — structure matters as much as capacity (§5 'Other Queue Types')",
         &["n", "k", "workload", "central-4k steps", "inlink-k steps", "central done", "inlink done"],
     );
     let n = if full { 128 } else { 64 };
+    let pair_cell = move |k: u32, pb: RoutingProblem| -> TrialOutput {
+        let cap = 8 * (n as u64) * (n as u64);
+        let c = mesh_routing::route_with_cap(Algorithm::DimOrder { k: 4 * k }, &pb, cap);
+        let i = mesh_routing::route_with_cap(Algorithm::Theorem15 { k }, &pb, cap);
+        TrialOutput::new(cells!(
+            n,
+            k,
+            short_label(&pb),
+            if c.completed { c.steps.to_string() } else { "-".into() },
+            if i.completed { i.steps.to_string() } else { "-".into() },
+            c.completed,
+            i.completed
+        ))
+    };
     for k in [1u32, 2, 4] {
-        for pb in [
-            workloads::transpose(n),
-            workloads::column_funnel(n),
-            workloads::random_permutation(n, 9),
-        ] {
-            let cap = 8 * (n as u64) * (n as u64);
-            let c = mesh_routing::route_with_cap(Algorithm::DimOrder { k: 4 * k }, &pb, cap);
-            let i = mesh_routing::route_with_cap(Algorithm::Theorem15 { k }, &pb, cap);
-            let label = pb.label.split('(').next().unwrap_or("?").to_string();
-            t.row(cells!(
-                n,
-                k,
-                label,
-                if c.completed { c.steps.to_string() } else { "-".into() },
-                if i.completed { i.steps.to_string() } else { "-".into() },
-                c.completed,
-                i.completed
-            ));
-        }
+        e.fixed(format!("k={k} transpose"), move |_| {
+            pair_cell(k, workloads::transpose(n))
+        });
+        e.fixed(format!("k={k} column-funnel"), move |_| {
+            pair_cell(k, workloads::column_funnel(n))
+        });
+        e.seeded(format!("k={k} random-permutation"), move |trial| {
+            pair_cell(k, workloads::random_permutation(n, derive_seed(9, trial)))
+        });
     }
-    t
+    e
 }
 
 /// A3 — ablation: the §6.4 improved `q = 102` vs the base `q = 408`.
-pub fn a3(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn a3(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "a3",
         "Ablation: §6 node bound q = 408 vs improved q = 102 for iterations j ≥ 1",
         "the improved constants cut the scheduled bound by ≈ 35-45% (toward 564n) with identical delivery, identical quiescent time, and the same measured queue loads — the q refinement only tightens the worst-case schedule",
@@ -561,27 +655,36 @@ pub fn a3(full: bool) -> Table {
     if full {
         sizes.push(729);
     }
+    let s6_cell = |n: u32, pb: RoutingProblem, q: &'static str| -> TrialOutput {
+        let router = if q == "408" {
+            Section6Router::new()
+        } else {
+            Section6Router::improved()
+        };
+        let r = router.route(&pb);
+        TrialOutput::new(cells!(
+            n,
+            short_label(&pb),
+            q,
+            r.scheduled_steps,
+            format!("{:.1}", r.steps_per_n()),
+            r.quiescent_steps,
+            r.max_node_load
+        ))
+    };
     for n in sizes {
-        for pb in [workloads::random_permutation(n, 13), workloads::transpose(n)] {
-            let label = pb.label.split('(').next().unwrap_or("?").to_string();
-            for (name, router) in [
-                ("408", Section6Router::new()),
-                ("102", Section6Router::improved()),
-            ] {
-                let r = router.route(&pb);
-                t.row(cells!(
-                    n,
-                    label.clone(),
-                    name,
-                    r.scheduled_steps,
-                    format!("{:.1}", r.steps_per_n()),
-                    r.quiescent_steps,
-                    r.max_node_load
-                ));
-            }
+        for q in ["408", "102"] {
+            e.seeded(format!("n={n} random-permutation q={q}"), move |trial| {
+                s6_cell(n, workloads::random_permutation(n, derive_seed(13, trial)), q)
+            });
+        }
+        for q in ["408", "102"] {
+            e.fixed(format!("n={n} transpose q={q}"), move |_| {
+                s6_cell(n, workloads::transpose(n), q)
+            });
         }
     }
-    t
+    e
 }
 
 /// E11 — §5's nonminimal escape: hot-potato routing is destination-
@@ -591,8 +694,8 @@ pub fn a3(full: bool) -> Table {
 /// breaks the construction's invariants (packets deflect out of the boxes),
 /// so the adversary cannot even run to completion — exactly why the paper's
 /// bound needs minimality.
-pub fn e11(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e11(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e11",
         "§5 nonminimal escape: hot-potato vs the minimal-routing adversary",
         "hot potato solves dim-order's hard instance in ≈ O(n) steps (vs the Ω(n²/k) it forces on dimension order); the adversary aimed at hot potato fails (invariant breakdown) — minimality cannot be dropped from Theorem 14",
@@ -603,53 +706,62 @@ pub fn e11(full: bool) -> Table {
         grid.push((432, 1));
     }
     for (n, k) in grid {
-        let topo = Mesh::new(n);
         // (a) dim-order's hard instance, fed to hot potato.
-        let params = DimOrderParams::new(n, k).unwrap();
-        let cons = DimOrderConstruction::new(params);
-        let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k));
-        let hp = mesh_routing::route_with_cap(
-            Algorithm::HotPotato,
-            &outcome.constructed,
-            16 * (n as u64) * (n as u64),
-        );
-        t.row(cells!(
-            n,
-            k,
-            "hot-potato on dim-order's hard instance",
-            if hp.completed {
-                format!(
-                    "{} steps ({:.1}n) — vs the >= {} it forces on dim-order",
-                    hp.steps,
-                    hp.steps as f64 / n as f64,
-                    outcome.bound_steps
-                )
-            } else {
-                format!("stalled at {}/{}", hp.delivered, hp.total_packets)
+        e.fixed(format!("n={n} k={k} hot-potato-on-hard-instance"), move |_| {
+            let topo = Mesh::new(n);
+            let params = DimOrderParams::new(n, k).unwrap();
+            let cons = DimOrderConstruction::new(params);
+            let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k));
+            let hp = mesh_routing::route_with_cap(
+                Algorithm::HotPotato,
+                &outcome.constructed,
+                16 * (n as u64) * (n as u64),
+            );
+            let row = cells!(
+                n,
+                k,
+                "hot-potato on dim-order's hard instance",
+                if hp.completed {
+                    format!(
+                        "{} steps ({:.1}n) — vs the >= {} it forces on dim-order",
+                        hp.steps,
+                        hp.steps as f64 / n as f64,
+                        outcome.bound_steps
+                    )
+                } else {
+                    format!("stalled at {}/{}", hp.delivered, hp.total_packets)
+                }
+            );
+            TrialOutput {
+                row,
+                report: hp.report,
             }
-        ));
+        });
         // (b) the general adversary aimed at hot potato itself.
-        let gparams = GeneralParams::new(n, k).unwrap();
-        let gcons = GeneralConstruction::new(gparams);
-        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            gcons.run(&topo, mesh_routing::routers::hot_potato(n), false)
-        }));
-        t.row(cells!(
-            n,
-            k,
-            "general adversary vs hot-potato",
-            match res {
-                Ok(o) => format!(
-                    "ran; {} undelivered at bound {} (bound not meaningful for nonminimal)",
-                    o.undelivered_at_bound, o.bound_steps
-                ),
-                Err(_) => "construction breaks down (packets deflect out of the boxes; \
-                           Lemma 3/4 partner supply exhausted)"
-                    .to_string(),
-            }
-        ));
+        e.fixed(format!("n={n} k={k} adversary-vs-hot-potato"), move |_| {
+            let topo = Mesh::new(n);
+            let gparams = GeneralParams::new(n, k).unwrap();
+            let gcons = GeneralConstruction::new(gparams);
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                gcons.run(&topo, mesh_routing::routers::hot_potato(n), false)
+            }));
+            TrialOutput::new(cells!(
+                n,
+                k,
+                "general adversary vs hot-potato",
+                match res {
+                    Ok(o) => format!(
+                        "ran; {} undelivered at bound {} (bound not meaningful for nonminimal)",
+                        o.undelivered_at_bound, o.bound_steps
+                    ),
+                    Err(_) => "construction breaks down (packets deflect out of the boxes; \
+                               Lemma 3/4 partner supply exhausted)"
+                        .to_string(),
+                }
+            ))
+        });
     }
-    t
+    e
 }
 
 /// E12 — §5's nonminimal-extensions sweep: the δ-bounded deflection class.
@@ -660,8 +772,8 @@ pub fn e11(full: bool) -> Table {
 /// (fewer undelivered packets at the bound, or outright invariant
 /// breakdown), quantifying how deviation erodes the lower bound toward the
 /// predicted Ω(n²/(δ+1)³k²).
-pub fn e12(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e12(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e12",
         "§5 nonminimal extensions: the unmodified adversary vs δ-bounded deflection",
         "δ = 0 certifies like E1 (undelivered > 0, replay exact). Measured finding: small-δ deflection inside a conservative queueing discipline cannot escape the constructed congestion either (deflection still needs queue space — only hot potato's always-forward discipline does, see E11), so the unmodified bound keeps certifying; the paper's (δ+1)-scaled constants are needed only for algorithms that exploit the full δ corridor",
@@ -670,42 +782,43 @@ pub fn e12(full: bool) -> Table {
     let (n, k) = if full { (384u32, 2u32) } else { (216, 1) };
     let deltas: &[u8] = if full { &[0, 1, 2, 3] } else { &[0, 1, 2] };
     for &delta in deltas {
-        let params = GeneralParams::new(n, k).unwrap();
-        let cons = GeneralConstruction::new(params);
-        let topo = Mesh::new(n);
-        let make = || {
-            mesh_routing::engine::Dx::new(mesh_routing::routers::BoundedDeflect::new(
-                n, k, delta,
-            ))
-        };
-        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cons.run(&topo, make(), false)
-        }));
-        match res {
-            Ok(outcome) => {
-                let rep = verify_lower_bound(&topo, make(), &outcome, None);
-                t.row(cells!(
-                    n,
-                    k,
-                    delta,
-                    "construction ran",
-                    rep.undelivered_at_bound,
-                    rep.replay_matches_construction
-                ));
-            }
-            Err(_) => {
-                t.row(cells!(
+        e.fixed(format!("n={n} k={k} delta={delta}"), move |_| {
+            let params = GeneralParams::new(n, k).unwrap();
+            let cons = GeneralConstruction::new(params);
+            let topo = Mesh::new(n);
+            let make = || {
+                mesh_routing::engine::Dx::new(mesh_routing::routers::BoundedDeflect::new(
+                    n, k, delta,
+                ))
+            };
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cons.run(&topo, make(), false)
+            }));
+            match res {
+                Ok(outcome) => {
+                    let rep = verify_lower_bound(&topo, make(), &outcome, None);
+                    let row = cells!(
+                        n,
+                        k,
+                        delta,
+                        "construction ran",
+                        rep.undelivered_at_bound,
+                        rep.replay_matches_construction
+                    );
+                    TrialOutput::with_report(row, rep.replay)
+                }
+                Err(_) => TrialOutput::new(cells!(
                     n,
                     k,
                     delta,
                     "adversary breakdown (partner supply exhausted)",
                     "-",
                     "-"
-                ));
+                )),
             }
-        }
+        });
     }
-    t
+    e
 }
 
 /// E13 — the §5 dynamic setting: Bernoulli injection at rate λ per node per
@@ -713,8 +826,8 @@ pub fn e12(full: bool) -> Table {
 /// saturation knee (latency blow-up); the paper's lower bound applies to
 /// dynamic problems too, as long as injection timing is
 /// destination-independent (ours is).
-pub fn e13(full: bool) -> Table {
-    let mut t = Table::new(
+pub fn e13(full: bool) -> Experiment {
+    let mut e = Experiment::new(
         "e13",
         "Dynamic Bernoulli traffic: latency vs injection rate (saturation sweep)",
         "all routers drain at low λ with latency ≈ flight time (~2n/3 hops mean); as λ approaches each router's capacity the p99 latency and drain time blow up — bounded-queue minimal routers saturate first, hot potato degrades by deflection detours instead of queueing",
@@ -728,40 +841,44 @@ pub fn e13(full: bool) -> Table {
     // (λ·n²/2 packets cross 2n bisection links per step); straddle it.
     let rates = [0.02f64, 0.06, 0.10, 0.14];
     for rate in rates {
-        let pb = workloads::dynamic_bernoulli(n, rate, window / 4, 99);
-        if pb.is_empty() {
-            continue;
-        }
-        let topo = Mesh::new(n);
         for router in ["theorem15(k=2)", "hot-potato", "greedy"] {
-            macro_rules! sim_with {
-                ($r:expr) => {{
-                    let mut sim = Sim::new(&topo, $r, &pb);
-                    let res = sim.run(window * 4);
-                    let lat = sim.latency_distribution();
-                    let rep = sim.report();
-                    t.row(cells!(
-                        n,
-                        rate,
-                        router,
-                        rep.steps,
-                        format!("{:.1}", lat.mean),
-                        lat.p99,
-                        rep.max_queue,
-                        res.is_ok()
-                    ));
-                }};
-            }
-            match router {
-                "theorem15(k=2)" => sim_with!(Dx::new(Theorem15::new(2))),
-                "hot-potato" => {
-                    sim_with!(Dx::new(mesh_routing::routers::HotPotato::new(n)))
+            e.seeded(format!("rate={rate} {router}"), move |trial| {
+                let pb =
+                    workloads::dynamic_bernoulli(n, rate, window / 4, derive_seed(99, trial));
+                if pb.is_empty() {
+                    return TrialOutput::new(cells!(n, rate, router, 0, "-", "-", 0, true));
                 }
-                _ => sim_with!(FarthestFirst::unbounded(n)),
-            }
+                let topo = Mesh::new(n);
+                macro_rules! sim_with {
+                    ($r:expr) => {{
+                        let mut sim = Sim::new(&topo, $r, &pb);
+                        let res = sim.run(window * 4);
+                        let lat = sim.latency_distribution();
+                        let rep = sim.report();
+                        let row = cells!(
+                            n,
+                            rate,
+                            router,
+                            rep.steps,
+                            format!("{:.1}", lat.mean),
+                            lat.p99,
+                            rep.max_queue,
+                            res.is_ok()
+                        );
+                        TrialOutput::with_report(row, rep)
+                    }};
+                }
+                match router {
+                    "theorem15(k=2)" => sim_with!(Dx::new(Theorem15::new(2))),
+                    "hot-potato" => {
+                        sim_with!(Dx::new(mesh_routing::routers::HotPotato::new(n)))
+                    }
+                    _ => sim_with!(FarthestFirst::unbounded(n)),
+                }
+            });
         }
     }
-    t
+    e
 }
 
 /// All experiment ids in order.
@@ -770,8 +887,8 @@ pub const ALL: &[&str] = &[
     "a1", "a2", "a3",
 ];
 
-/// Dispatch by id.
-pub fn run(id: &str, full: bool) -> Option<Table> {
+/// Builds the experiment (its cells) by id, without running anything.
+pub fn build(id: &str, full: bool) -> Option<Experiment> {
     Some(match id {
         "e1" => e1(full),
         "e2" => e2(full),
@@ -793,6 +910,13 @@ pub fn run(id: &str, full: bool) -> Option<Table> {
     })
 }
 
+/// Builds and runs one experiment serially (one thread, one trial) — the
+/// configuration the historical recorded tables were produced under.
+pub fn run(id: &str, full: bool) -> Option<Table> {
+    let exp = build(id, full)?;
+    Some(crate::runner::run_experiment(exp, &crate::runner::RunnerConfig::serial()).table)
+}
+
 // Suppress the unused-import warning when ConstructionOutcome is only used
 // in signatures of future extensions.
 #[allow(unused)]
@@ -806,6 +930,7 @@ mod tests {
     fn dispatch_rejects_unknown_ids() {
         assert!(run("e99", false).is_none());
         assert!(run("", false).is_none());
+        assert!(build("e99", false).is_none());
     }
 
     #[test]
@@ -816,5 +941,15 @@ mod tests {
             assert!(id.starts_with('e') || id.starts_with('a'));
         }
         assert_eq!(ALL.len(), 16);
+    }
+
+    #[test]
+    fn every_experiment_builds_cells() {
+        for id in ALL {
+            let exp = build(id, false).unwrap();
+            assert_eq!(&exp.id, id);
+            assert!(!exp.cells.is_empty(), "{id} built no cells");
+            assert!(!exp.headers.is_empty(), "{id} has no headers");
+        }
     }
 }

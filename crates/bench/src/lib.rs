@@ -14,8 +14,34 @@
 //!
 //! Criterion wall-clock benches of the *simulator itself* live in
 //! `benches/`.
+//!
+//! ## The parallel trial runner
+//!
+//! Every experiment is a flat list of independent cells that the
+//! [`runner`] executes across a scoped thread pool:
+//!
+//! ```sh
+//! cargo run --release -p mesh-bench --bin experiments -- \
+//!     e1 --threads 8 --trials 5 --json-out out/
+//! ```
+//!
+//! - `--threads N` — worker threads for the trial pool (default: all
+//!   cores). Results are **bit-identical for any N**: every trial has its
+//!   own derived seed and a pre-assigned output slot.
+//! - `--trials N` — repetitions per *seeded* cell (random workloads);
+//!   deterministic cells (adversary constructions, fixed permutations)
+//!   always run once. Trial 0 uses the historical seed, so the recorded
+//!   tables in EXPERIMENTS.md are unchanged by this feature.
+//! - `--json-out [DIR]` — write `BENCH_<id>.json` (rows per trial +
+//!   mean/min/max/stddev aggregates; timing-free and therefore
+//!   thread-count-invariant) and `BENCH_<id>.timing.json` (wall-clock per
+//!   cell — machine-dependent, hence a sidecar).
+//!
+//! See [`runner::BenchDoc`] / [`runner::TimingDoc`] for the schemas.
 
 pub mod experiments;
+pub mod runner;
 pub mod table;
 
+pub use runner::{BenchDoc, Experiment, ExperimentRun, RunnerConfig, TimingDoc};
 pub use table::Table;

@@ -97,6 +97,9 @@ pub struct RouteOutcome {
     pub total_moves: u64,
     pub delivered: usize,
     pub total_packets: usize,
+    /// The full engine report (engine-simulated algorithms only; the §6
+    /// scheduler does not run through the engine and reports via `section6`).
+    pub report: Option<mesh_engine::SimReport>,
     /// The full §6 report, when applicable.
     pub section6: Option<Section6Report>,
 }
@@ -169,6 +172,7 @@ pub fn route_with_cap(
                 total_moves: r.total_moves,
                 delivered: r.delivered,
                 total_packets: r.total_packets,
+                report: None,
                 section6: Some(r),
             }
         }
@@ -192,6 +196,7 @@ fn engine_route<R: mesh_engine::Router>(
         total_moves: r.total_moves,
         delivered: r.delivered,
         total_packets: r.total_packets,
+        report: Some(r),
         section6: None,
     }
 }

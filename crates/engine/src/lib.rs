@@ -53,10 +53,10 @@ pub mod stats;
 pub mod view;
 
 pub use hook::{HookCtx, NoHook, ScheduledMove, StepHook};
-pub use metrics::SimReport;
+pub use metrics::{ReportAggregate, SimReport};
 pub use queue::{QueueArch, QueueKind};
 pub use router::{Dx, DxRouter, Router};
 pub use sim::{Sim, SimConfig, SimError};
 pub use sim::Loc;
-pub use stats::{DeliveryCurve, Distribution, NodeField};
+pub use stats::{DeliveryCurve, Distribution, NodeField, Summary};
 pub use view::{Arrival, DxView, FullView};

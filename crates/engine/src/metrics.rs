@@ -1,6 +1,7 @@
 //! Simulation reports: the measurements every experiment consumes.
 
 use crate::queue::QueueArch;
+use crate::stats::Summary;
 use serde::{Deserialize, Serialize};
 
 /// Summary of a finished (or step-capped) simulation.
@@ -45,6 +46,25 @@ impl SimReport {
         self.steps as f64 / d
     }
 
+    /// Aggregates the scalar metrics of repeated trials of one experiment
+    /// cell. Empty input produces an all-zero aggregate.
+    pub fn aggregate(reports: &[SimReport]) -> ReportAggregate {
+        ReportAggregate {
+            trials: reports.len(),
+            completed_trials: reports.iter().filter(|r| r.completed).count(),
+            steps: Summary::of_u64(reports.iter().map(|r| r.steps)),
+            max_queue: Summary::of_u64(reports.iter().map(|r| r.max_queue as u64)),
+            max_node_load: Summary::of_u64(reports.iter().map(|r| r.max_node_load as u64)),
+            total_moves: Summary::of_u64(reports.iter().map(|r| r.total_moves)),
+            exchanges: Summary::of_u64(reports.iter().map(|r| r.exchanges)),
+            avg_latency: Summary::of(
+                &reports.iter().map(|r| r.avg_latency).collect::<Vec<f64>>(),
+            ),
+            max_latency: Summary::of_u64(reports.iter().map(|r| r.max_latency)),
+            delivered: Summary::of_u64(reports.iter().map(|r| r.delivered as u64)),
+        }
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -60,5 +80,71 @@ impl SimReport {
             self.delivered,
             self.total_packets,
         )
+    }
+}
+
+/// Cross-trial aggregate of one experiment cell's scalar metrics; produced
+/// by [`SimReport::aggregate`] and emitted into `BENCH_*.json` sweeps.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReportAggregate {
+    /// Trials aggregated.
+    pub trials: usize,
+    /// Trials where every packet was delivered.
+    pub completed_trials: usize,
+    pub steps: Summary,
+    pub max_queue: Summary,
+    pub max_node_load: Summary,
+    pub total_moves: Summary,
+    pub exchanges: Summary,
+    pub avg_latency: Summary,
+    pub max_latency: Summary,
+    pub delivered: Summary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(steps: u64, moves: u64, completed: bool) -> SimReport {
+        SimReport {
+            algorithm: "test".into(),
+            workload: "wl".into(),
+            n: 8,
+            arch: QueueArch::Central { k: 2 },
+            total_packets: 64,
+            delivered: if completed { 64 } else { 32 },
+            steps,
+            completed,
+            max_queue: 2,
+            max_node_load: 3,
+            total_moves: moves,
+            exchanges: 0,
+            avg_latency: steps as f64 / 2.0,
+            max_latency: steps,
+        }
+    }
+
+    #[test]
+    fn aggregate_over_trials() {
+        let agg = SimReport::aggregate(&[
+            report(10, 100, true),
+            report(14, 120, true),
+            report(30, 90, false),
+        ]);
+        assert_eq!(agg.trials, 3);
+        assert_eq!(agg.completed_trials, 2);
+        assert!((agg.steps.mean - 18.0).abs() < 1e-9);
+        assert_eq!(agg.steps.min, 10.0);
+        assert_eq!(agg.steps.max, 30.0);
+        assert_eq!(agg.total_moves.max, 120.0);
+        assert_eq!(agg.delivered.min, 32.0);
+    }
+
+    #[test]
+    fn aggregate_empty_is_all_zero() {
+        let agg = SimReport::aggregate(&[]);
+        assert_eq!(agg.trials, 0);
+        assert_eq!(agg.steps.count, 0);
+        assert_eq!(agg.steps.mean, 0.0);
     }
 }

@@ -90,6 +90,7 @@ pub struct Sim<'t, T: Topology, R: Router> {
     steps: u64,
     delivered: usize,
     total_moves: u64,
+    hops: Vec<u32>,
     exchanges: u64,
     max_queue: u32,
     max_node_load: u32,
@@ -161,6 +162,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             steps: 0,
             delivered: 0,
             total_moves: 0,
+            hops: vec![0; np],
             exchanges: 0,
             max_queue: 0,
             max_node_load: 0,
@@ -491,6 +493,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 .expect("scheduled packet missing from its queue");
             q.remove(pos);
             self.total_moves += 1;
+            self.hops[pi] += 1;
             if self.dst[pi] == m.to {
                 self.loc[pi] = Loc::Delivered;
                 self.delivered_at[pi] = t0 + 1;
@@ -666,6 +669,13 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     pub fn delivered_step(&self, p: PacketId) -> Option<u64> {
         let d = self.delivered_at[p.index()];
         (d != NOT_DELIVERED).then_some(d)
+    }
+
+    /// Link traversals performed by each packet so far, indexed by
+    /// `PacketId`. Sums to `total_moves`; for a delivered packet of a minimal
+    /// router it equals the source→destination L1 distance.
+    pub fn packet_hops(&self) -> &[u32] {
+        &self.hops
     }
 
     /// The packets currently in a node, over all queues, in queue order.
@@ -1248,7 +1258,7 @@ mod chaos_tests {
                 }
                 let h = hash(self.seed ^ step ^ ((node.x as u64) << 32) ^ node.y as u64 ^ p.id.0 as u64);
                 // Sometimes refuse to schedule at all.
-                if h % 5 == 0 {
+                if h.is_multiple_of(5) {
                     continue;
                 }
                 let d = dirs[(h as usize / 7) % dirs.len()];
@@ -1270,7 +1280,7 @@ mod chaos_tests {
             let mut room = (self.k as usize).saturating_sub(residents.len());
             for (i, a) in arrivals.iter().enumerate() {
                 let h = hash(self.seed ^ step ^ node.x as u64 ^ ((node.y as u64) << 16) ^ a.view.id.0 as u64);
-                if room > 0 && h % 3 != 0 {
+                if room > 0 && !h.is_multiple_of(3) {
                     accept[i] = true;
                     room -= 1;
                 }

@@ -50,6 +50,52 @@ impl Distribution {
     }
 }
 
+/// Mean/min/max/stddev of a set of scalar samples, for aggregating one
+/// metric across repeated trials of the same experiment cell.
+///
+/// Unlike [`Distribution`] (per-packet samples within one run, percentiles),
+/// a `Summary` condenses *per-trial* samples, which are few and real-valued.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Population standard deviation (0 for a single sample).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample set (empty ⇒ all zeros).
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                stddev: 0.0,
+            };
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            stddev: var.sqrt(),
+        }
+    }
+
+    /// Convenience for integer-valued metrics (steps, moves, queue peaks).
+    pub fn of_u64(samples: impl IntoIterator<Item = u64>) -> Summary {
+        let v: Vec<f64> = samples.into_iter().map(|s| s as f64).collect();
+        Summary::of(&v)
+    }
+}
+
 /// A per-node scalar field (congestion map): row-major over the grid.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct NodeField {
@@ -157,6 +203,23 @@ mod tests {
     fn distribution_single() {
         let d = Distribution::of(&[42]);
         assert_eq!((d.min, d.p50, d.p90, d.p99, d.max), (42, 42, 42, 42, 42));
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.stddev - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        assert_eq!(Summary::of(&[]).count, 0);
+        let s = Summary::of_u64([7]);
+        assert_eq!((s.count, s.mean, s.min, s.max, s.stddev), (1, 7.0, 7.0, 7.0, 0.0));
     }
 
     #[test]

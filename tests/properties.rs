@@ -198,3 +198,185 @@ proptest! {
         prop_assert!(workloads::hh_random(n, 2, seed).is_hh(2));
     }
 }
+
+/// Runs `pb` under `router` twice — once untouched, once with a hook that
+/// exchanges the destinations of `a` and `b` during the first step — for
+/// `steps` steps, and returns the two packet snapshots with the exchange
+/// undone in the second. Lemma 10 (iterated) says they must be equal
+/// whenever the exchange leaves every profitable set unchanged throughout.
+type Snapshot = Vec<(mesh_routing::engine::Loc, Coord, u64)>;
+
+fn lemma10_snapshots<R: Router>(
+    n: u32,
+    pb: &RoutingProblem,
+    a: PacketId,
+    b: PacketId,
+    steps: u64,
+    plain_router: R,
+    adv_router: R,
+) -> (Snapshot, Snapshot) {
+    let topo = Mesh::new(n);
+    let mut plain = Sim::new(&topo, plain_router, pb);
+    let mut adv = Sim::new(&topo, adv_router, pb);
+    let mut fired = false;
+    let mut hook = |ctx: &mut mesh_routing::engine::HookCtx<'_>| {
+        if !fired {
+            ctx.exchange(a, b);
+            fired = true;
+        }
+    };
+    for s in 0..steps {
+        plain.step();
+        if s == 0 {
+            adv.step_with_hook(&mut hook);
+        } else {
+            adv.step();
+        }
+    }
+    let sa = plain.packet_snapshot();
+    let mut sb = adv.packet_snapshot();
+    let da = sb[a.index()].1;
+    sb[a.index()].1 = sb[b.index()].1;
+    sb[b.index()].1 = da;
+    (sa, sb)
+}
+
+/// Finds a packet pair whose destinations stay strictly northeast of both
+/// packets' reachable positions for `margin` steps, so exchanging their
+/// destinations provably never changes a profitable set (the Lemma 10
+/// precondition).
+fn margin_pair(pb: &RoutingProblem, margin: u32) -> Option<(PacketId, PacketId)> {
+    for (i, a) in pb.packets.iter().enumerate() {
+        if !(a.dst.x > a.src.x + margin && a.dst.y > a.src.y + margin) {
+            continue;
+        }
+        for b in pb.packets.iter().skip(i + 1) {
+            if b.dst.x > b.src.x + margin
+                && b.dst.y > b.src.y + margin
+                && b.dst.x > a.src.x + margin
+                && b.dst.y > a.src.y + margin
+                && a.dst.x > b.src.x + margin
+                && a.dst.y > b.src.y + margin
+            {
+                return Some((a.id, b.id));
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lemma_10_exchange_invisible_for_every_shipped_dx_router(
+        seed in 0u64..400, k in 1u32..4, steps in 1u64..4
+    ) {
+        // Lemma 10 holds by parametricity for *every* router behind the
+        // `Dx` adapter — including the nonminimal deflection routers, whose
+        // packets can also move away from their destinations (hence the
+        // extra margin). Exercise each shipped DxRouter through the same
+        // exchange scenario.
+        let n = 14;
+        let pb = workloads::random_permutation(n, seed);
+        // Deflection routers can move a packet 1 step away per step, so
+        // positions drift at most `steps` in any coordinate.
+        let margin = steps as u32 + 1;
+        let pair = margin_pair(&pb, margin);
+        prop_assume!(pair.is_some());
+        let (pa, pb_id) = pair.unwrap();
+
+        macro_rules! check {
+            ($name:expr, $mk:expr) => {{
+                let (sa, sb) = lemma10_snapshots(n, &pb, pa, pb_id, steps, $mk, $mk);
+                prop_assert!(sa == sb, "Lemma 10 violated for {}", $name);
+            }};
+        }
+        use mesh_routing::routers::{BoundedDeflect, HotPotato, WestFirst};
+        check!("dim-order(xy)", Dx::new(DimOrder::new(k)));
+        check!("dim-order(yx)", Dx::new(DimOrder::yx(k)));
+        check!("alt-adaptive", Dx::new(AltAdaptive::new(k)));
+        check!("theorem15", Dx::new(Theorem15::new(k)));
+        check!("west-first", Dx::new(WestFirst::new(k)));
+        check!("hot-potato", Dx::new(HotPotato::new(n)));
+        check!("bounded-deflect", Dx::new(BoundedDeflect::new(n, k, 1)));
+    }
+
+    #[test]
+    fn total_moves_equals_sum_of_packet_hops(pb in partial_permutation(12), k in 1u32..4) {
+        // The engine's global move counter must equal the sum of per-packet
+        // hop counts, for completing, stalling, and deflecting routers alike.
+        let topo = Mesh::new(12);
+        use mesh_routing::routers::HotPotato;
+
+        let mut t15 = Sim::new(&topo, Dx::new(Theorem15::new(k)), &pb);
+        t15.run(500_000).expect("theorem15 always delivers");
+        let hops: u64 = t15.packet_hops().iter().map(|&h| h as u64).sum();
+        prop_assert_eq!(t15.report().total_moves, hops);
+
+        // Small central queues may deadlock — the invariant must hold at
+        // the cap too.
+        let mut dor = Sim::new(&topo, Dx::new(DimOrder::new(k)), &pb);
+        let _ = dor.run(2_000);
+        let hops: u64 = dor.packet_hops().iter().map(|&h| h as u64).sum();
+        prop_assert_eq!(dor.report().total_moves, hops);
+
+        // Nonminimal: deflections are moves too.
+        let mut hp = Sim::new(&topo, Dx::new(HotPotato::new(12)), &pb);
+        let _ = hp.run(2_000);
+        let hops: u64 = hp.packet_hops().iter().map(|&h| h as u64).sum();
+        prop_assert_eq!(hp.report().total_moves, hops);
+    }
+
+    #[test]
+    fn delivered_packets_of_minimal_routers_take_minimal_paths(
+        pb in partial_permutation(14), k in 1u32..4
+    ) {
+        // Minimality, per packet: every *delivered* packet's hop count is
+        // exactly its source→destination L1 distance — even in runs that
+        // stall at the step cap with some packets still in flight.
+        let topo = Mesh::new(14);
+        let mut t15 = Sim::new(&topo, Dx::new(Theorem15::new(k)), &pb);
+        t15.run(500_000).expect("theorem15 always delivers");
+        for p in &pb.packets {
+            prop_assert_eq!(
+                t15.packet_hops()[p.id.index()],
+                topo.distance(p.src, p.dst),
+            );
+        }
+
+        let mut dor = Sim::new(&topo, Dx::new(DimOrder::new(k)), &pb);
+        let _ = dor.run(2_000);
+        for p in &pb.packets {
+            if dor.delivered_step(p.id).is_some() {
+                prop_assert_eq!(
+                    dor.packet_hops()[p.id.index()],
+                    topo.distance(p.src, p.dst),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_queues_never_exceed_k(pb in partial_permutation(12), k in 1u32..5) {
+        // The capacity contract of §2: no queue ever holds more than k
+        // packets, whether the run completes or stalls at the cap.
+        use mesh_routing::routers::{BoundedDeflect, HotPotato, WestFirst};
+        let topo = Mesh::new(12);
+        macro_rules! check {
+            ($name:expr, $router:expr, $cap:expr) => {{
+                let mut sim = Sim::new(&topo, $router, &pb);
+                let _ = sim.run(2_000);
+                let q = sim.report().max_queue;
+                prop_assert!(q <= $cap, "{}: max_queue {} > {}", $name, q, $cap);
+            }};
+        }
+        check!("dim-order", Dx::new(DimOrder::new(k)), k);
+        check!("alt-adaptive", Dx::new(AltAdaptive::new(k)), k);
+        check!("west-first", Dx::new(WestFirst::new(k)), k);
+        check!("farthest-first", FarthestFirst::new(k), k);
+        check!("theorem15", Dx::new(Theorem15::new(k)), k);
+        check!("bounded-deflect", Dx::new(BoundedDeflect::new(12, k, 1)), k);
+        check!("hot-potato", Dx::new(HotPotato::new(12)), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the scoped-thread API surface the workspace uses
+//! (`crossbeam::scope(|s| { s.spawn(|_| …); })`), implemented on top of
+//! `std::thread::scope`. The `Result` wrapper mirrors crossbeam's contract:
+//! `Err` carries the payload of a panicking child thread.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+/// A scope for spawning threads that may borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread; join returns the closure's result.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. As in crossbeam, the closure receives the scope
+    /// itself so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Create a scope for spawning borrowing threads. All spawned threads are
+/// joined before `scope` returns. Returns `Err` with the panic payload if the
+/// closure or any non-joined child thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn threads_borrow_and_join() {
+        let counter = AtomicU32::new(0);
+        let counter_ref = &counter;
+        let total: u32 = super::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter_ref.fetch_add(1, Ordering::SeqCst);
+                        i * 10
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let result = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hit = AtomicU32::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| {
+                    hit.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hit.load(Ordering::SeqCst), 1);
+    }
+}

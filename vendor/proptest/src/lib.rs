@@ -1,0 +1,472 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest the workspace tests use: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, integer range and
+//! tuple strategies, `collection::vec`, `ProptestConfig::with_cases`, and the
+//! `proptest!`/`prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//!
+//! Unlike upstream there is no shrinking and no persisted failure seeds:
+//! every case is generated from a seed derived deterministically from the
+//! test's fully-qualified name and the case index, so failures reproduce
+//! exactly on re-run and results are stable across machines.
+
+pub mod test_runner {
+    /// Run-time configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases each property must pass.
+        pub cases: u32,
+        /// Rejections tolerated before the run aborts, on top of
+        /// `20 * cases`.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property was falsified; the run fails immediately.
+        Fail(String),
+        /// `prop_assume!` filtered the inputs; another case is drawn.
+        Reject(String),
+    }
+
+    /// Deterministic per-case RNG (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test's fully-qualified name and case index. Same
+        /// name + index → same stream, on every machine and thread count.
+        pub fn for_case(test_name: &str, case_index: u64) -> TestRng {
+            // FNV-1a over the name, then mix in the case index.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in test_name.as_bytes() {
+                hash ^= *byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: hash ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)` via Lemire's multiply-high reduction.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of `Self::Value` from a deterministic RNG.
+    ///
+    /// Upstream proptest separates strategies from value trees (for
+    /// shrinking); with shrinking out of scope, a strategy here is just a
+    /// generator.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = self.start as i128;
+                    let hi = self.end as i128;
+                    assert!(lo < hi, "empty range strategy {}..{}", self.start, self.end);
+                    (lo + rng.below((hi - lo) as u64) as i128) as $t
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let lo = *self.start() as i128;
+                    let hi = *self.end() as i128;
+                    assert!(
+                        lo <= hi,
+                        "empty range strategy {}..={}", self.start(), self.end()
+                    );
+                    let span = (hi - lo) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Only reachable for the full u64/i64 domain.
+                        return rng.next_u64() as $t;
+                    }
+                    (lo + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range {}..{}", r.start, r.end);
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_inclusive - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Assert a condition inside a `proptest!` body; failure falsifies the
+/// property for the current inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    ::core::stringify!($left),
+                    ::core::stringify!($right),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Reject the current inputs (they don't satisfy the property's
+/// precondition); the runner draws a fresh case instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::format!("assumption failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Declare property tests. Each `fn name(arg in strategy, …) { body }` becomes
+/// a `#[test]` that runs `config.cases` accepted cases with deterministic
+/// per-case seeds.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __test_name = ::core::concat!(
+                ::core::module_path!(), "::", ::core::stringify!($name)
+            );
+            let __strategies = ($($strategy,)+);
+            let __max_rejects =
+                (__config.cases as u64) * 20 + __config.max_global_rejects as u64;
+            let mut __accepted: u64 = 0;
+            let mut __rejected: u64 = 0;
+            let mut __case_index: u64 = 0;
+            while __accepted < __config.cases as u64 {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(__test_name, __case_index);
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                let __outcome = (|| -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __accepted += 1,
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        __rejected += 1;
+                        if __rejected > __max_rejects {
+                            ::core::panic!(
+                                "{}: too many rejected cases ({} rejects for {} accepts)",
+                                __test_name, __rejected, __accepted
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        ::core::panic!(
+                            "{}: property falsified at case seed index {}\n{}",
+                            __test_name, __case_index, __msg
+                        );
+                    }
+                }
+                __case_index += 1;
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("ranges_respect_bounds", 0);
+        for _ in 0..2000 {
+            let v = (3u32..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (-9i64..=9).generate(&mut rng);
+            assert!((-9..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = crate::collection::vec(0u32..100, 1..20usize).prop_map(|v| v.len());
+        let mut a = TestRng::for_case("det", 7);
+        let mut b = TestRng::for_case("det", 7);
+        let mut c = TestRng::for_case("det", 8);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        // Different case index gives an independent stream (value may
+        // coincide, the raw streams must not).
+        let _ = strat.generate(&mut c);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn vec_sizes_stay_in_range() {
+        let strat = crate::collection::vec(0u8..=255, 2..=5usize);
+        let mut rng = TestRng::for_case("vec_sizes", 0);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0u32..10, b in 0u64..10, c in -5i64..=5) {
+            prop_assert!(a < 10);
+            prop_assert!(b < 10, "b was {}", b);
+            prop_assume!(c != 0);
+            prop_assert_eq!(c.signum().abs(), 1);
+        }
+
+        #[test]
+        fn macro_single_arg(v in crate::collection::vec(1u32..4, 1..8usize)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| (1..4).contains(&x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property falsified")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..4) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

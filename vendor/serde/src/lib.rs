@@ -1,0 +1,367 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal serialization framework under the `serde` name. The data model is
+//! a JSON-shaped [`Value`] tree rather than upstream serde's visitor
+//! machinery: `Serialize` renders a value *into* a [`Value`], `Deserialize`
+//! reconstructs a value *from* one. The `#[derive(Serialize, Deserialize)]`
+//! macros (re-exported from the vendored `serde_derive`) follow upstream
+//! serde's JSON conventions:
+//!
+//! - named-field structs → objects in declaration order;
+//! - newtype structs → the inner value;
+//! - tuple structs (arity ≥ 2) → arrays;
+//! - unit enum variants → `"Variant"` strings;
+//! - data-carrying variants → externally tagged `{"Variant": …}` objects.
+//!
+//! Object keys keep insertion order, so serialization is fully deterministic
+//! — a property the mesh-bench runner's byte-identical JSON guarantee relies
+//! on.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the serialization data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Non-negative integers.
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Key–value pairs in insertion order (deterministic rendering).
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Looks up a field of an object. Missing fields resolve to `Null` so
+    /// `Option` fields deserialize to `None`; non-objects are an error.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Object(pairs) => Ok(pairs
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => Err(Error::custom(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, Error> {
+        match *self {
+            Value::U64(v) => Ok(v),
+            Value::I64(v) if v >= 0 => Ok(v as u64),
+            ref other => Err(Error::custom(format!(
+                "expected unsigned integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, Error> {
+        match *self {
+            Value::I64(v) => Ok(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Ok(v as i64),
+            ref other => Err(Error::custom(format!(
+                "expected signed integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Serialization/deserialization error: a message string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into the [`Value`] data model.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls ----
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i64()?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            ref other => Err(Error::custom(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::custom(format!("expected char, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == [$($idx),+].len() => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected tuple array, found {}", other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(Some(3u32).serialize(), Value::U64(3));
+        assert_eq!(None::<u32>.serialize(), Value::Null);
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::deserialize(&Value::U64(5)).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn missing_object_field_reads_as_null() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.field("a").unwrap(), &Value::U64(1));
+        assert_eq!(obj.field("b").unwrap(), &Value::Null);
+        assert!(Value::U64(0).field("a").is_err());
+    }
+
+    #[test]
+    fn signed_integers_prefer_unsigned_repr() {
+        assert_eq!(5i64.serialize(), Value::U64(5));
+        assert_eq!((-5i64).serialize(), Value::I64(-5));
+        assert_eq!(i64::deserialize(&Value::U64(7)).unwrap(), 7);
+        assert_eq!(i8::deserialize(&Value::I64(-3)).unwrap(), -3);
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn fixed_arrays_round_trip() {
+        let a: [u32; 3] = [1, 2, 3];
+        let v = a.serialize();
+        assert_eq!(<[u32; 3]>::deserialize(&v).unwrap(), a);
+        assert!(<[u32; 2]>::deserialize(&v).is_err());
+    }
+}
