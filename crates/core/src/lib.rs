@@ -29,6 +29,7 @@ pub use section6::{Section6Config, Section6Report, Section6Router};
 // Re-export the substrate crates under stable names.
 pub use mesh_adversary as adversary;
 pub use mesh_engine as engine;
+pub use mesh_engine::faults;
 pub use mesh_routers as routers;
 pub use mesh_topo as topo;
 pub use mesh_traffic as traffic;
@@ -40,8 +41,9 @@ pub mod prelude {
     pub use mesh_adversary::{
         verify_lower_bound, DimOrderParams, GeneralConstruction, GeneralParams,
     };
-    pub use mesh_engine::{Dx, DxRouter, Router, Sim, SimReport};
-    pub use mesh_routers::{AltAdaptive, DimOrder, FarthestFirst, Theorem15};
+    pub use mesh_engine::faults::{CompiledFaults, FaultPlan};
+    pub use mesh_engine::{Dx, DxRouter, Router, Sim, SimConfig, SimError, SimReport};
+    pub use mesh_routers::{AltAdaptive, DimOrder, FarthestFirst, FaultAware, Theorem15, WestFirst};
     pub use mesh_topo::{Coord, Dir, DirSet, Mesh, Topology, Torus};
     pub use mesh_traffic::{workloads, Packet, PacketId, Quadrant, RoutingProblem};
 }

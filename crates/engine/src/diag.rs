@@ -1,0 +1,145 @@
+//! Failure diagnostics: what the simulation looked like when it got stuck.
+//!
+//! A [`SimError`](crate::SimError) carries a [`DiagnosticSnapshot`] instead
+//! of bare counters, so a failed run can explain *which* packets are stuck
+//! *where*, how full every node is, and which faults were active — the
+//! information needed to tell a router bug from an injected partition.
+
+use mesh_faults::ActiveFault;
+use mesh_topo::Coord;
+use mesh_traffic::PacketId;
+use serde::{Deserialize, Serialize};
+
+/// One undelivered, in-network packet at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StuckPacket {
+    pub id: PacketId,
+    /// The node whose queue holds the packet.
+    pub at: Coord,
+    /// Its (current, post-exchange) destination.
+    pub dst: Coord,
+    /// Link traversals it managed before getting stuck.
+    pub hops: u32,
+}
+
+/// Occupancy of one non-empty node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeOccupancy {
+    pub node: Coord,
+    /// Packets across all the node's queues.
+    pub load: u32,
+}
+
+/// The state of a simulation at the moment a run failed (step cap, deadlock,
+/// or livelock). Serializable, so chaos sweeps can persist outcomes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct DiagnosticSnapshot {
+    /// Steps executed when the snapshot was taken.
+    pub step: u64,
+    pub delivered: usize,
+    pub total: usize,
+    /// Packets still outside the network (waiting for injection or queue
+    /// space at their source).
+    pub pending: usize,
+    /// Every undelivered in-network packet: id, location, destination, hops.
+    pub stuck: Vec<StuckPacket>,
+    /// Queue occupancy of every non-empty node.
+    pub occupancy: Vec<NodeOccupancy>,
+    /// Faults active at `step` (empty when running without a fault plan).
+    pub active_faults: Vec<ActiveFault>,
+}
+
+impl DiagnosticSnapshot {
+    /// Undelivered packets, in-network and pending combined.
+    pub fn undelivered(&self) -> usize {
+        self.total - self.delivered
+    }
+}
+
+/// How many stuck packets / faults `Display` spells out before eliding.
+const DISPLAY_LIMIT: usize = 8;
+
+impl core::fmt::Display for DiagnosticSnapshot {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "step {}: {}/{} delivered, {} stuck in network, {} pending",
+            self.step,
+            self.delivered,
+            self.total,
+            self.stuck.len(),
+            self.pending
+        )?;
+        if !self.stuck.is_empty() {
+            write!(f, "; stuck:")?;
+            for p in self.stuck.iter().take(DISPLAY_LIMIT) {
+                write!(f, " #{} at {} -> {} ({} hops)", p.id.0, p.at, p.dst, p.hops)?;
+            }
+            if self.stuck.len() > DISPLAY_LIMIT {
+                write!(f, " … and {} more", self.stuck.len() - DISPLAY_LIMIT)?;
+            }
+        }
+        if !self.active_faults.is_empty() {
+            write!(f, "; active faults:")?;
+            for (i, fault) in self.active_faults.iter().take(DISPLAY_LIMIT).enumerate() {
+                write!(f, "{} {fault}", if i == 0 { "" } else { "," })?;
+            }
+            if self.active_faults.len() > DISPLAY_LIMIT {
+                write!(f, " … and {} more", self.active_faults.len() - DISPLAY_LIMIT)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_elides_long_stuck_lists() {
+        let snap = DiagnosticSnapshot {
+            step: 100,
+            delivered: 3,
+            total: 20,
+            pending: 2,
+            stuck: (0..15)
+                .map(|i| StuckPacket {
+                    id: PacketId(i),
+                    at: Coord::new(i, 0),
+                    dst: Coord::new(i, 5),
+                    hops: 0,
+                })
+                .collect(),
+            occupancy: vec![],
+            active_faults: vec![],
+        };
+        let s = snap.to_string();
+        assert!(s.contains("3/20 delivered"));
+        assert!(s.contains("… and 7 more"), "got: {s}");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_serde() {
+        let snap = DiagnosticSnapshot {
+            step: 7,
+            delivered: 1,
+            total: 2,
+            pending: 0,
+            stuck: vec![StuckPacket {
+                id: PacketId(1),
+                at: Coord::new(0, 0),
+                dst: Coord::new(3, 3),
+                hops: 2,
+            }],
+            occupancy: vec![NodeOccupancy {
+                node: Coord::new(0, 0),
+                load: 1,
+            }],
+            active_faults: vec![],
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: DiagnosticSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -44,6 +44,7 @@
 //! `k` each (the Theorem 15 model). In both cases queues need not be FIFO —
 //! order is the policies' business; the engine only enforces capacity.
 
+pub mod diag;
 pub mod hook;
 pub mod metrics;
 pub mod queue;
@@ -52,11 +53,17 @@ pub mod sim;
 pub mod stats;
 pub mod view;
 
+pub use diag::{DiagnosticSnapshot, NodeOccupancy, StuckPacket};
 pub use hook::{HookCtx, NoHook, ScheduledMove, StepHook};
 pub use metrics::{ReportAggregate, SimReport};
 pub use queue::{QueueArch, QueueKind};
 pub use router::{Dx, DxRouter, Router};
 pub use sim::{Sim, SimConfig, SimError};
 pub use sim::Loc;
+
+// Fault plans are part of the engine's public vocabulary (constructors take
+// them); re-export the crate so downstream users need not depend on
+// `mesh-faults` directly.
+pub use mesh_faults as faults;
 pub use stats::{DeliveryCurve, Distribution, NodeField, Summary};
 pub use view::{Arrival, DxView, FullView};

@@ -22,8 +22,10 @@ pub enum QueueKind {
 }
 
 impl QueueKind {
-    /// Dense index (0 = central/injection share nothing; see `slot`).
-    pub(crate) fn slot(self) -> usize {
+    /// Dense per-node index: 0 for the central queue (or `Inlink(North)`),
+    /// 1–3 the other inlink queues, 4 the injection queue. Stable across a
+    /// run — usable as an array index when bucketing per-queue counts.
+    pub fn slot(self) -> usize {
         match self {
             QueueKind::Central => 0,
             QueueKind::Inlink(d) => d.index(),

@@ -1,10 +1,12 @@
 //! The synchronous multi-port simulation engine.
 
+use crate::diag::{DiagnosticSnapshot, NodeOccupancy, StuckPacket};
 use crate::hook::{HookCtx, NoHook, ScheduledMove, StepHook};
 use crate::metrics::SimReport;
 use crate::queue::{QueueArch, QueueKind};
 use crate::router::Router;
 use crate::view::{Arrival, FullView};
+use mesh_faults::CompiledFaults;
 use mesh_topo::{Coord, Dir, Topology, ALL_DIRS};
 use mesh_traffic::{PacketId, RoutingProblem};
 use std::collections::HashMap;
@@ -27,29 +29,68 @@ pub struct SimConfig {
     /// minimal routers) and every queue capacity at each step. Violations
     /// panic — they are router implementation bugs, not runtime conditions.
     pub validate: bool,
+    /// No-progress watchdog window, in steps. When set, [`Sim::run_with_hook`]
+    /// returns [`SimError::Deadlock`] after `w` consecutive steps with no
+    /// accepted move, no delivery, and no injection, and
+    /// [`SimError::Livelock`] after `w` consecutive steps with moves but no
+    /// delivery. The watchdog stays disarmed while future injections remain
+    /// or a *transient* fault might still lift (permanent faults do not
+    /// disarm it). `None` (the default) disables it: runs are then
+    /// bit-for-bit identical to the pre-watchdog engine.
+    pub watchdog: Option<u64>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { validate: true }
+        SimConfig {
+            validate: true,
+            watchdog: None,
+        }
     }
 }
 
-/// Simulation failure: the step cap was reached with packets undelivered.
+/// Why a run failed, with the network state at failure time.
+///
+/// Every variant carries a [`DiagnosticSnapshot`]: stuck packet ids,
+/// locations, destinations, per-node queue occupancy, and active faults.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SimError {
-    pub steps: u64,
-    pub delivered: usize,
-    pub total: usize,
+pub enum SimError {
+    /// The step cap was reached with packets undelivered.
+    StepCap(DiagnosticSnapshot),
+    /// Watchdog: a full window with no accepted move, no delivery, and no
+    /// injection — nothing can ever change again (under a static fault set).
+    Deadlock(DiagnosticSnapshot),
+    /// Watchdog: a full window in which packets moved but none was
+    /// delivered.
+    Livelock(DiagnosticSnapshot),
+}
+
+impl SimError {
+    /// The network state at failure time.
+    pub fn snapshot(&self) -> &DiagnosticSnapshot {
+        match self {
+            SimError::StepCap(s) | SimError::Deadlock(s) | SimError::Livelock(s) => s,
+        }
+    }
+
+    /// Stable lowercase tag (`"step-cap"`, `"deadlock"`, `"livelock"`) for
+    /// result tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimError::StepCap(_) => "step-cap",
+            SimError::Deadlock(_) => "deadlock",
+            SimError::Livelock(_) => "livelock",
+        }
+    }
 }
 
 impl core::fmt::Display for SimError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "step limit reached after {} steps with {}/{} delivered",
-            self.steps, self.delivered, self.total
-        )
+        match self {
+            SimError::StepCap(s) => write!(f, "step limit reached: {s}"),
+            SimError::Deadlock(s) => write!(f, "deadlock (no moves or deliveries): {s}"),
+            SimError::Livelock(s) => write!(f, "livelock (moves but no deliveries): {s}"),
+        }
     }
 }
 
@@ -67,6 +108,9 @@ pub struct Sim<'t, T: Topology, R: Router> {
     n: u32,
     workload: String,
     config: SimConfig,
+    // Compiled fault state; `None` (no plan, or an empty plan) is the fast
+    // path with zero per-move overhead.
+    faults: Option<CompiledFaults>,
 
     // Packet table (struct-of-arrays, indexed by PacketId).
     src: Vec<Coord>,
@@ -85,6 +129,11 @@ pub struct Sim<'t, T: Topology, R: Router> {
     // Active-node tracking.
     active: Vec<u32>,
     in_active: Vec<bool>,
+
+    // Watchdog trackers: last step (1-based, 0 = never) that saw any
+    // activity (accepted move or injection) / any delivery.
+    last_activity: u64,
+    last_delivery: u64,
 
     // Progress and metrics.
     steps: u64,
@@ -131,8 +180,35 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         problem: &RoutingProblem,
         config: SimConfig,
     ) -> Self {
+        Self::with_faults_opt(topo, router, problem, config, None)
+    }
+
+    /// [`Sim::with_config`] plus a compiled fault plan. Faults apply from
+    /// step 0 (a node stalled at step 0 does not even inject). An empty plan
+    /// is dropped entirely, so it is *exactly* equivalent to no plan.
+    pub fn with_faults(
+        topo: &'t T,
+        router: R,
+        problem: &RoutingProblem,
+        config: SimConfig,
+        faults: CompiledFaults,
+    ) -> Self {
+        Self::with_faults_opt(topo, router, problem, config, Some(faults))
+    }
+
+    fn with_faults_opt(
+        topo: &'t T,
+        router: R,
+        problem: &RoutingProblem,
+        config: SimConfig,
+        faults: Option<CompiledFaults>,
+    ) -> Self {
         let n = topo.side();
         assert_eq!(n, problem.n, "problem and topology sides differ");
+        let faults = faults.filter(|f| {
+            assert_eq!(f.n(), n, "fault plan and topology sides differ");
+            !f.is_empty()
+        });
         let arch = router.queue_arch();
         assert!(arch.k() >= 1, "queue capacity k must be at least 1");
         let slots = arch.num_slots();
@@ -147,6 +223,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             n,
             workload: problem.label.clone(),
             config,
+            faults,
             src: problem.packets.iter().map(|p| p.src).collect(),
             dst: problem.packets.iter().map(|p| p.dst).collect(),
             state: problem.packets.iter().map(|p| p.state).collect(),
@@ -159,6 +236,8 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             pending: HashMap::new(),
             active: Vec::new(),
             in_active: vec![false; nodes],
+            last_activity: 0,
+            last_delivery: 0,
             steps: 0,
             delivered: 0,
             total_moves: 0,
@@ -209,8 +288,10 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     }
 
     /// Moves packets whose injection time has come into their origin queues,
-    /// capacity permitting.
-    fn inject(&mut self, t: u64) {
+    /// capacity (and faults) permitting. Returns whether any packet entered
+    /// the network.
+    fn inject(&mut self, t: u64) -> bool {
+        let mut injected = false;
         // Stage newly due packets into per-node pending queues.
         while self.inject_cursor < self.inject_order.len() {
             let pid = self.inject_order[self.inject_cursor];
@@ -231,13 +312,24 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             self.mark_active(ni as usize);
         }
         if self.pending.is_empty() {
-            return;
+            return injected;
         }
-        // Drain pending into origin queues while capacity lasts.
+        // Drain pending into origin queues while capacity lasts. A stalled
+        // node injects nothing; a degraded node only up to its reduced
+        // capacity.
         let origin = self.arch.origin_queue();
         let cap = self.arch.capacity(origin);
         let nodes: Vec<u32> = self.pending.keys().copied().collect();
         for ni in nodes {
+            let c = self.coord_of(ni as usize);
+            let cap = match &self.faults {
+                Some(f) if f.node_stalled(t, c) => {
+                    self.mark_active(ni as usize);
+                    continue;
+                }
+                Some(f) => cap.map(|k| k.saturating_sub(f.degraded_slots(t, c))),
+                None => cap,
+            };
             loop {
                 let qi = ni as usize * self.slots + origin.slot();
                 let room = match cap {
@@ -247,7 +339,6 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 if !room {
                     break;
                 }
-                let c = self.coord_of(ni as usize);
                 let Some(q) = self.pending.get_mut(&ni) else { break };
                 let Some(pid) = q.pop_front() else {
                     self.pending.remove(&ni);
@@ -256,12 +347,14 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 self.queues[qi].push(pid);
                 self.loc[pid.index()] = Loc::At(c);
                 self.queue_of[pid.index()] = origin;
+                injected = true;
                 if q.is_empty() {
                     self.pending.remove(&ni);
                 }
             }
             self.mark_active(ni as usize);
         }
+        injected
     }
 
     #[inline]
@@ -312,8 +405,11 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             return true;
         }
         let t0 = self.steps;
+        let delivered_before = self.delivered;
+        let moves_before = self.total_moves;
+        let mut injected_any = false;
         if t0 > 0 {
-            self.inject(t0);
+            injected_any = self.inject(t0);
         }
 
         // ---- (a) outqueue ----
@@ -330,6 +426,13 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 continue;
             }
             let node = self.coord_of(ni);
+            // A stalled node sends nothing this step (its packets stay put;
+            // the active-set rebuild below keeps it scheduled for later).
+            if let Some(f) = &self.faults {
+                if f.node_stalled(t0, node) {
+                    continue;
+                }
+            }
             Self::build_views(
                 self.topo,
                 &self.queues,
@@ -383,6 +486,14 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                             v.profitable
                         );
                     }
+                    // A down link carries nothing: the move is dropped here,
+                    // *before* the adversary hook observes the schedule, so
+                    // the exchanger only ever sees moves that can happen.
+                    if let Some(f) = &self.faults {
+                        if f.link_down(t0, node, d) {
+                            continue;
+                        }
+                    }
                     schedule.push(ScheduledMove {
                         pkt: v.id,
                         from: node,
@@ -429,6 +540,14 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 end += 1;
             }
             let ni = self.node_index(target);
+            // A stalled node accepts nothing: the whole arrival group stays
+            // rejected and its router never observes the offered packets.
+            if let Some(f) = &self.faults {
+                if f.node_stalled(t0, target) {
+                    g = end;
+                    continue;
+                }
+            }
             Self::build_views(
                 self.topo,
                 &self.queues,
@@ -470,6 +589,40 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 &arrivals,
                 &mut accept,
             );
+            // Queue degradation: clamp what a (degradation-unaware) router
+            // accepted down to the reduced capacity. Deliveries never occupy
+            // a queue slot, so they are exempt; residents already over the
+            // reduced capacity are not evicted — they drain naturally.
+            if let Some(f) = &self.faults {
+                let lost = f.degraded_slots(t0, target);
+                if lost > 0 {
+                    let mut room = [usize::MAX; 5];
+                    for (s, r) in room.iter_mut().enumerate().take(self.slots) {
+                        let kind = match (self.arch, s) {
+                            (QueueArch::Central { .. }, _) => QueueKind::Central,
+                            (QueueArch::PerInlink { .. }, 4) => QueueKind::Injection,
+                            (QueueArch::PerInlink { .. }, s) => {
+                                QueueKind::Inlink(Dir::from_index(s))
+                            }
+                        };
+                        if let Some(cap) = self.arch.capacity(kind) {
+                            let eff = cap.saturating_sub(lost) as usize;
+                            *r = eff.saturating_sub(self.queues[ni * self.slots + s].len());
+                        }
+                    }
+                    for (j, a) in arrivals.iter().enumerate() {
+                        if !accept[j] || a.view.dst == target {
+                            continue;
+                        }
+                        let s = self.arch.arrival_queue(a.travel).slot();
+                        if room[s] > 0 {
+                            room[s] -= 1;
+                        } else {
+                            accept[j] = false;
+                        }
+                    }
+                }
+            }
             for (j, &mi) in order[g..end].iter().enumerate() {
                 accepted[mi as usize] = accept[j];
             }
@@ -592,6 +745,13 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         self.state_buf = states;
 
         self.steps += 1;
+        // Watchdog bookkeeping (1-based step stamps; 0 = never).
+        if self.total_moves != moves_before || injected_any || self.delivered != delivered_before {
+            self.last_activity = self.steps;
+        }
+        if self.delivered != delivered_before {
+            self.last_delivery = self.steps;
+        }
         self.delivered == self.src.len()
     }
 
@@ -600,26 +760,37 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         self.step_with_hook(&mut NoHook)
     }
 
-    /// Runs (with a hook) until all packets are delivered or `max_steps`
-    /// total steps have executed.
+    /// Runs (with a hook) until all packets are delivered, `max_steps` total
+    /// steps have executed, or — when [`SimConfig::watchdog`] is set — a full
+    /// no-progress window elapses.
     pub fn run_with_hook<H: StepHook>(
         &mut self,
         max_steps: u64,
         hook: &mut H,
     ) -> Result<u64, SimError> {
+        // The watchdog only arms once nothing external can still change the
+        // picture: all injections done and every transient fault lifted
+        // (permanent faults never lift, so they do not hold it off).
+        let settle = self.faults.as_ref().map_or(0, |f| f.last_transition());
         while self.steps < max_steps {
             if self.step_with_hook(hook) {
                 return Ok(self.steps);
+            }
+            if let Some(w) = self.config.watchdog {
+                if self.inject_cursor >= self.inject_order.len() {
+                    if self.steps.saturating_sub(self.last_activity.max(settle)) >= w {
+                        return Err(SimError::Deadlock(self.diagnostics()));
+                    }
+                    if self.steps.saturating_sub(self.last_delivery.max(settle)) >= w {
+                        return Err(SimError::Livelock(self.diagnostics()));
+                    }
+                }
             }
         }
         if self.delivered == self.src.len() {
             Ok(self.steps)
         } else {
-            Err(SimError {
-                steps: self.steps,
-                delivered: self.delivered,
-                total: self.src.len(),
-            })
+            Err(SimError::StepCap(self.diagnostics()))
         }
     }
 
@@ -765,6 +936,45 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 .copied()
                 .filter(|&d| d != NOT_DELIVERED),
         )
+    }
+
+    /// The state of the network right now, in the form failure reports
+    /// carry: stuck packets, per-node occupancy, active faults.
+    pub fn diagnostics(&self) -> DiagnosticSnapshot {
+        let mut stuck = Vec::new();
+        for i in 0..self.src.len() {
+            if let Loc::At(c) = self.loc[i] {
+                stuck.push(StuckPacket {
+                    id: PacketId(i as u32),
+                    at: c,
+                    dst: self.dst[i],
+                    hops: self.hops[i],
+                });
+            }
+        }
+        let mut occupancy = Vec::new();
+        for ni in 0..(self.n * self.n) as usize {
+            let load = self.node_load(ni) as u32;
+            if load > 0 {
+                occupancy.push(NodeOccupancy {
+                    node: self.coord_of(ni),
+                    load,
+                });
+            }
+        }
+        DiagnosticSnapshot {
+            step: self.steps,
+            delivered: self.delivered,
+            total: self.src.len(),
+            pending: self.src.len() - self.delivered - stuck.len(),
+            stuck,
+            occupancy,
+            active_faults: self
+                .faults
+                .as_ref()
+                .map(|f| f.active_at(self.steps))
+                .unwrap_or_default(),
+        }
     }
 
     /// The router's queue architecture.
@@ -1096,9 +1306,271 @@ mod tests {
         let pb = RoutingProblem::from_pairs(8, "far", [(Coord::new(0, 0), Coord::new(7, 7))]);
         let mut sim = Sim::new(&topo, greedy(1), &pb);
         let err = sim.run(3).unwrap_err();
-        assert_eq!(err.steps, 3);
-        assert_eq!(err.delivered, 0);
-        assert_eq!(err.total, 1);
+        assert!(matches!(err, SimError::StepCap(_)));
+        assert_eq!(err.kind(), "step-cap");
+        let snap = err.snapshot();
+        assert_eq!(snap.step, 3);
+        assert_eq!(snap.delivered, 0);
+        assert_eq!(snap.total, 1);
+        assert_eq!(snap.stuck.len(), 1);
+        assert_eq!(snap.stuck[0].dst, Coord::new(7, 7));
+        assert_eq!(snap.stuck[0].hops, 3);
+        let msg = err.to_string();
+        assert!(msg.contains("step limit reached"), "got: {msg}");
+        assert!(msg.contains("0/1 delivered"), "got: {msg}");
+    }
+
+    /// A two-packet cyclic wait: on a 1-wide corridor with k=1 and a router
+    /// that never yields, the two packets face each other forever. The
+    /// watchdog must report `Deadlock` within its window — not spin to the
+    /// step cap.
+    #[test]
+    fn watchdog_reports_cyclic_wait_as_deadlock() {
+        let topo = Mesh::new(2);
+        // (0,0)->(1,0) and (1,0)->(0,0): each needs the cell the other holds;
+        // greedy's inqueue demands strict headroom, so neither ever moves.
+        let pb = RoutingProblem::from_pairs(
+            2,
+            "face-off",
+            [
+                (Coord::new(0, 0), Coord::new(1, 0)),
+                (Coord::new(1, 0), Coord::new(0, 0)),
+            ],
+        );
+        let config = SimConfig {
+            watchdog: Some(25),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::with_config(&topo, greedy(1), &pb, config);
+        let err = sim.run(100_000).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock(_)), "got {err}");
+        assert!(sim.steps() <= 30, "watchdog should fire within the window");
+        let snap = err.snapshot();
+        assert_eq!(snap.stuck.len(), 2);
+        assert_eq!(snap.occupancy.len(), 2);
+        assert!(snap.active_faults.is_empty());
+    }
+
+    /// The watchdog must never fire on a fault-free run that is making
+    /// progress — even with the smallest sensible window.
+    #[test]
+    fn watchdog_never_trips_on_healthy_permutation() {
+        let topo = Mesh::new(8);
+        let pb = mesh_traffic::workloads::random_permutation(8, 13);
+        let config = SimConfig {
+            watchdog: Some(20),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::with_config(&topo, greedy(64), &pb, config);
+        sim.run(100_000).expect("healthy run must complete");
+        assert!(sim.done());
+    }
+
+    /// The watchdog stays disarmed while injections are still scheduled:
+    /// a long quiet gap before a late packet is not a deadlock.
+    #[test]
+    fn watchdog_waits_for_scheduled_injections() {
+        let topo = Mesh::new(4);
+        let pb = RoutingProblem::from_packets(
+            4,
+            "late",
+            vec![mesh_traffic::Packet::injected_at(
+                0,
+                Coord::new(0, 0),
+                Coord::new(1, 0),
+                80,
+            )],
+        );
+        let config = SimConfig {
+            watchdog: Some(10),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::with_config(&topo, greedy(1), &pb, config);
+        let steps = sim.run(1000).expect("late injection is not a deadlock");
+        assert_eq!(steps, 81);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::tests::Greedy;
+    use super::*;
+    use crate::router::Dx;
+    use mesh_faults::FaultPlan;
+    use mesh_topo::Mesh;
+    use mesh_traffic::{workloads, RoutingProblem};
+
+    fn greedy(k: u32) -> Dx<Greedy> {
+        Dx::new(Greedy { k })
+    }
+
+    /// An *empty* fault plan must be indistinguishable from no plan at all:
+    /// identical step counts and identical per-packet trajectories.
+    #[test]
+    fn empty_plan_is_exactly_no_plan() {
+        let topo = Mesh::new(8);
+        let pb = workloads::random_permutation(8, 99);
+        let mut plain = Sim::new(&topo, greedy(3), &pb);
+        let mut faulted = Sim::with_faults(
+            &topo,
+            greedy(3),
+            &pb,
+            SimConfig::default(),
+            FaultPlan::none(8).compile(),
+        );
+        let a = plain.run(100_000).unwrap();
+        let b = faulted.run(100_000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(plain.packet_snapshot(), faulted.packet_snapshot());
+        assert_eq!(plain.report().total_moves, faulted.report().total_moves);
+    }
+
+    /// A down link carries nothing while down; traffic resumes once it
+    /// lifts. One packet, one link on its only path, fault for steps [0, 10).
+    #[test]
+    fn transient_link_fault_delays_crossing() {
+        let topo = Mesh::new(3);
+        let pb = RoutingProblem::from_pairs(3, "cross", [(Coord::new(0, 0), Coord::new(1, 0))]);
+        let faults = FaultPlan::none(3)
+            .link_down(Coord::new(0, 0), Dir::East, 0, Some(10))
+            .compile();
+        let mut sim = Sim::with_faults(&topo, greedy(1), &pb, SimConfig::default(), faults);
+        let steps = sim.run(100).unwrap();
+        // The link is down during steps 0..10 (t0 = 0..=9); the move happens
+        // during t0 = 10, i.e. run completes after 11 steps.
+        assert_eq!(steps, 11);
+    }
+
+    /// A stalled node neither sends nor accepts: neighbors' packets aimed at
+    /// it wait, and its own packets freeze.
+    #[test]
+    fn stalled_node_freezes_traffic_through_it() {
+        let topo = Mesh::new(3);
+        // Packet A crosses the center; packet B starts at the center.
+        let pb = RoutingProblem::from_pairs(
+            3,
+            "through-center",
+            [
+                (Coord::new(0, 1), Coord::new(2, 1)),
+                (Coord::new(1, 1), Coord::new(1, 2)),
+            ],
+        );
+        let faults = FaultPlan::none(3).stall(Coord::new(1, 1), 0, Some(5)).compile();
+        let mut sim = Sim::with_faults(&topo, greedy(2), &pb, SimConfig::default(), faults);
+        for _ in 0..5 {
+            sim.step();
+        }
+        // While stalled: A could not enter the center, and B — whose source
+        // *is* the stalled node — could not even inject.
+        assert_eq!(sim.loc(mesh_traffic::PacketId(0)), Loc::At(Coord::new(0, 1)));
+        assert_eq!(sim.loc(mesh_traffic::PacketId(1)), Loc::Pending);
+        let steps = sim.run(100).unwrap();
+        assert!(sim.done());
+        assert!(steps >= 7, "stall must have cost at least 5 steps, took {steps}");
+    }
+
+    /// Queue degradation clamps *new* acceptance without evicting residents:
+    /// with k=2 degraded by 1, a node holding one packet accepts nothing.
+    #[test]
+    fn degraded_queue_rejects_at_reduced_capacity() {
+        let topo = Mesh::new(3);
+        // B parks at (1,0) (its destination is further, but it is boxed in by
+        // A's passage); simpler: A at (0,0) moving east to (2,0), B resident
+        // at (1,0) headed to (1,2) but stalled by... use a plain check: A
+        // wants to enter (1,0) which already holds B; degraded k=2 -> room 0.
+        let pb = RoutingProblem::from_pairs(
+            3,
+            "degrade",
+            [
+                (Coord::new(0, 0), Coord::new(2, 0)),
+                (Coord::new(1, 0), Coord::new(1, 1)),
+            ],
+        );
+        // Stall B's node? No: degrade (1,0) by one slot for the whole run and
+        // ALSO make B immobile by downing its only profitable link. Then A
+        // can never pass through (1,0) while degradation holds.
+        let faults = FaultPlan::none(3)
+            .degrade(Coord::new(1, 0), 1, 0, Some(20))
+            .link_down(Coord::new(1, 0), Dir::North, 0, Some(20))
+            .compile();
+        let mut sim = Sim::with_faults(&topo, greedy(2), &pb, SimConfig::default(), faults);
+        for _ in 0..20 {
+            sim.step();
+        }
+        // Throughout the fault window, A never entered (1,0): k=2 minus one
+        // degraded slot leaves room 1, fully used by resident B.
+        assert_eq!(sim.loc(mesh_traffic::PacketId(0)), Loc::At(Coord::new(0, 0)));
+        // After the faults lift everything drains.
+        sim.run(100).unwrap();
+        assert!(sim.done());
+    }
+
+    /// Deliveries are exempt from degradation: a packet arriving *at its
+    /// destination* consumes no queue slot and must not be clamped.
+    #[test]
+    fn degradation_does_not_block_delivery() {
+        let topo = Mesh::new(2);
+        let pb = RoutingProblem::from_pairs(2, "deliver", [(Coord::new(0, 0), Coord::new(1, 0))]);
+        // Degrade the destination to zero effective capacity.
+        let faults = FaultPlan::none(2).degrade(Coord::new(1, 0), 1, 0, None).compile();
+        let mut sim =
+            Sim::with_faults(&topo, greedy(1), &pb, SimConfig::default(), faults);
+        assert_eq!(sim.run(10).unwrap(), 1);
+    }
+
+    /// A permanent link fault on the only profitable path, plus the watchdog:
+    /// the run must end in `Deadlock` carrying the fault in its snapshot —
+    /// not a panic, not a step-cap timeout.
+    #[test]
+    fn permanent_fault_is_reported_as_deadlock_with_fault_context() {
+        let topo = Mesh::new(3);
+        let pb = RoutingProblem::from_pairs(3, "blocked", [(Coord::new(0, 0), Coord::new(2, 0))]);
+        let faults = FaultPlan::none(3)
+            .link_down(Coord::new(0, 0), Dir::East, 0, None)
+            .compile();
+        let config = SimConfig {
+            watchdog: Some(30),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::with_faults(&topo, greedy(1), &pb, config, faults);
+        let err = sim.run(100_000).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock(_)), "got {err}");
+        let snap = err.snapshot();
+        assert_eq!(snap.active_faults.len(), 1);
+        assert_eq!(snap.stuck.len(), 1);
+        assert!(err.to_string().contains("link (0,0)-E down"), "got {err}");
+    }
+
+    /// The watchdog holds off while a *transient* fault might still lift,
+    /// then the run completes normally.
+    #[test]
+    fn watchdog_waits_out_transient_faults() {
+        let topo = Mesh::new(3);
+        let pb = RoutingProblem::from_pairs(3, "patience", [(Coord::new(0, 0), Coord::new(1, 0))]);
+        let faults = FaultPlan::none(3)
+            .link_down(Coord::new(0, 0), Dir::East, 0, Some(200))
+            .compile();
+        let config = SimConfig {
+            watchdog: Some(10),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::with_faults(&topo, greedy(1), &pb, config, faults);
+        let steps = sim.run(1000).expect("fault lifts; not a deadlock");
+        assert_eq!(steps, 201);
+    }
+
+    /// A node stalled from step 0 does not inject its static packet until
+    /// the stall lifts.
+    #[test]
+    fn stall_at_step_zero_blocks_injection() {
+        let topo = Mesh::new(3);
+        let pb = RoutingProblem::from_pairs(3, "held", [(Coord::new(0, 0), Coord::new(1, 0))]);
+        let faults = FaultPlan::none(3).stall(Coord::new(0, 0), 0, Some(4)).compile();
+        let mut sim = Sim::with_faults(&topo, greedy(1), &pb, SimConfig::default(), faults);
+        assert_eq!(sim.loc(mesh_traffic::PacketId(0)), Loc::Pending);
+        let steps = sim.run(100).unwrap();
+        assert!(steps >= 5, "stall held injection, took {steps}");
+        assert!(sim.done());
     }
 }
 
@@ -1196,9 +1668,11 @@ mod conservation_tests {
             assert!(now >= last);
             assert!(now - last <= 4 * 100, "more moves than links in a step");
             last = now;
-            if sim.steps() > 10_000 {
-                panic!("did not finish");
-            }
+            assert!(
+                sim.steps() <= 10_000,
+                "did not finish within 10000 steps: {}",
+                sim.diagnostics()
+            );
         }
     }
 }

@@ -1,0 +1,238 @@
+//! The compiled form of a fault plan: per-entity interval tables with
+//! O(log intervals) point queries, plus step-indexed enumeration of active
+//! faults for diagnostics.
+
+use crate::plan::FaultPlan;
+use mesh_topo::{Coord, Dir, Link};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sorted, possibly-overlapping `[from, until)` intervals with a payload.
+/// `u64::MAX` encodes "forever".
+type Intervals = Vec<(u64, u64, u32)>;
+
+fn push_interval(map: &mut HashMap<u32, Intervals>, key: u32, from: u64, until: Option<u64>, load: u32) {
+    map.entry(key)
+        .or_default()
+        .push((from, until.unwrap_or(u64::MAX), load));
+}
+
+fn finish(map: &mut HashMap<u32, Intervals>) {
+    for v in map.values_mut() {
+        v.sort_unstable();
+    }
+}
+
+/// Sum of payloads of intervals containing `step` (intervals are sorted by
+/// start; entity fault lists are tiny, so a linear scan is fine and simpler
+/// than interval trees).
+fn active_load(intervals: Option<&Intervals>, step: u64) -> u32 {
+    let Some(iv) = intervals else { return 0 };
+    iv.iter()
+        .take_while(|&&(from, _, _)| from <= step)
+        .filter(|&&(_, until, _)| step < until)
+        .map(|&(_, _, load)| load)
+        .sum()
+}
+
+/// One fault active at a queried step — the diagnostic view embedded in the
+/// engine's failure snapshots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActiveFault {
+    LinkDown(Link),
+    NodeStalled(Coord),
+    QueueDegraded { node: Coord, slots: u32 },
+}
+
+impl core::fmt::Display for ActiveFault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ActiveFault::LinkDown(l) => write!(f, "link {l} down"),
+            ActiveFault::NodeStalled(c) => write!(f, "node {c} stalled"),
+            ActiveFault::QueueDegraded { node, slots } => {
+                write!(f, "node {node} degraded by {slots} slot(s)")
+            }
+        }
+    }
+}
+
+/// A [`FaultPlan`] compiled for point queries. Cheap to clone relative to a
+/// simulation; share between a `Sim` and a `FaultAware` router by cloning
+/// (or wrap in `Arc`).
+#[derive(Clone, Debug, Default)]
+pub struct CompiledFaults {
+    n: u32,
+    empty: bool,
+    last_transition: u64,
+    links: HashMap<u32, Intervals>,
+    stalls: HashMap<u32, Intervals>,
+    degrades: HashMap<u32, Intervals>,
+}
+
+impl CompiledFaults {
+    pub(crate) fn new(plan: &FaultPlan) -> CompiledFaults {
+        let n = plan.n;
+        let finite_ends = plan
+            .links
+            .iter()
+            .filter_map(|f| f.until)
+            .chain(plan.stalls.iter().filter_map(|f| f.until))
+            .chain(plan.degrades.iter().filter_map(|f| f.until));
+        let mut c = CompiledFaults {
+            n,
+            empty: plan.is_empty(),
+            last_transition: finite_ends.max().unwrap_or(0),
+            links: HashMap::new(),
+            stalls: HashMap::new(),
+            degrades: HashMap::new(),
+        };
+        for lf in &plan.links {
+            push_interval(&mut c.links, lf.link.index(n) as u32, lf.from, lf.until, 1);
+        }
+        for st in &plan.stalls {
+            let key = st.node.y * n + st.node.x;
+            push_interval(&mut c.stalls, key, st.from, st.until, 1);
+        }
+        for dg in &plan.degrades {
+            let key = dg.node.y * n + dg.node.x;
+            push_interval(&mut c.degrades, key, dg.from, dg.until, dg.slots);
+        }
+        finish(&mut c.links);
+        finish(&mut c.stalls);
+        finish(&mut c.degrades);
+        c
+    }
+
+    /// Grid side the plan was built for.
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// True when the source plan had no faults: the engine's fast path.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// The last step at which any *finite* fault interval lifts; from this
+    /// step on, the fault state never changes again (permanent faults stay).
+    /// Watchdogs use this to avoid declaring deadlock while a transient
+    /// fault that might still lift is blocking traffic.
+    #[inline]
+    pub fn last_transition(&self) -> u64 {
+        self.last_transition
+    }
+
+    /// Is the `dir` outlink of `node` down at `step`?
+    #[inline]
+    pub fn link_down(&self, step: u64, node: Coord, dir: Dir) -> bool {
+        !self.empty
+            && active_load(self.links.get(&(Link::new(node, dir).index(self.n) as u32)), step) > 0
+    }
+
+    /// Is `node` stalled at `step`?
+    #[inline]
+    pub fn node_stalled(&self, step: u64, node: Coord) -> bool {
+        !self.empty && active_load(self.stalls.get(&(node.y * self.n + node.x)), step) > 0
+    }
+
+    /// Queue slots lost by `node` at `step` (0 = healthy).
+    #[inline]
+    pub fn degraded_slots(&self, step: u64, node: Coord) -> u32 {
+        if self.empty {
+            return 0;
+        }
+        active_load(self.degrades.get(&(node.y * self.n + node.x)), step)
+    }
+
+    /// Every fault active at `step`, in a deterministic (index-sorted)
+    /// order — the diagnostics view.
+    pub fn active_at(&self, step: u64) -> Vec<ActiveFault> {
+        let mut out = Vec::new();
+        let mut link_keys: Vec<u32> = self.links.keys().copied().collect();
+        link_keys.sort_unstable();
+        for key in link_keys {
+            if active_load(self.links.get(&key), step) > 0 {
+                out.push(ActiveFault::LinkDown(Link::from_index(key as usize, self.n)));
+            }
+        }
+        let coord = |key: u32| Coord::new(key % self.n, key / self.n);
+        let mut stall_keys: Vec<u32> = self.stalls.keys().copied().collect();
+        stall_keys.sort_unstable();
+        for key in stall_keys {
+            if active_load(self.stalls.get(&key), step) > 0 {
+                out.push(ActiveFault::NodeStalled(coord(key)));
+            }
+        }
+        let mut deg_keys: Vec<u32> = self.degrades.keys().copied().collect();
+        deg_keys.sort_unstable();
+        for key in deg_keys {
+            let slots = active_load(self.degrades.get(&key), step);
+            if slots > 0 {
+                out.push(ActiveFault::QueueDegraded {
+                    node: coord(key),
+                    slots,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_boundaries_are_half_open() {
+        let c = FaultPlan::none(8)
+            .link_down(Coord::new(1, 1), Dir::East, 10, Some(20))
+            .compile();
+        let node = Coord::new(1, 1);
+        assert!(!c.link_down(9, node, Dir::East));
+        assert!(c.link_down(10, node, Dir::East));
+        assert!(c.link_down(19, node, Dir::East));
+        assert!(!c.link_down(20, node, Dir::East));
+        assert!(!c.link_down(10, node, Dir::West), "other dirs unaffected");
+    }
+
+    #[test]
+    fn forever_faults_never_lift() {
+        let c = FaultPlan::none(4).stall(Coord::new(2, 2), 5, None).compile();
+        assert!(!c.node_stalled(4, Coord::new(2, 2)));
+        assert!(c.node_stalled(u64::MAX - 1, Coord::new(2, 2)));
+    }
+
+    #[test]
+    fn overlapping_degradations_sum() {
+        let c = FaultPlan::none(4)
+            .degrade(Coord::new(0, 0), 1, 0, Some(100))
+            .degrade(Coord::new(0, 0), 2, 50, Some(60))
+            .compile();
+        assert_eq!(c.degraded_slots(10, Coord::new(0, 0)), 1);
+        assert_eq!(c.degraded_slots(55, Coord::new(0, 0)), 3);
+        assert_eq!(c.degraded_slots(60, Coord::new(0, 0)), 1);
+    }
+
+    #[test]
+    fn active_at_is_sorted_and_complete() {
+        let c = FaultPlan::none(8)
+            .link_down(Coord::new(3, 0), Dir::North, 0, None)
+            .stall(Coord::new(1, 1), 0, Some(10))
+            .degrade(Coord::new(2, 2), 1, 0, None)
+            .compile();
+        let at0 = c.active_at(0);
+        assert_eq!(at0.len(), 3);
+        assert!(matches!(at0[0], ActiveFault::LinkDown(_)));
+        let at50 = c.active_at(50);
+        assert_eq!(at50.len(), 2, "stall lifted at step 10");
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_empty_fast_path() {
+        let c = FaultPlan::none(16).compile();
+        assert!(c.is_empty());
+        assert!(!c.link_down(0, Coord::new(0, 0), Dir::East));
+        assert!(c.active_at(0).is_empty());
+    }
+}

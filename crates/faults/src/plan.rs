@@ -1,0 +1,223 @@
+//! Fault plans: declarative, seedable descriptions of what breaks when.
+
+use crate::compiled::CompiledFaults;
+use crate::splitmix64;
+use mesh_topo::{Coord, Dir, Link};
+use serde::{Deserialize, Serialize};
+
+/// A directed link carries nothing during `[from, until)` steps
+/// (`until = None` means forever). Step numbering matches the engine's
+/// 0-based step counter: a fault with `from = 0` is active from the first
+/// simulated step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkFault {
+    pub link: Link,
+    pub from: u64,
+    pub until: Option<u64>,
+}
+
+/// A node skips scheduling during `[from, until)`: it neither sends,
+/// accepts, nor injects. Packets it holds are frozen in place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStall {
+    pub node: Coord,
+    pub from: u64,
+    pub until: Option<u64>,
+}
+
+/// A node loses `slots` queue slots during `[from, until)`: every bounded
+/// queue of the node accepts only while its occupancy is below
+/// `capacity − slots` (floored at zero). Residents over the degraded
+/// capacity are never evicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueDegrade {
+    pub node: Coord,
+    pub slots: u32,
+    pub from: u64,
+    pub until: Option<u64>,
+}
+
+/// A complete fault schedule for one simulation on a side-`n` grid.
+///
+/// Plans are plain data: build them field by field, with the fluent helpers,
+/// or from a seed with [`FaultPlan::random`]. Compile with
+/// [`FaultPlan::compile`] before handing to the engine or to `FaultAware`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub n: u32,
+    pub links: Vec<LinkFault>,
+    pub stalls: Vec<NodeStall>,
+    pub degrades: Vec<QueueDegrade>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever fails. The engine treats it exactly like
+    /// running without a fault layer (zero behavior change, test-enforced).
+    pub fn none(n: u32) -> FaultPlan {
+        FaultPlan {
+            n,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True when the plan contains no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.stalls.is_empty() && self.degrades.is_empty()
+    }
+
+    /// Adds a one-direction link fault over `[from, until)`.
+    pub fn link_down(mut self, node: Coord, dir: Dir, from: u64, until: Option<u64>) -> Self {
+        self.links.push(LinkFault {
+            link: Link::new(node, dir),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a both-directions (cable-cut) link fault over `[from, until)`.
+    pub fn cable_cut(mut self, node: Coord, dir: Dir, from: u64, until: Option<u64>) -> Self {
+        let link = Link::new(node, dir);
+        self.links.push(LinkFault { link, from, until });
+        if let Some(rev) = link.reverse() {
+            self.links.push(LinkFault {
+                link: rev,
+                from,
+                until,
+            });
+        }
+        self
+    }
+
+    /// Adds a node stall over `[from, until)`.
+    pub fn stall(mut self, node: Coord, from: u64, until: Option<u64>) -> Self {
+        self.stalls.push(NodeStall { node, from, until });
+        self
+    }
+
+    /// Adds a queue degradation of `slots` slots over `[from, until)`.
+    pub fn degrade(mut self, node: Coord, slots: u32, from: u64, until: Option<u64>) -> Self {
+        self.degrades.push(QueueDegrade {
+            node,
+            slots,
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Draws a random plan: each *cable* (opposite-direction link pair) of
+    /// the mesh fails independently with probability `density`, for a down
+    /// interval starting uniformly in `[0, horizon)` and lasting between
+    /// `horizon/8` and `horizon/2` steps; additionally, each node stalls
+    /// with probability `density/4` for a `horizon/8`-to-`horizon/4`
+    /// interval, and degrades one queue slot with probability `density/4`
+    /// for an interval of the same shape.
+    ///
+    /// Fully determined by `(n, density, horizon, seed)` — no global RNG.
+    pub fn random(n: u32, density: f64, horizon: u64, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::none(n);
+        if density <= 0.0 || horizon == 0 {
+            return plan;
+        }
+        // Distinct stream per fault class so adding classes never shifts
+        // another class's draws.
+        let mut s_link = seed ^ 0x11d3_a6fb_0a5c_4e97;
+        let mut s_stall = seed ^ 0x5bd1_e995_7b42_d1c3;
+        let mut s_deg = seed ^ 0xc2b2_ae3d_27d4_eb4f;
+        let unit = |r: u64| (r >> 11) as f64 / (1u64 << 53) as f64;
+        let interval = |s: &mut u64, lo_div: u64, hi_div: u64| {
+            let from = splitmix64(s) % horizon;
+            let lo = (horizon / lo_div).max(1);
+            let hi = (horizon / hi_div).max(lo + 1);
+            let len = lo + splitmix64(s) % (hi - lo);
+            (from, Some(from + len))
+        };
+        for link in Link::all_mesh(n) {
+            // One draw per cable: visit each undirected pair once, from its
+            // East/North endpoint.
+            if !matches!(link.dir, Dir::East | Dir::North) {
+                continue;
+            }
+            if unit(splitmix64(&mut s_link)) < density {
+                let (from, until) = interval(&mut s_link, 8, 2);
+                plan = plan.cable_cut(link.from, link.dir, from, until);
+            } else {
+                // Keep the stream aligned regardless of the branch taken.
+                let _ = splitmix64(&mut s_link);
+                let _ = splitmix64(&mut s_link);
+            }
+        }
+        for y in 0..n {
+            for x in 0..n {
+                let node = Coord::new(x, y);
+                if unit(splitmix64(&mut s_stall)) < density / 4.0 {
+                    let (from, until) = interval(&mut s_stall, 8, 4);
+                    plan = plan.stall(node, from, until);
+                } else {
+                    let _ = splitmix64(&mut s_stall);
+                    let _ = splitmix64(&mut s_stall);
+                }
+                if unit(splitmix64(&mut s_deg)) < density / 4.0 {
+                    let (from, until) = interval(&mut s_deg, 8, 4);
+                    plan = plan.degrade(node, 1, from, until);
+                } else {
+                    let _ = splitmix64(&mut s_deg);
+                    let _ = splitmix64(&mut s_deg);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Compiles the plan into the interval-query structure the engine and
+    /// `FaultAware` consult.
+    pub fn compile(&self) -> CompiledFaults {
+        CompiledFaults::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_plans_are_seed_deterministic() {
+        let a = FaultPlan::random(12, 0.1, 1000, 42);
+        let b = FaultPlan::random(12, 0.1, 1000, 42);
+        assert_eq!(a, b);
+        let c = FaultPlan::random(12, 0.1, 1000, 43);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn zero_density_is_empty() {
+        assert!(FaultPlan::random(8, 0.0, 1000, 7).is_empty());
+        assert!(FaultPlan::none(8).is_empty());
+    }
+
+    #[test]
+    fn density_scales_fault_count() {
+        let lo = FaultPlan::random(16, 0.02, 1000, 5);
+        let hi = FaultPlan::random(16, 0.3, 1000, 5);
+        assert!(hi.links.len() > lo.links.len());
+    }
+
+    #[test]
+    fn cable_cut_adds_both_directions() {
+        let p = FaultPlan::none(8).cable_cut(Coord::new(2, 3), Dir::East, 5, Some(10));
+        assert_eq!(p.links.len(), 2);
+        assert_eq!(p.links[0].link, Link::new(Coord::new(2, 3), Dir::East));
+        assert_eq!(p.links[1].link, Link::new(Coord::new(3, 3), Dir::West));
+    }
+
+    #[test]
+    fn plans_roundtrip_through_serde() {
+        let p = FaultPlan::random(8, 0.2, 500, 9)
+            .stall(Coord::new(1, 1), 3, None)
+            .degrade(Coord::new(2, 2), 1, 0, Some(50));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -180,9 +180,11 @@ mod tests {
             for seed in 0..3 {
                 let pb = workloads::random_permutation(n, seed);
                 let mut sim = Sim::new(&topo, Dx::new(HotPotato::new(topo.side())), &pb);
-                let steps = sim
-                    .run(10_000)
-                    .unwrap_or_else(|e| panic!("n={n} seed={seed}: {e}"));
+                let steps = sim.run(10_000).unwrap_or_else(|e| {
+                    // `e` carries the full diagnostic snapshot (stuck packet
+                    // ids, locations, destinations, occupancy) in its Display.
+                    panic!("n={n} seed={seed} failed as {}: {e}", e.kind())
+                });
                 let r = sim.report();
                 assert!(r.completed);
                 assert!(r.max_queue <= 1, "hot potato never queues");

@@ -17,12 +17,17 @@
 //! All are deterministic. The destination-exchangeable ones implement
 //! [`mesh_engine::DxRouter`] and therefore *cannot* consult destinations —
 //! the trait's views contain none.
+//!
+//! Any of them can be made fault-tolerant by wrapping in [`FaultAware`],
+//! which masks currently-down outlinks from the inner router's view so its
+//! ordinary direction fallback routes around injected faults.
 
 pub mod alt_adaptive;
 pub mod bounded_deflect;
 pub mod common;
 pub mod dimorder;
 pub mod farthest;
+pub mod fault_aware;
 pub mod hotpotato;
 pub mod theorem15;
 pub mod west_first;
@@ -32,6 +37,7 @@ pub use bounded_deflect::{within_delta_of_rectangle, BoundedDeflect};
 pub use common::{dim_order_dir, Axis};
 pub use dimorder::DimOrder;
 pub use farthest::FarthestFirst;
+pub use fault_aware::FaultAware;
 pub use hotpotato::HotPotato;
 pub use theorem15::Theorem15;
 pub use west_first::WestFirst;

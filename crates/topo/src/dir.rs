@@ -27,16 +27,15 @@ impl Dir {
         self as usize
     }
 
-    /// Builds a direction from its canonical index (panics if `i >= 4`).
+    /// Builds a direction from its canonical index.
+    ///
+    /// This is the infallible hot-loop path: callers must guarantee
+    /// `i < 4` (the engine's queue-slot loops do so structurally). Untrusted
+    /// indices go through `Dir::try_from(i)` instead, which returns a
+    /// [`DirIndexError`] rather than panicking.
     #[inline]
     pub const fn from_index(i: usize) -> Dir {
-        match i {
-            0 => Dir::North,
-            1 => Dir::East,
-            2 => Dir::South,
-            3 => Dir::West,
-            _ => panic!("direction index out of range"),
-        }
+        ALL_DIRS[i]
     }
 
     /// The opposite direction (the inlink matching this outlink).
@@ -71,6 +70,28 @@ impl Dir {
     #[inline]
     pub const fn is_horizontal(self) -> bool {
         matches!(self, Dir::East | Dir::West)
+    }
+}
+
+/// Error of `Dir::try_from(i)`: the index was not in `0..4`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirIndexError(pub usize);
+
+impl core::fmt::Display for DirIndexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "direction index {} out of range (valid: 0..4)", self.0)
+    }
+}
+
+impl std::error::Error for DirIndexError {}
+
+impl TryFrom<usize> for Dir {
+    type Error = DirIndexError;
+
+    /// Fallible counterpart of [`Dir::from_index`] for untrusted indices.
+    #[inline]
+    fn try_from(i: usize) -> Result<Dir, DirIndexError> {
+        ALL_DIRS.get(i).copied().ok_or(DirIndexError(i))
     }
 }
 
@@ -213,6 +234,18 @@ mod tests {
     fn index_roundtrip() {
         for d in ALL_DIRS {
             assert_eq!(Dir::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn try_from_accepts_valid_and_rejects_invalid() {
+        for d in ALL_DIRS {
+            assert_eq!(Dir::try_from(d.index()), Ok(d));
+        }
+        for bad in [4usize, 5, 100, usize::MAX] {
+            let err = Dir::try_from(bad).unwrap_err();
+            assert_eq!(err, DirIndexError(bad));
+            assert!(err.to_string().contains("out of range"));
         }
     }
 

@@ -15,18 +15,22 @@
 //!   the set of outlinks that move a packet strictly closer to a destination
 //!   (the only destination information a *destination-exchangeable* routing
 //!   algorithm may use).
+//! * [`Link`] — directed-link identity (`node` × `Dir`, with a dense index),
+//!   the naming scheme fault injection uses to point at individual links.
 //! * [`Rect`] — inclusive axis-aligned node rectangles (submeshes, boxes,
 //!   strips, tiles).
 //! * [`tiling`] — the three 1/3-offset tilings of §6 (Lemma 19 of the paper).
 
 pub mod coord;
 pub mod dir;
+pub mod link;
 pub mod rect;
 pub mod tiling;
 pub mod topology;
 
 pub use coord::{Coord, NodeId};
-pub use dir::{Dir, DirSet, ALL_DIRS};
+pub use dir::{Dir, DirIndexError, DirSet, ALL_DIRS};
+pub use link::Link;
 pub use rect::Rect;
 pub use tiling::{Tiling, TilingSet};
 pub use topology::{Mesh, Topology, Torus};
