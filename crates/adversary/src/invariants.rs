@@ -63,6 +63,9 @@ impl InvariantChecker {
                 Loc::Pending => {
                     return Err(format!("packet {p:?} pending mid-construction"))
                 }
+                // The adversary constructions run without fault plans, so a
+                // destroyed packet means the harness was miswired.
+                Loc::Lost => return Err(format!("packet {p:?} lost mid-construction")),
             };
 
             // Departure counting for Lemmas 1/2: outside the j-box or gone.

@@ -1008,10 +1008,146 @@ pub fn chaos(full: bool) -> Experiment {
     e
 }
 
+/// RELIABLE — end-to-end reliable delivery over transient outages. Seeded
+/// plans of lossy-link windows plus short cable cuts
+/// ([`FaultPlan::random_outages`]) destroy packets in flight; raw dynamic
+/// injection rows lose them for good (the watchdog flags the incompletable
+/// run), while the [`Transport`](mesh_routing::reliable::Transport) rows —
+/// same problem, same plan, same fault-aware Theorem 15 router — recover
+/// every payload exactly once via ACKs and deterministic retransmission,
+/// sweeping the backoff policy. Every cell is a pure function of the trial
+/// seed, so the table is byte-identical across `--threads` settings.
+pub fn reliable(full: bool) -> Experiment {
+    use mesh_routing::reliable::{BackoffPolicy, Transport};
+
+    let mut e = Experiment::new(
+        "reliable",
+        "Reliable transport: raw injection vs ACK+retransmission under lossy-link outages",
+        "density-0 rows complete with zero losses and zero retransmits in both layers; at positive density the raw layer strands exactly its lost packets (outcome deadlock/livelock, exactly-once '-'), while every reliable row reports exactly-once yes with retx > 0 covering the losses — exponential backoff needs no more retransmissions than the fixed timeout at equal delivery, and goodput degrades gracefully with density",
+        &[
+            "n", "density", "layer", "backoff", "outcome", "delivered", "exactly-once", "retx",
+            "dup-drops", "lost", "steps", "goodput", "mean lat",
+        ],
+    );
+    let n: u32 = if full { 24 } else { 16 };
+    let densities: &[f64] = if full {
+        &[0.0, 0.06, 0.12, 0.20]
+    } else {
+        &[0.0, 0.06, 0.12]
+    };
+    // Outages start within [0, horizon) and are all transient; the injection
+    // window ends well before the horizon so recovery happens under fire.
+    let horizon = 8 * n as u64;
+    let policies: &[(&str, BackoffPolicy)] = &[
+        ("fixed(64)", BackoffPolicy::fixed(64)),
+        ("expo(64..512,j16)", BackoffPolicy::exponential(64, 512, 16)),
+    ];
+    for &density in densities {
+        for layer in ["raw", "reliable"] {
+            let policy_rows: &[(&str, Option<BackoffPolicy>)] = if layer == "raw" {
+                &[("-", None)]
+            } else {
+                &[
+                    ("fixed(64)", Some(policies[0].1)),
+                    ("expo(64..512,j16)", Some(policies[1].1)),
+                ]
+            };
+            for &(backoff, policy) in policy_rows {
+                e.seeded(
+                    format!("density={density} {layer} {backoff}"),
+                    move |trial| {
+                        let topo = Mesh::new(n);
+                        let pb = workloads::dynamic_bernoulli(
+                            n,
+                            0.02,
+                            4 * n as u64,
+                            derive_seed(2024, trial),
+                        );
+                        let faults = Arc::new(
+                            FaultPlan::random_outages(n, density, horizon, derive_seed(40, trial))
+                                .compile(),
+                        );
+                        let config = SimConfig {
+                            // Must exceed the longest lawful retransmission
+                            // gap (cap + jitter), or quiet timer waits would
+                            // read as starvation.
+                            watchdog: Some(1024.max(8 * n as u64)),
+                            ..SimConfig::default()
+                        };
+                        let mut sim = Sim::with_faults(
+                            &topo,
+                            FaultAware::new(Dx::new(Theorem15::new(2)), Arc::clone(&faults)),
+                            &pb,
+                            config,
+                            faults.as_ref().clone(),
+                        );
+                        let (outcome, exactly_once, retx, dup_drops, goodput, mean_lat) =
+                            match policy {
+                                None => {
+                                    let res = sim.run(200_000);
+                                    let outcome = match &res {
+                                        Ok(_) => "completed",
+                                        Err(err) => err.kind(),
+                                    };
+                                    let lat = sim.latency_distribution();
+                                    let steps = sim.steps().max(1);
+                                    (
+                                        outcome,
+                                        "-".to_string(),
+                                        "-".to_string(),
+                                        "-".to_string(),
+                                        format!("{:.4}", sim.delivered() as f64 / steps as f64),
+                                        format!("{:.1}", lat.mean),
+                                    )
+                                }
+                                Some(policy) => {
+                                    let mut tp =
+                                        Transport::new(&pb, policy, derive_seed(7, trial));
+                                    let res = sim.run_with_protocol(200_000, &mut tp);
+                                    let outcome = match &res {
+                                        Ok(_) => "completed",
+                                        Err(err) => err.kind(),
+                                    };
+                                    let rep = tp.report(sim.steps());
+                                    (
+                                        outcome,
+                                        if rep.exactly_once { "yes" } else { "NO" }.to_string(),
+                                        rep.retransmits.to_string(),
+                                        rep.duplicate_deliveries.to_string(),
+                                        format!("{:.4}", rep.goodput),
+                                        format!("{:.1}", rep.latency.mean),
+                                    )
+                                }
+                            };
+                        let rep = sim.report();
+                        let row = cells!(
+                            n,
+                            density,
+                            layer,
+                            backoff,
+                            outcome,
+                            format!("{}/{}", sim.delivered(), sim.num_packets()),
+                            exactly_once,
+                            retx,
+                            dup_drops,
+                            rep.lost,
+                            rep.steps,
+                            goodput,
+                            mean_lat
+                        );
+                        TrialOutput::with_report(row, rep)
+                    },
+                );
+            }
+        }
+    }
+    e
+}
+
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-    "a1", "a2", "a3", "chaos",
+    "a1", "a2", "a3", "chaos", "reliable",
 ];
 
 /// Builds the experiment (its cells) by id, without running anything.
@@ -1034,6 +1170,7 @@ pub fn build(id: &str, full: bool) -> Option<Experiment> {
         "a2" => a2(full),
         "a3" => a3(full),
         "chaos" => chaos(full),
+        "reliable" => reliable(full),
         _ => return None,
     })
 }
@@ -1066,9 +1203,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for id in ALL {
             assert!(seen.insert(id), "duplicate experiment id {id}");
-            assert!(id.starts_with('e') || id.starts_with('a') || *id == "chaos");
+            assert!(
+                id.starts_with('e') || id.starts_with('a') || *id == "chaos" || *id == "reliable"
+            );
         }
-        assert_eq!(ALL.len(), 17);
+        assert_eq!(ALL.len(), 18);
     }
 
     #[test]

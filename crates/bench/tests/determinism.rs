@@ -82,6 +82,24 @@ fn bench_json_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn reliable_experiment_json_is_byte_identical_across_thread_counts() {
+    // The shipped `reliable` experiment adds two sources of nondeterminism
+    // risk the mini fixture lacks: the transport's own seeded jitter RNG and
+    // protocol-spawned packets growing the simulation mid-run. The emitted
+    // JSON must still be a pure function of (experiment, trials).
+    let render = |threads: usize| {
+        let cfg = RunnerConfig { threads, trials: 2 };
+        let exp = mesh_bench::experiments::build("reliable", false).unwrap();
+        let run = run_experiment(exp, &cfg);
+        serde_json::to_string_pretty(&run.doc).unwrap()
+    };
+    let serial = render(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(serial, render(threads), "JSON diverged at {threads} threads");
+    }
+}
+
+#[test]
 fn table_equals_historical_serial_run() {
     // Trial 0 of every cell must reproduce the serial single-trial table
     // regardless of parallelism, so the recorded EXPERIMENTS.md values are

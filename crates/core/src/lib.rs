@@ -30,6 +30,7 @@ pub use section6::{Section6Config, Section6Report, Section6Router};
 pub use mesh_adversary as adversary;
 pub use mesh_engine as engine;
 pub use mesh_engine::faults;
+pub use mesh_reliable as reliable;
 pub use mesh_routers as routers;
 pub use mesh_topo as topo;
 pub use mesh_traffic as traffic;
@@ -41,9 +42,13 @@ pub mod prelude {
     pub use mesh_adversary::{
         verify_lower_bound, DimOrderParams, GeneralConstruction, GeneralParams,
     };
-    pub use mesh_engine::faults::{CompiledFaults, FaultPlan};
-    pub use mesh_engine::{Dx, DxRouter, Router, Sim, SimConfig, SimError, SimReport};
+    pub use mesh_engine::faults::{CompiledFaults, FaultPlan, FaultPlanError};
+    pub use mesh_engine::{
+        Dx, DxRouter, ProtocolControl, ProtocolHook, Router, Sim, SimConfig, SimError, SimReport,
+        StepEvents,
+    };
+    pub use mesh_reliable::{BackoffPolicy, Transport, TransportReport};
     pub use mesh_routers::{AltAdaptive, DimOrder, FarthestFirst, FaultAware, Theorem15, WestFirst};
     pub use mesh_topo::{Coord, Dir, DirSet, Mesh, Topology, Torus};
-    pub use mesh_traffic::{workloads, Packet, PacketId, Quadrant, RoutingProblem};
+    pub use mesh_traffic::{workloads, Packet, PacketId, PayloadId, Quadrant, RoutingProblem};
 }

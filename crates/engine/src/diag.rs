@@ -41,6 +41,9 @@ pub struct DiagnosticSnapshot {
     /// Packets still outside the network (waiting for injection or queue
     /// space at their source).
     pub pending: usize,
+    /// Packets destroyed by lossy links — undeliverable without a
+    /// retransmission layer.
+    pub lost: usize,
     /// Every undelivered in-network packet: id, location, destination, hops.
     pub stuck: Vec<StuckPacket>,
     /// Queue occupancy of every non-empty node.
@@ -56,10 +59,15 @@ impl DiagnosticSnapshot {
     }
 }
 
-/// How many stuck packets / faults `Display` spells out before eliding.
+/// How many stuck packets / hot nodes / faults `Display` spells out before
+/// eliding. One limit for every list, so every rendering of a snapshot —
+/// `SimError` messages, panic messages, log lines — elides the same way.
 const DISPLAY_LIMIT: usize = 8;
 
 impl core::fmt::Display for DiagnosticSnapshot {
+    /// The one human-readable rendering of a snapshot. `SimError`'s
+    /// `Display` delegates here; nothing else in the workspace formats
+    /// snapshots by hand.
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(
             f,
@@ -70,6 +78,9 @@ impl core::fmt::Display for DiagnosticSnapshot {
             self.stuck.len(),
             self.pending
         )?;
+        if self.lost > 0 {
+            write!(f, ", {} lost to faulty links", self.lost)?;
+        }
         if !self.stuck.is_empty() {
             write!(f, "; stuck:")?;
             for p in self.stuck.iter().take(DISPLAY_LIMIT) {
@@ -77,6 +88,19 @@ impl core::fmt::Display for DiagnosticSnapshot {
             }
             if self.stuck.len() > DISPLAY_LIMIT {
                 write!(f, " … and {} more", self.stuck.len() - DISPLAY_LIMIT)?;
+            }
+        }
+        if !self.occupancy.is_empty() {
+            // Hottest nodes first; ties resolve by grid order so the
+            // rendering is deterministic.
+            let mut hot: Vec<&NodeOccupancy> = self.occupancy.iter().collect();
+            hot.sort_by_key(|o| (core::cmp::Reverse(o.load), o.node.y, o.node.x));
+            write!(f, "; hottest:")?;
+            for (i, o) in hot.iter().take(DISPLAY_LIMIT).enumerate() {
+                write!(f, "{} {}={}", if i == 0 { "" } else { "," }, o.node, o.load)?;
+            }
+            if hot.len() > DISPLAY_LIMIT {
+                write!(f, " … and {} more", hot.len() - DISPLAY_LIMIT)?;
             }
         }
         if !self.active_faults.is_empty() {
@@ -103,6 +127,7 @@ mod tests {
             delivered: 3,
             total: 20,
             pending: 2,
+            lost: 0,
             stuck: (0..15)
                 .map(|i| StuckPacket {
                     id: PacketId(i),
@@ -120,12 +145,40 @@ mod tests {
     }
 
     #[test]
+    fn display_renders_losses_and_hottest_nodes() {
+        let snap = DiagnosticSnapshot {
+            step: 9,
+            delivered: 5,
+            total: 10,
+            pending: 1,
+            lost: 2,
+            stuck: vec![],
+            occupancy: vec![
+                NodeOccupancy {
+                    node: Coord::new(0, 0),
+                    load: 1,
+                },
+                NodeOccupancy {
+                    node: Coord::new(3, 1),
+                    load: 4,
+                },
+            ],
+            active_faults: vec![],
+        };
+        let s = snap.to_string();
+        assert!(s.contains("2 lost to faulty links"), "got: {s}");
+        // Hottest node leads the occupancy list.
+        assert!(s.contains("hottest: (3,1)=4, (0,0)=1"), "got: {s}");
+    }
+
+    #[test]
     fn snapshot_roundtrips_through_serde() {
         let snap = DiagnosticSnapshot {
             step: 7,
             delivered: 1,
             total: 2,
             pending: 0,
+            lost: 0,
             stuck: vec![StuckPacket {
                 id: PacketId(1),
                 at: Coord::new(0, 0),

@@ -47,6 +47,7 @@
 pub mod diag;
 pub mod hook;
 pub mod metrics;
+pub mod protocol;
 pub mod queue;
 pub mod router;
 pub mod sim;
@@ -56,6 +57,7 @@ pub mod view;
 pub use diag::{DiagnosticSnapshot, NodeOccupancy, StuckPacket};
 pub use hook::{HookCtx, NoHook, ScheduledMove, StepHook};
 pub use metrics::{ReportAggregate, SimReport};
+pub use protocol::{ProtocolControl, ProtocolHook, StepEvents};
 pub use queue::{QueueArch, QueueKind};
 pub use router::{Dx, DxRouter, Router};
 pub use sim::{Sim, SimConfig, SimError};

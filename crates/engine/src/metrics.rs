@@ -19,6 +19,11 @@ pub struct SimReport {
     pub total_packets: usize,
     /// Packets delivered so far.
     pub delivered: usize,
+    /// Packets destroyed by lossy links.
+    pub lost: usize,
+    /// Packet-steps spent deferred by injection admission control (a packet
+    /// kept out of a full origin queue for five steps counts five).
+    pub deferred_injections: u64,
     /// Steps executed.
     pub steps: u64,
     /// True if every packet was delivered.
@@ -62,6 +67,8 @@ impl SimReport {
             ),
             max_latency: Summary::of_u64(reports.iter().map(|r| r.max_latency)),
             delivered: Summary::of_u64(reports.iter().map(|r| r.delivered as u64)),
+            lost: Summary::of_u64(reports.iter().map(|r| r.lost as u64)),
+            deferred_injections: Summary::of_u64(reports.iter().map(|r| r.deferred_injections)),
         }
     }
 
@@ -99,6 +106,8 @@ pub struct ReportAggregate {
     pub avg_latency: Summary,
     pub max_latency: Summary,
     pub delivered: Summary,
+    pub lost: Summary,
+    pub deferred_injections: Summary,
 }
 
 #[cfg(test)]
@@ -113,6 +122,8 @@ mod tests {
             arch: QueueArch::Central { k: 2 },
             total_packets: 64,
             delivered: if completed { 64 } else { 32 },
+            lost: 0,
+            deferred_injections: 0,
             steps,
             completed,
             max_queue: 2,

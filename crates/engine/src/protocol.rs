@@ -1,0 +1,57 @@
+//! Per-node protocol layers above the network: the hook a reliable
+//! transport (sequence numbers, ACKs, retransmission) attaches by.
+//!
+//! Where [`StepHook`](crate::hook::StepHook) is the §3 *adversary* interface
+//! (it observes the schedule mid-step and may exchange destinations), a
+//! [`ProtocolHook`] is an *endpoint* interface: it runs after each step
+//! completes, sees which packets were delivered or destroyed, and reacts by
+//! [`spawn`](crate::Sim::spawn)ing new packets — ACKs from destinations,
+//! retransmissions from sources. The engine stays ignorant of payload
+//! semantics; the protocol stays ignorant of queues and scheduling. Drive
+//! the pair with [`Sim::run_with_protocol`](crate::Sim::run_with_protocol).
+
+use crate::router::Router;
+use crate::sim::Sim;
+use mesh_topo::Topology;
+use mesh_traffic::PacketId;
+
+/// What one completed step did, from a protocol endpoint's point of view.
+#[derive(Clone, Debug, Default)]
+pub struct StepEvents {
+    /// The (1-based) step that just completed.
+    pub step: u64,
+    /// Packets that reached their destination this step, in deterministic
+    /// schedule order. Includes trivially-delivered (src == dst) packets.
+    pub delivered: Vec<PacketId>,
+    /// Packets destroyed by lossy links this step.
+    pub lost: Vec<PacketId>,
+}
+
+/// The protocol's verdict after processing a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolControl {
+    /// Keep stepping. `outstanding` is the number of *released* payloads
+    /// still awaiting acknowledgement — the quantity the protocol-aware
+    /// watchdog keys on: while it is positive, retransmissions keep the
+    /// network active forever, so only a delivery-starvation window counts
+    /// as a wedge (payloads not yet handed to the transport must not be
+    /// counted, or a long-idle schedule would read as starvation).
+    Continue { outstanding: usize },
+    /// Every payload is delivered and acknowledged; stop the run.
+    Done,
+}
+
+/// An end-to-end protocol layered over the mesh.
+///
+/// Called once after every simulated step with that step's events. The hook
+/// may spawn new packets into `sim` (ACKs, retransmissions) and must report
+/// whether the protocol is finished. Determinism contract: react only to
+/// `events`, `sim` state, and internally-seeded randomness — never to wall
+/// clocks or iteration order of unordered containers.
+pub trait ProtocolHook {
+    fn on_step<T: Topology, R: Router>(
+        &mut self,
+        sim: &mut Sim<'_, T, R>,
+        events: &StepEvents,
+    ) -> ProtocolControl;
+}

@@ -20,6 +20,10 @@ pub enum Loc {
     At(Coord),
     /// Delivered and removed from the network.
     Delivered,
+    /// Destroyed by a lossy link: transmitted, never arrived, gone for good.
+    /// Only the reliable-transport layer can recover the payload (by
+    /// spawning a retransmission as a fresh packet).
+    Lost,
 }
 
 /// Engine configuration.
@@ -138,16 +142,27 @@ pub struct Sim<'t, T: Topology, R: Router> {
     // Progress and metrics.
     steps: u64,
     delivered: usize,
+    lost: usize,
     total_moves: u64,
     hops: Vec<u32>,
     exchanges: u64,
     max_queue: u32,
     max_node_load: u32,
     peak_load: Vec<u16>,
+    // Admission-control pressure: packet-steps spent staged outside the
+    // network because the origin queue had no room (or the node was
+    // stalled). One packet deferred for five steps counts five.
+    deferred_injections: u64,
 
     // Next injection cursor: packet ids sorted by inject_at.
     inject_order: Vec<PacketId>,
     inject_cursor: usize,
+
+    // Per-step protocol events: packets delivered / destroyed during the
+    // most recent step, in deterministic (schedule) order. Consumed by
+    // [`Sim::run_with_protocol`]; cleared at the start of every step.
+    events_delivered: Vec<PacketId>,
+    events_lost: Vec<PacketId>,
 
     // Workhorse buffers reused across steps (perf-book guidance: no per-step
     // allocation in the hot loop).
@@ -158,6 +173,7 @@ pub struct Sim<'t, T: Topology, R: Router> {
     order_buf: Vec<u32>,
     accepted_buf: Vec<bool>,
     state_buf: Vec<u64>,
+    lost_buf: Vec<ScheduledMove>,
 }
 
 const NOT_DELIVERED: u64 = u64::MAX;
@@ -240,14 +256,18 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             last_delivery: 0,
             steps: 0,
             delivered: 0,
+            lost: 0,
             total_moves: 0,
             hops: vec![0; np],
             exchanges: 0,
             max_queue: 0,
             max_node_load: 0,
             peak_load: vec![0; nodes],
+            deferred_injections: 0,
             inject_order: (0..np as u32).map(PacketId).collect(),
             inject_cursor: 0,
+            events_delivered: Vec::new(),
+            events_lost: Vec::new(),
             view_buf: Vec::new(),
             arrival_buf: Vec::new(),
             accept_buf: Vec::new(),
@@ -255,6 +275,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             order_buf: Vec::new(),
             accepted_buf: Vec::new(),
             state_buf: Vec::new(),
+            lost_buf: Vec::new(),
         };
         sim.inject_order
             .sort_by_key(|p| sim.inject_at[p.index()]);
@@ -305,6 +326,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 self.loc[pid.index()] = Loc::Delivered;
                 self.delivered_at[pid.index()] = t;
                 self.delivered += 1;
+                self.events_delivered.push(pid);
                 continue;
             }
             let ni = self.node_index(src) as u32;
@@ -354,6 +376,10 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             }
             self.mark_active(ni as usize);
         }
+        // Whatever is still staged was deferred by admission control this
+        // step: the origin queue is full (or the node stalled), so the
+        // packet waits outside the network instead of overflowing.
+        self.deferred_injections += self.pending.values().map(|q| q.len() as u64).sum::<u64>();
         injected
     }
 
@@ -407,6 +433,8 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         let t0 = self.steps;
         let delivered_before = self.delivered;
         let moves_before = self.total_moves;
+        self.events_delivered.clear();
+        self.events_lost.clear();
         let mut injected_any = false;
         if t0 > 0 {
             injected_any = self.inject(t0);
@@ -415,6 +443,8 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         // ---- (a) outqueue ----
         let mut schedule = std::mem::take(&mut self.sched_buf);
         schedule.clear();
+        let mut lost_moves = std::mem::take(&mut self.lost_buf);
+        lost_moves.clear();
         let snapshot = std::mem::take(&mut self.active);
         for &ni in &snapshot {
             self.in_active[ni as usize] = false;
@@ -489,8 +519,21 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                     // A down link carries nothing: the move is dropped here,
                     // *before* the adversary hook observes the schedule, so
                     // the exchanger only ever sees moves that can happen.
+                    // A *lossy* link does carry the packet — it just never
+                    // arrives: the transmission happens (the sender's queue
+                    // slot frees), but the packet is destroyed in flight.
+                    // Like down-link drops, loss is resolved before the hook.
                     if let Some(f) = &self.faults {
                         if f.link_down(t0, node, d) {
+                            continue;
+                        }
+                        if f.link_lossy(t0, node, d) {
+                            lost_moves.push(ScheduledMove {
+                                pkt: v.id,
+                                from: node,
+                                to,
+                                travel: d,
+                            });
                             continue;
                         }
                     }
@@ -651,6 +694,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 self.loc[pi] = Loc::Delivered;
                 self.delivered_at[pi] = t0 + 1;
                 self.delivered += 1;
+                self.events_delivered.push(m.pkt);
             } else {
                 let akind = self.arch.arrival_queue(m.travel);
                 self.queue_mut(m.to, akind).push(m.pkt);
@@ -659,6 +703,26 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 let tni = self.node_index(m.to);
                 self.mark_active(tni);
             }
+        }
+        // Lossy-link transmissions: the packet left its queue and traversed
+        // the link (it counts as a move and a hop), but it never arrives
+        // anywhere — it is destroyed. Its inqueue policy never saw it
+        // offered, so no acceptance bookkeeping exists to undo.
+        for m in &lost_moves {
+            let pi = m.pkt.index();
+            let kind = self.queue_of[pi];
+            debug_assert_eq!(self.loc[pi], Loc::At(m.from));
+            let q = self.queue_mut(m.from, kind);
+            let pos = q
+                .iter()
+                .position(|&p| p == m.pkt)
+                .expect("lost packet missing from its queue");
+            q.remove(pos);
+            self.total_moves += 1;
+            self.hops[pi] += 1;
+            self.loc[pi] = Loc::Lost;
+            self.lost += 1;
+            self.events_lost.push(m.pkt);
         }
 
         // Rebuild the active set: previously active nodes that still hold
@@ -743,6 +807,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         self.order_buf = order;
         self.accepted_buf = accepted;
         self.state_buf = states;
+        self.lost_buf = lost_moves;
 
         self.steps += 1;
         // Watchdog bookkeeping (1-based step stamps; 0 = never).
@@ -799,6 +864,158 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         self.run_with_hook(max_steps, &mut NoHook)
     }
 
+    // ---- runtime packet spawning (protocol layers) ----
+
+    /// Appends a fresh packet to the running simulation, to be injected at
+    /// the beginning of step `inject_at` (which must not lie in the past).
+    /// Returns its id — always `num_packets()` at call time, so callers can
+    /// maintain dense side tables. The injection goes through the same
+    /// admission control as everything else: if the origin queue is full,
+    /// the packet waits outside the network.
+    ///
+    /// This is how a transport layer retransmits (and ACKs): a
+    /// retransmission is a *new* packet for the same payload, not a revival
+    /// of the lost one.
+    pub fn spawn(&mut self, src: Coord, dst: Coord, inject_at: u64) -> PacketId {
+        assert!(
+            inject_at >= self.steps,
+            "spawn at step {inject_at} but the simulation is already at {}",
+            self.steps
+        );
+        assert!(
+            src.x < self.n && src.y < self.n && dst.x < self.n && dst.y < self.n,
+            "spawn endpoints must lie on the {0}x{0} grid",
+            self.n
+        );
+        let id = PacketId(self.src.len() as u32);
+        self.src.push(src);
+        self.dst.push(dst);
+        self.state.push(0);
+        self.inject_at.push(inject_at);
+        self.loc.push(Loc::Pending);
+        self.queue_of.push(QueueKind::Central);
+        self.delivered_at.push(NOT_DELIVERED);
+        self.hops.push(0);
+        // Keep the uninjected tail of `inject_order` sorted by inject_at
+        // (ties resolve in spawn order, matching the constructor's stable
+        // sort by id).
+        let inject_at_of = &self.inject_at;
+        let tail = &self.inject_order[self.inject_cursor..];
+        let at = self.inject_cursor + tail.partition_point(|p| inject_at_of[p.index()] <= inject_at);
+        self.inject_order.insert(at, id);
+        id
+    }
+
+    /// Packets delivered during the most recent step, in deterministic
+    /// order. Valid until the next step executes.
+    pub fn last_step_deliveries(&self) -> &[PacketId] {
+        &self.events_delivered
+    }
+
+    /// Packets destroyed by lossy links during the most recent step.
+    pub fn last_step_losses(&self) -> &[PacketId] {
+        &self.events_lost
+    }
+
+    /// True when no future or deferred injection remains: the cursor is
+    /// exhausted *and* admission control holds nothing back. While this is
+    /// false, outside input can still change the network, so a watchdog
+    /// must not declare a wedge on quietness alone.
+    pub fn injections_exhausted(&self) -> bool {
+        self.inject_cursor >= self.inject_order.len() && self.pending.is_empty()
+    }
+
+    /// Runs the simulation under a [`ProtocolHook`] (e.g. the
+    /// `mesh-reliable` transport): after every step the hook observes that
+    /// step's deliveries and losses, may [`spawn`](Sim::spawn)
+    /// ACKs/retransmissions, and decides whether the protocol is finished.
+    ///
+    /// The watchdog (when configured) is protocol-aware — the plain
+    /// "injections remain" disarm of [`Sim::run_with_hook`] would be wrong
+    /// in both directions here. While the protocol reports outstanding
+    /// payloads, periodic retransmissions keep generating *activity*
+    /// forever, so the deadlock rule would never fire and a real wedge
+    /// would be masked: instead, a full window without any *delivery*
+    /// (measured from the last fault transition) is reported as
+    /// [`SimError::Livelock`]. Once nothing is outstanding and every
+    /// injection (including deferred ones) is in, the ordinary no-activity
+    /// deadlock rule applies.
+    pub fn run_with_protocol<P: crate::protocol::ProtocolHook>(
+        &mut self,
+        max_steps: u64,
+        proto: &mut P,
+    ) -> Result<u64, SimError> {
+        use crate::protocol::ProtocolControl;
+        let settle = self.faults.as_ref().map_or(0, |f| f.last_transition());
+        // Trivial (src == dst) packets due at step 0 were delivered during
+        // construction, before any step could report them; surface them to
+        // the protocol as a synthetic step-0 batch so their payloads get
+        // acknowledged like any other.
+        if self.steps == 0 && !self.events_delivered.is_empty() {
+            let events = crate::protocol::StepEvents {
+                step: 0,
+                delivered: std::mem::take(&mut self.events_delivered),
+                lost: Vec::new(),
+            };
+            let ctl = proto.on_step(self, &events);
+            self.events_delivered = events.delivered;
+            self.events_delivered.clear();
+            if ctl == ProtocolControl::Done {
+                return Ok(0);
+            }
+        }
+        loop {
+            if self.steps >= max_steps {
+                return if self.done() {
+                    Ok(self.steps)
+                } else {
+                    Err(SimError::StepCap(self.diagnostics()))
+                };
+            }
+            let packets_before = self.src.len();
+            let done = self.step();
+            let events = crate::protocol::StepEvents {
+                step: self.steps,
+                delivered: std::mem::take(&mut self.events_delivered),
+                lost: std::mem::take(&mut self.events_lost),
+            };
+            let ctl = proto.on_step(self, &events);
+            // Recycle the event buffers, emptied: a later early-returning
+            // step must not re-present stale events.
+            self.events_delivered = events.delivered;
+            self.events_delivered.clear();
+            self.events_lost = events.lost;
+            self.events_lost.clear();
+            match ctl {
+                ProtocolControl::Done => return Ok(self.steps),
+                ProtocolControl::Continue { outstanding } => {
+                    if done && self.src.len() == packets_before {
+                        // Network empty and the protocol spawned nothing.
+                        // With work outstanding that is a protocol wedge
+                        // (nothing in flight can ever ack it); without, the
+                        // run is simply complete.
+                        return if outstanding == 0 {
+                            Ok(self.steps)
+                        } else {
+                            Err(SimError::Deadlock(self.diagnostics()))
+                        };
+                    }
+                    if let Some(w) = self.config.watchdog {
+                        if outstanding > 0 {
+                            if self.steps.saturating_sub(self.last_delivery.max(settle)) >= w {
+                                return Err(SimError::Livelock(self.diagnostics()));
+                            }
+                        } else if self.injections_exhausted()
+                            && self.steps.saturating_sub(self.last_activity.max(settle)) >= w
+                        {
+                            return Err(SimError::Deadlock(self.diagnostics()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     // ---- accessors ----
 
     /// Steps executed so far.
@@ -809,6 +1026,16 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     /// Packets delivered so far.
     pub fn delivered(&self) -> usize {
         self.delivered
+    }
+
+    /// Packets destroyed by lossy links so far.
+    pub fn lost(&self) -> usize {
+        self.lost
+    }
+
+    /// Packet-steps spent deferred by injection admission control so far.
+    pub fn deferred_injections(&self) -> u64 {
+        self.deferred_injections
     }
 
     /// Total packets.
@@ -892,6 +1119,8 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             arch: self.arch,
             total_packets: self.src.len(),
             delivered: self.delivered,
+            lost: self.lost,
+            deferred_injections: self.deferred_injections,
             steps: self.steps,
             completed: self.done(),
             max_queue: self.max_queue,
@@ -966,7 +1195,8 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             step: self.steps,
             delivered: self.delivered,
             total: self.src.len(),
-            pending: self.src.len() - self.delivered - stuck.len(),
+            pending: self.src.len() - self.delivered - self.lost - stuck.len(),
+            lost: self.lost,
             stuck,
             occupancy,
             active_faults: self
@@ -1626,6 +1856,7 @@ mod conservation_tests {
             let mut delivered = 0;
             let mut in_network = 0;
             let mut pending = 0;
+            let mut lost = 0;
             for i in 0..sim.num_packets() {
                 match sim.loc(mesh_traffic::PacketId(i as u32)) {
                     Loc::Delivered => delivered += 1,
@@ -1638,10 +1869,13 @@ mod conservation_tests {
                         );
                     }
                     Loc::Pending => pending += 1,
+                    Loc::Lost => lost += 1,
                 }
             }
-            assert_eq!(delivered + in_network + pending, sim.num_packets());
+            assert_eq!(delivered + in_network + pending + lost, sim.num_packets());
             assert_eq!(delivered, sim.delivered());
+            assert_eq!(lost, sim.lost());
+            assert_eq!(lost, 0, "no lossy faults in this plan");
             // And the reverse: every queued id maps back to that node.
             for c in topo.coords() {
                 for p in sim.packets_at(c) {
@@ -1829,5 +2063,232 @@ mod chaos_tests {
             }
         };
         let _ = sim.run_with_hook(400, &mut hook);
+    }
+}
+
+#[cfg(test)]
+mod loss_and_protocol_tests {
+    //! Lossy links, runtime spawning, and the protocol driving loop.
+
+    use super::*;
+    use crate::protocol::{ProtocolControl, ProtocolHook, StepEvents};
+    use crate::router::Dx;
+    use mesh_faults::FaultPlan;
+    use mesh_topo::Mesh;
+    use mesh_traffic::RoutingProblem;
+
+    fn one_packet(n: u32, src: Coord, dst: Coord) -> RoutingProblem {
+        RoutingProblem::from_pairs(n, "one", [(src, dst)])
+    }
+
+    #[test]
+    fn lossy_link_destroys_the_packet_in_flight() {
+        let topo = Mesh::new(4);
+        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 0));
+        let faults = FaultPlan::none(4)
+            .lossy(Coord::new(1, 0), Dir::East, 0, None)
+            .compile();
+        let mut sim = Sim::with_faults(
+            &topo,
+            Dx::new(tests::Greedy { k: 4 }),
+            &pb,
+            SimConfig {
+                watchdog: Some(8),
+                ..SimConfig::default()
+            },
+            faults,
+        );
+        // Step 1: (0,0) -> (1,0). Step 2: transmitted over the lossy link,
+        // destroyed.
+        assert!(!sim.step());
+        assert_eq!(sim.loc(PacketId(0)), Loc::At(Coord::new(1, 0)));
+        assert!(!sim.step());
+        assert_eq!(sim.loc(PacketId(0)), Loc::Lost);
+        assert_eq!(sim.lost(), 1);
+        assert_eq!(sim.last_step_losses(), &[PacketId(0)]);
+        assert_eq!(sim.packet_hops()[0], 2, "the fatal hop counts");
+        assert_eq!(sim.report().total_moves, 2);
+        assert!(sim.packets_at(Coord::new(1, 0)).is_empty());
+        // The run can never finish; the watchdog reports the wedge and the
+        // diagnostics account for the loss.
+        let err = sim.run(1_000).unwrap_err();
+        let snap = err.snapshot();
+        assert_eq!(snap.lost, 1);
+        assert_eq!(snap.pending, 0);
+        assert!(snap.stuck.is_empty());
+        assert!(err.to_string().contains("1 lost to faulty links"), "{err}");
+    }
+
+    #[test]
+    fn loss_interval_boundaries_are_respected() {
+        // The same route, but the loss interval ends before the packet
+        // reaches the link: it crosses unharmed.
+        let topo = Mesh::new(4);
+        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 0));
+        let faults = FaultPlan::none(4)
+            .lossy(Coord::new(1, 0), Dir::East, 0, Some(1))
+            .compile();
+        let mut sim = Sim::with_faults(
+            &topo,
+            Dx::new(tests::Greedy { k: 4 }),
+            &pb,
+            SimConfig::default(),
+            faults,
+        );
+        assert_eq!(sim.run(100).unwrap(), 3);
+        assert_eq!(sim.lost(), 0);
+    }
+
+    #[test]
+    fn down_takes_precedence_over_lossy_on_the_same_link() {
+        // A link both down and lossy blocks the move (packet survives at
+        // its sender) rather than eating the packet.
+        let topo = Mesh::new(4);
+        let pb = one_packet(4, Coord::new(0, 0), Coord::new(2, 0));
+        let faults = FaultPlan::none(4)
+            .link_down(Coord::new(1, 0), Dir::East, 0, Some(5))
+            .lossy(Coord::new(1, 0), Dir::East, 0, Some(5))
+            .compile();
+        let mut sim = Sim::with_faults(
+            &topo,
+            Dx::new(tests::Greedy { k: 4 }),
+            &pb,
+            SimConfig::default(),
+            faults,
+        );
+        for _ in 0..4 {
+            sim.step();
+        }
+        assert_eq!(sim.loc(PacketId(0)), Loc::At(Coord::new(1, 0)));
+        assert_eq!(sim.lost(), 0);
+        assert!(sim.run(100).is_ok(), "delivers after the fault lifts");
+    }
+
+    #[test]
+    fn spawn_injects_like_any_other_packet() {
+        let topo = Mesh::new(4);
+        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 3));
+        let mut sim = Sim::new(&topo, Dx::new(tests::Greedy { k: 4 }), &pb);
+        sim.step();
+        let id = sim.spawn(Coord::new(3, 0), Coord::new(0, 0), sim.steps());
+        assert_eq!(id, PacketId(1));
+        assert_eq!(sim.num_packets(), 2);
+        assert_eq!(sim.loc(id), Loc::Pending);
+        sim.run(100).unwrap();
+        assert!(sim.done());
+        assert_eq!(sim.delivered(), 2);
+        assert!(sim.delivered_step(id).unwrap() >= 2);
+        // Deliveries surfaced through the per-step events as they happened.
+        assert_eq!(sim.last_step_deliveries().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "spawn at step")]
+    fn spawn_rejects_past_injection_times() {
+        let topo = Mesh::new(4);
+        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 3));
+        let mut sim = Sim::new(&topo, Dx::new(tests::Greedy { k: 4 }), &pb);
+        sim.step();
+        sim.spawn(Coord::new(0, 0), Coord::new(1, 1), 0);
+    }
+
+    #[test]
+    fn deferred_injections_are_counted() {
+        // k = 1 and three same-source packets: two wait outside the network
+        // on the first step.
+        let n = 4;
+        let topo = Mesh::new(n);
+        let s = Coord::new(0, 0);
+        let pb = RoutingProblem::from_pairs(
+            n,
+            "burst",
+            [(s, Coord::new(3, 0)), (s, Coord::new(3, 1)), (s, Coord::new(3, 2))],
+        );
+        let mut sim = Sim::new(&topo, Dx::new(tests::Greedy { k: 1 }), &pb);
+        assert_eq!(sim.deferred_injections(), 2, "two deferred at t=0");
+        assert!(!sim.injections_exhausted());
+        sim.run(100).unwrap();
+        assert!(sim.injections_exhausted());
+        assert!(sim.report().deferred_injections >= 2);
+    }
+
+    /// A deliberately minimal transport: resend every lost packet once per
+    /// loss event, succeed when everything (original or resend) arrived.
+    struct Resend {
+        outstanding: usize,
+    }
+
+    impl ProtocolHook for Resend {
+        fn on_step<T: Topology, R: Router>(
+            &mut self,
+            sim: &mut Sim<'_, T, R>,
+            events: &StepEvents,
+        ) -> ProtocolControl {
+            self.outstanding -= events.delivered.len();
+            for &p in &events.lost {
+                let (src, dst) = (sim.src(p), sim.dst(p));
+                sim.spawn(src, dst, events.step);
+            }
+            if self.outstanding == 0 {
+                ProtocolControl::Done
+            } else {
+                ProtocolControl::Continue {
+                    outstanding: self.outstanding,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_with_protocol_recovers_a_lost_packet() {
+        let topo = Mesh::new(4);
+        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 0));
+        // Lossy only during the first crossing; the resend gets through.
+        let faults = FaultPlan::none(4)
+            .lossy(Coord::new(1, 0), Dir::East, 0, Some(2))
+            .compile();
+        let mut sim = Sim::with_faults(
+            &topo,
+            Dx::new(tests::Greedy { k: 4 }),
+            &pb,
+            SimConfig {
+                watchdog: Some(16),
+                ..SimConfig::default()
+            },
+            faults,
+        );
+        let mut proto = Resend { outstanding: 1 };
+        let steps = sim.run_with_protocol(1_000, &mut proto).unwrap();
+        assert_eq!(sim.lost(), 1);
+        assert_eq!(sim.delivered(), 1);
+        assert_eq!(sim.num_packets(), 2, "one original + one resend");
+        assert!(steps > 3, "loss plus resend costs extra steps");
+    }
+
+    #[test]
+    fn run_with_protocol_reports_livelock_when_starved() {
+        // Permanently lossy link on the only minimal path: every resend is
+        // eaten too. The protocol-aware watchdog must flag the wedge (as
+        // delivery starvation) instead of waiting forever on the endless
+        // resend activity.
+        let topo = Mesh::new(4);
+        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 0));
+        let faults = FaultPlan::none(4)
+            .lossy(Coord::new(0, 0), Dir::East, 0, None)
+            .compile();
+        let mut sim = Sim::with_faults(
+            &topo,
+            Dx::new(tests::Greedy { k: 4 }),
+            &pb,
+            SimConfig {
+                watchdog: Some(12),
+                ..SimConfig::default()
+            },
+            faults,
+        );
+        let mut proto = Resend { outstanding: 1 };
+        let err = sim.run_with_protocol(10_000, &mut proto).unwrap_err();
+        assert!(matches!(err, SimError::Livelock(_)), "got {err}");
+        assert!(err.snapshot().lost >= 1);
     }
 }

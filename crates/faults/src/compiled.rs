@@ -42,6 +42,7 @@ pub enum ActiveFault {
     LinkDown(Link),
     NodeStalled(Coord),
     QueueDegraded { node: Coord, slots: u32 },
+    LinkLossy(Link),
 }
 
 impl core::fmt::Display for ActiveFault {
@@ -52,6 +53,7 @@ impl core::fmt::Display for ActiveFault {
             ActiveFault::QueueDegraded { node, slots } => {
                 write!(f, "node {node} degraded by {slots} slot(s)")
             }
+            ActiveFault::LinkLossy(l) => write!(f, "link {l} lossy"),
         }
     }
 }
@@ -67,6 +69,7 @@ pub struct CompiledFaults {
     links: HashMap<u32, Intervals>,
     stalls: HashMap<u32, Intervals>,
     degrades: HashMap<u32, Intervals>,
+    losses: HashMap<u32, Intervals>,
 }
 
 impl CompiledFaults {
@@ -77,7 +80,8 @@ impl CompiledFaults {
             .iter()
             .filter_map(|f| f.until)
             .chain(plan.stalls.iter().filter_map(|f| f.until))
-            .chain(plan.degrades.iter().filter_map(|f| f.until));
+            .chain(plan.degrades.iter().filter_map(|f| f.until))
+            .chain(plan.losses.iter().filter_map(|f| f.until));
         let mut c = CompiledFaults {
             n,
             empty: plan.is_empty(),
@@ -85,9 +89,13 @@ impl CompiledFaults {
             links: HashMap::new(),
             stalls: HashMap::new(),
             degrades: HashMap::new(),
+            losses: HashMap::new(),
         };
         for lf in &plan.links {
             push_interval(&mut c.links, lf.link.index(n) as u32, lf.from, lf.until, 1);
+        }
+        for lf in &plan.losses {
+            push_interval(&mut c.losses, lf.link.index(n) as u32, lf.from, lf.until, 1);
         }
         for st in &plan.stalls {
             let key = st.node.y * n + st.node.x;
@@ -100,6 +108,7 @@ impl CompiledFaults {
         finish(&mut c.links);
         finish(&mut c.stalls);
         finish(&mut c.degrades);
+        finish(&mut c.losses);
         c
     }
 
@@ -145,6 +154,22 @@ impl CompiledFaults {
         active_load(self.degrades.get(&(node.y * self.n + node.x)), step)
     }
 
+    /// Is the `dir` outlink of `node` lossy at `step`? A packet transmitted
+    /// across a lossy link is destroyed by the engine instead of arriving.
+    #[inline]
+    pub fn link_lossy(&self, step: u64, node: Coord, dir: Dir) -> bool {
+        !self.empty
+            && !self.losses.is_empty()
+            && active_load(self.losses.get(&(Link::new(node, dir).index(self.n) as u32)), step) > 0
+    }
+
+    /// True when the plan contains no lossy links at all — lets the engine
+    /// skip the per-move loss check entirely for loss-free plans.
+    #[inline]
+    pub fn has_losses(&self) -> bool {
+        !self.losses.is_empty()
+    }
+
     /// Every fault active at `step`, in a deterministic (index-sorted)
     /// order — the diagnostics view.
     pub fn active_at(&self, step: u64) -> Vec<ActiveFault> {
@@ -173,6 +198,13 @@ impl CompiledFaults {
                     node: coord(key),
                     slots,
                 });
+            }
+        }
+        let mut loss_keys: Vec<u32> = self.losses.keys().copied().collect();
+        loss_keys.sort_unstable();
+        for key in loss_keys {
+            if active_load(self.losses.get(&key), step) > 0 {
+                out.push(ActiveFault::LinkLossy(Link::from_index(key as usize, self.n)));
             }
         }
         out
@@ -226,6 +258,24 @@ mod tests {
         assert!(matches!(at0[0], ActiveFault::LinkDown(_)));
         let at50 = c.active_at(50);
         assert_eq!(at50.len(), 2, "stall lifted at step 10");
+    }
+
+    #[test]
+    fn lossy_intervals_are_half_open_and_independent_of_down() {
+        let node = Coord::new(1, 1);
+        let c = FaultPlan::none(8)
+            .lossy(node, Dir::East, 10, Some(20))
+            .compile();
+        assert!(c.has_losses());
+        assert!(!c.link_lossy(9, node, Dir::East));
+        assert!(c.link_lossy(10, node, Dir::East));
+        assert!(c.link_lossy(19, node, Dir::East));
+        assert!(!c.link_lossy(20, node, Dir::East));
+        assert!(!c.link_down(15, node, Dir::East), "lossy is not down");
+        assert_eq!(c.last_transition(), 20);
+        let at15 = c.active_at(15);
+        assert_eq!(at15, vec![ActiveFault::LinkLossy(Link::new(node, Dir::East))]);
+        assert_eq!(at15[0].to_string(), "link (1,1)-E lossy");
     }
 
     #[test]

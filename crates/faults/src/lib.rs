@@ -12,7 +12,11 @@
 //!   neither sends, accepts, nor injects;
 //! * **queue degradation** — a node loses queue slots for an interval: new
 //!   acceptances are clamped to the reduced capacity (residents already over
-//!   it are never evicted — they drain naturally).
+//!   it are never evicted — they drain naturally);
+//! * **lossy links** — a directed link *destroys* every packet transmitted
+//!   across it during an interval. Where a down link blocks the move (the
+//!   packet stays queued at its sender), a lossy link eats the packet — the
+//!   failure mode `mesh-reliable`'s retransmission layer recovers from.
 //!
 //! Everything is specified up front in a [`FaultPlan`] — a pure value, built
 //! by hand or drawn from a seed via [`FaultPlan::random`] — and compiled
@@ -26,9 +30,11 @@
 //! only ever sees moves that can actually happen.
 
 pub mod compiled;
+pub mod error;
 pub mod plan;
 
 pub use compiled::{ActiveFault, CompiledFaults};
+pub use error::FaultPlanError;
 pub use plan::{FaultPlan, LinkFault, NodeStall, QueueDegrade};
 
 /// SplitMix64 — the crate's only source of pseudo-randomness, kept local so

@@ -1,6 +1,7 @@
 //! Fault plans: declarative, seedable descriptions of what breaks when.
 
 use crate::compiled::CompiledFaults;
+use crate::error::FaultPlanError;
 use crate::splitmix64;
 use mesh_topo::{Coord, Dir, Link};
 use serde::{Deserialize, Serialize};
@@ -40,14 +41,22 @@ pub struct QueueDegrade {
 /// A complete fault schedule for one simulation on a side-`n` grid.
 ///
 /// Plans are plain data: build them field by field, with the fluent helpers,
-/// or from a seed with [`FaultPlan::random`]. Compile with
-/// [`FaultPlan::compile`] before handing to the engine or to `FaultAware`.
+/// or from a seed with [`FaultPlan::random`] /
+/// [`FaultPlan::random_outages`]. Compile with [`FaultPlan::compile`] (or
+/// the non-panicking [`FaultPlan::try_compile`]) before handing to the
+/// engine or to `FaultAware`.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultPlan {
     pub n: u32,
     pub links: Vec<LinkFault>,
     pub stalls: Vec<NodeStall>,
     pub degrades: Vec<QueueDegrade>,
+    /// Lossy links: a packet transmitted over the link during `[from, until)`
+    /// is *destroyed* instead of arriving. Unlike a down link (which blocks
+    /// the move, leaving the packet at its sender), a lossy link silently
+    /// eats traffic — the failure mode the reliable-transport layer exists
+    /// to recover from. Reuses [`LinkFault`] for the interval shape.
+    pub losses: Vec<LinkFault>,
 }
 
 impl FaultPlan {
@@ -62,7 +71,10 @@ impl FaultPlan {
 
     /// True when the plan contains no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.links.is_empty() && self.stalls.is_empty() && self.degrades.is_empty()
+        self.links.is_empty()
+            && self.stalls.is_empty()
+            && self.degrades.is_empty()
+            && self.losses.is_empty()
     }
 
     /// Adds a one-direction link fault over `[from, until)`.
@@ -103,6 +115,31 @@ impl FaultPlan {
             from,
             until,
         });
+        self
+    }
+
+    /// Makes the one-direction `dir` outlink of `node` lossy over
+    /// `[from, until)`: packets transmitted across it are destroyed.
+    pub fn lossy(mut self, node: Coord, dir: Dir, from: u64, until: Option<u64>) -> Self {
+        self.losses.push(LinkFault {
+            link: Link::new(node, dir),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Makes both directions of a cable lossy over `[from, until)`.
+    pub fn lossy_cable(mut self, node: Coord, dir: Dir, from: u64, until: Option<u64>) -> Self {
+        let link = Link::new(node, dir);
+        self.losses.push(LinkFault { link, from, until });
+        if let Some(rev) = link.reverse() {
+            self.losses.push(LinkFault {
+                link: rev,
+                from,
+                until,
+            });
+        }
         self
     }
 
@@ -170,10 +207,130 @@ impl FaultPlan {
         plan
     }
 
-    /// Compiles the plan into the interval-query structure the engine and
-    /// `FaultAware` consult.
+    /// Draws a transient-outage plan: every fault interval is finite, no
+    /// node ever stalls or loses queue slots, and no link goes permanently
+    /// down — the network always heals, but while an outage is active its
+    /// cable silently *loses* every packet sent across it, and with
+    /// probability `density/4` a cable additionally goes down (blocking,
+    /// not lossy) for a shorter interval. This is the adversary the
+    /// reliable-transport layer is built against: raw dynamic injection
+    /// loses packets under it, while retransmission recovers them.
+    ///
+    /// Loss intervals start uniformly in `[0, horizon)` and last between
+    /// `horizon/8` and `horizon/2` steps. Fully determined by
+    /// `(n, density, horizon, seed)`; its draw streams are independent of
+    /// [`FaultPlan::random`]'s, so existing recorded chaos tables never
+    /// shift.
+    pub fn random_outages(n: u32, density: f64, horizon: u64, seed: u64) -> FaultPlan {
+        let mut plan = FaultPlan::none(n);
+        if density <= 0.0 || horizon == 0 {
+            return plan;
+        }
+        let mut s_loss = seed ^ 0x9f86_3ca1_5dd0_13b7;
+        let mut s_down = seed ^ 0x37e4_91ab_64f2_0c55;
+        let unit = |r: u64| (r >> 11) as f64 / (1u64 << 53) as f64;
+        let interval = |s: &mut u64, lo_div: u64, hi_div: u64| {
+            let from = splitmix64(s) % horizon;
+            let lo = (horizon / lo_div).max(1);
+            let hi = (horizon / hi_div).max(lo + 1);
+            let len = lo + splitmix64(s) % (hi - lo);
+            (from, Some(from + len))
+        };
+        for link in Link::all_mesh(n) {
+            // One draw per cable, visited from its East/North endpoint.
+            if !matches!(link.dir, Dir::East | Dir::North) {
+                continue;
+            }
+            if unit(splitmix64(&mut s_loss)) < density {
+                let (from, until) = interval(&mut s_loss, 8, 2);
+                plan = plan.lossy_cable(link.from, link.dir, from, until);
+            } else {
+                let _ = splitmix64(&mut s_loss);
+                let _ = splitmix64(&mut s_loss);
+            }
+            if unit(splitmix64(&mut s_down)) < density / 4.0 {
+                let (from, until) = interval(&mut s_down, 8, 4);
+                plan = plan.cable_cut(link.from, link.dir, from, until);
+            } else {
+                let _ = splitmix64(&mut s_down);
+                let _ = splitmix64(&mut s_down);
+            }
+        }
+        plan
+    }
+
+    /// Checks the plan for construction mistakes that `CompiledFaults`
+    /// would otherwise accept silently: empty or inverted intervals,
+    /// out-of-grid coordinates, duplicate link entries, and zero-slot
+    /// degradations (a no-op that almost certainly meant `slots >= 1`).
+    pub fn validate(&self) -> Result<(), FaultPlanError> {
+        let check_interval = |what: &'static str, from: u64, until: Option<u64>| match until {
+            Some(u) if u <= from => Err(FaultPlanError::EmptyInterval { what, from, until: u }),
+            _ => Ok(()),
+        };
+        let check_node = |what: &'static str, node: Coord| {
+            if node.x >= self.n || node.y >= self.n {
+                Err(FaultPlanError::OutOfBounds { what, node, n: self.n })
+            } else {
+                Ok(())
+            }
+        };
+        let check_links = |what: &'static str, faults: &[LinkFault]| {
+            let mut seen = std::collections::HashSet::new();
+            for lf in faults {
+                check_interval(what, lf.from, lf.until)?;
+                check_node(what, lf.link.from)?;
+                match lf.link.to() {
+                    Some(to) if to.x < self.n && to.y < self.n => {}
+                    _ => {
+                        return Err(FaultPlanError::OutOfBounds {
+                            what,
+                            node: lf.link.from,
+                            n: self.n,
+                        })
+                    }
+                }
+                if !seen.insert((lf.link, lf.from, lf.until)) {
+                    return Err(FaultPlanError::DuplicateLink {
+                        what,
+                        link: lf.link,
+                        from: lf.from,
+                        until: lf.until,
+                    });
+                }
+            }
+            Ok(())
+        };
+        check_links("link-down", &self.links)?;
+        check_links("lossy-link", &self.losses)?;
+        for st in &self.stalls {
+            check_interval("stall", st.from, st.until)?;
+            check_node("stall", st.node)?;
+        }
+        for dg in &self.degrades {
+            check_interval("degrade", dg.from, dg.until)?;
+            check_node("degrade", dg.node)?;
+            if dg.slots == 0 {
+                return Err(FaultPlanError::ZeroSlotDegrade { node: dg.node });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates, then compiles the plan into the interval-query structure
+    /// the engine and `FaultAware` consult.
+    pub fn try_compile(&self) -> Result<CompiledFaults, FaultPlanError> {
+        self.validate()?;
+        Ok(CompiledFaults::new(self))
+    }
+
+    /// [`FaultPlan::try_compile`], panicking on an invalid plan (a
+    /// construction bug, not a runtime condition).
     pub fn compile(&self) -> CompiledFaults {
-        CompiledFaults::new(self)
+        match self.try_compile() {
+            Ok(c) => c,
+            Err(e) => panic!("invalid fault plan: {e}"),
+        }
     }
 }
 
@@ -215,9 +372,89 @@ mod tests {
     fn plans_roundtrip_through_serde() {
         let p = FaultPlan::random(8, 0.2, 500, 9)
             .stall(Coord::new(1, 1), 3, None)
-            .degrade(Coord::new(2, 2), 1, 0, Some(50));
+            .degrade(Coord::new(2, 2), 1, 0, Some(50))
+            .lossy(Coord::new(3, 3), Dir::East, 2, Some(9));
         let json = serde_json::to_string(&p).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);
+    }
+
+    #[test]
+    fn random_ignores_losses_so_recorded_chaos_tables_never_shift() {
+        // `random_outages` must not perturb `random`'s draw streams and
+        // vice versa: `random` still produces zero loss faults.
+        let p = FaultPlan::random(12, 0.3, 1000, 42);
+        assert!(p.losses.is_empty());
+        assert!(!p.links.is_empty());
+    }
+
+    #[test]
+    fn random_outages_are_transient_and_lossy() {
+        let p = FaultPlan::random_outages(16, 0.25, 128, 7);
+        assert!(!p.losses.is_empty(), "density 0.25 must draw some outages");
+        assert!(p.stalls.is_empty() && p.degrades.is_empty());
+        for f in p.losses.iter().chain(p.links.iter()) {
+            let until = f.until.expect("no permanent faults in an outage plan");
+            assert!(until > f.from);
+        }
+        assert_eq!(p, FaultPlan::random_outages(16, 0.25, 128, 7));
+        assert_ne!(p, FaultPlan::random_outages(16, 0.25, 128, 8));
+        assert!(p.validate().is_ok());
+        assert!(FaultPlan::random_outages(16, 0.0, 128, 7).is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_empty_and_inverted_intervals() {
+        let p = FaultPlan::none(8).link_down(Coord::new(1, 1), Dir::East, 10, Some(10));
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::EmptyInterval { what: "link-down", from: 10, until: 10 })
+        ));
+        let p = FaultPlan::none(8).stall(Coord::new(0, 0), 20, Some(5));
+        assert!(matches!(p.validate(), Err(FaultPlanError::EmptyInterval { .. })));
+        assert!(p.try_compile().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_link_entries() {
+        let p = FaultPlan::none(8)
+            .link_down(Coord::new(2, 2), Dir::North, 0, Some(9))
+            .link_down(Coord::new(2, 2), Dir::North, 0, Some(9));
+        match p.validate() {
+            Err(FaultPlanError::DuplicateLink { what, link, .. }) => {
+                assert_eq!(what, "link-down");
+                assert_eq!(link, Link::new(Coord::new(2, 2), Dir::North));
+            }
+            other => panic!("expected DuplicateLink, got {other:?}"),
+        }
+        // Same link with a *different* interval is fine (back-to-back outages).
+        let p = FaultPlan::none(8)
+            .lossy(Coord::new(2, 2), Dir::North, 0, Some(9))
+            .lossy(Coord::new(2, 2), Dir::North, 20, Some(30));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_grid_faults() {
+        // Node outside the grid.
+        let p = FaultPlan::none(4).stall(Coord::new(7, 0), 0, None);
+        assert!(matches!(p.validate(), Err(FaultPlanError::OutOfBounds { .. })));
+        // Link pointing off the grid edge can never carry anything.
+        let p = FaultPlan::none(4).link_down(Coord::new(3, 0), Dir::East, 0, None);
+        assert!(matches!(p.validate(), Err(FaultPlanError::OutOfBounds { .. })));
+        // Zero-slot degradation is a silent no-op: reject.
+        let p = FaultPlan::none(4).degrade(Coord::new(1, 1), 0, 0, Some(5));
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::ZeroSlotDegrade { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn compile_panics_on_invalid_plans() {
+        let _ = FaultPlan::none(8)
+            .lossy(Coord::new(1, 1), Dir::East, 5, Some(5))
+            .compile();
     }
 }

@@ -1,0 +1,133 @@
+//! Retransmission timer policies.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// A capped exponential backoff schedule with seeded jitter.
+///
+/// The delay before the `attempt`-th retransmission (attempt 0 = the timer
+/// armed right after the original transmission) is
+///
+/// ```text
+/// min(cap, base · factor^attempt) + jitter_draw,   jitter_draw ∈ [0, jitter]
+/// ```
+///
+/// in simulation steps. The jitter draw comes from the *caller's* seeded RNG,
+/// so a transport's whole retransmission schedule is a pure function of its
+/// seed — bit-deterministic across thread counts. `factor == 1` (see
+/// [`BackoffPolicy::fixed`]) degenerates to a constant retransmission
+/// timeout, the baseline the reliable experiment compares against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffPolicy {
+    /// First timeout, in steps (>= 1).
+    pub base: u64,
+    /// Multiplier applied per attempt (>= 1; 1 = fixed timeout).
+    pub factor: u64,
+    /// Upper bound on the deterministic part of the delay.
+    pub cap: u64,
+    /// Maximum extra steps of uniform jitter added to every delay.
+    pub jitter: u64,
+}
+
+impl BackoffPolicy {
+    /// A constant retransmission timeout of `base` steps, no jitter.
+    pub fn fixed(base: u64) -> BackoffPolicy {
+        BackoffPolicy {
+            base,
+            factor: 1,
+            cap: base,
+            jitter: 0,
+        }
+    }
+
+    /// Binary exponential backoff: `base · 2^attempt`, capped, with up to
+    /// `jitter` steps of seeded jitter per delay.
+    pub fn exponential(base: u64, cap: u64, jitter: u64) -> BackoffPolicy {
+        BackoffPolicy {
+            base,
+            factor: 2,
+            cap,
+            jitter,
+        }
+    }
+
+    /// Largest delay this policy can produce; a protocol-aware watchdog
+    /// window must exceed this, or quiet waits between retransmissions
+    /// would read as starvation.
+    pub fn max_delay(&self) -> u64 {
+        self.cap.max(self.base) + self.jitter
+    }
+
+    /// The delay, in steps, to wait before the `attempt`-th retransmission.
+    /// Draws the jitter from `rng` (exactly one draw when `jitter > 0`,
+    /// none otherwise — callers can count on the draw schedule).
+    pub fn delay<R: RngCore>(&self, attempt: u32, rng: &mut R) -> u64 {
+        debug_assert!(self.base >= 1 && self.factor >= 1, "degenerate policy");
+        let mut d = self.base;
+        for _ in 0..attempt {
+            d = d.saturating_mul(self.factor);
+            if d >= self.cap {
+                d = self.cap;
+                break;
+            }
+        }
+        let d = d.min(self.cap.max(self.base)).max(1);
+        if self.jitter > 0 {
+            d + rng.gen_range(0..=self.jitter)
+        } else {
+            d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn fixed_policy_is_constant() {
+        let p = BackoffPolicy::fixed(7);
+        let mut rng = StdRng::seed_from_u64(1);
+        for a in 0..10 {
+            assert_eq!(p.delay(a, &mut rng), 7);
+        }
+        assert_eq!(p.max_delay(), 7);
+    }
+
+    #[test]
+    fn exponential_grows_then_caps() {
+        let p = BackoffPolicy::exponential(4, 32, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let delays: Vec<u64> = (0..6).map(|a| p.delay(a, &mut rng)).collect();
+        assert_eq!(delays, [4, 8, 16, 32, 32, 32]);
+        assert_eq!(p.max_delay(), 32);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seed_deterministic() {
+        let p = BackoffPolicy::exponential(4, 32, 3);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..50).map(|i| p.delay(i % 7, &mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..50).map(|i| p.delay(i % 7, &mut rng)).collect()
+        };
+        assert_eq!(a, b, "same seed, same schedule");
+        for (i, d) in a.iter().enumerate() {
+            let det = p.delay((i as u32) % 7, &mut StdRng::seed_from_u64(0)).min(32);
+            // Jitter only ever adds, and at most `jitter`.
+            assert!(*d >= det.min(4) && *d <= 32 + 3, "delay {d} out of range");
+        }
+        assert_eq!(p.max_delay(), 35);
+    }
+
+    #[test]
+    fn overflow_saturates_at_cap() {
+        let p = BackoffPolicy::exponential(u64::MAX / 2, u64::MAX, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.delay(3, &mut rng), u64::MAX);
+    }
+}

@@ -19,6 +19,6 @@ pub mod problem;
 pub mod quadrant;
 pub mod workloads;
 
-pub use packet::{Packet, PacketId};
+pub use packet::{Packet, PacketId, PayloadId};
 pub use problem::{ProblemClass, RoutingProblem};
 pub use quadrant::Quadrant;

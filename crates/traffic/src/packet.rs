@@ -21,6 +21,30 @@ impl core::fmt::Debug for PacketId {
     }
 }
 
+/// Dense identifier of an end-to-end *payload* in a reliable transport.
+///
+/// A payload is the unit a transport promises to deliver exactly once; the
+/// network may carry it as several [`PacketId`]s over time (the original
+/// transmission plus retransmissions, each a distinct packet). Kept here, next
+/// to [`PacketId`], so the packet/payload distinction is part of the shared
+/// traffic vocabulary rather than private to the transport crate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PayloadId(pub u32);
+
+impl PayloadId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Debug for PayloadId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "y{}", self.0)
+    }
+}
+
 /// A packet.
 ///
 /// Per §2 of the paper, a packet carries: a **source address** and

@@ -380,3 +380,72 @@ proptest! {
         check!("hot-potato", Dx::new(HotPotato::new(12)), 1);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn watchdog_never_fires_on_fault_free_dynamic_bernoulli(
+        rate_permille in 1u64..=80,
+        seed in 0u64..10_000,
+    ) {
+        // The protocol-aware watchdog semantics must not misread lawful
+        // quiet (packets released far apart, empty stretches between
+        // injections) as a wedge on a healthy network.
+        let n = 8;
+        let rate = rate_permille as f64 / 1000.0;
+        let pb = workloads::dynamic_bernoulli(n, rate, 4 * n as u64, seed);
+        prop_assume!(!pb.is_empty());
+        let topo = Mesh::new(n);
+        let config = SimConfig {
+            watchdog: Some(8 * n as u64),
+            ..SimConfig::default()
+        };
+        // Plain run under the watchdog…
+        let mut sim = Sim::with_config(&topo, Dx::new(Theorem15::new(2)), &pb, config);
+        let res = sim.run(500_000);
+        prop_assert!(res.is_ok(), "raw watchdog fired fault-free: {:?}", res.err());
+        // …and the reliable transport under the protocol-aware watchdog
+        // (quiet waits between lawful timer deadlines included).
+        let mut sim = Sim::with_config(&topo, Dx::new(Theorem15::new(2)), &pb, config);
+        let mut tp = Transport::new(&pb, BackoffPolicy::exponential(16, 48, 4), seed ^ 0x5a);
+        let res = sim.run_with_protocol(500_000, &mut tp);
+        prop_assert!(res.is_ok(), "protocol watchdog fired fault-free: {:?}", res.err());
+        prop_assert!(tp.exactly_once());
+    }
+
+    #[test]
+    fn duplicate_suppression_never_drops_a_first_delivery(seed in 0u64..5_000) {
+        // An aggressively small timeout floods the mesh with premature
+        // retransmissions under a lossy outage plan; however many copies
+        // race, every payload must reach the application exactly once.
+        let n = 8;
+        let pb = workloads::random_partial_permutation(n, 0.4, seed);
+        prop_assume!(!pb.is_empty());
+        let topo = Mesh::new(n);
+        let faults = std::sync::Arc::new(
+            FaultPlan::random_outages(n, 0.2, 8 * n as u64, seed ^ 0x0dd).compile(),
+        );
+        let config = SimConfig {
+            watchdog: Some(2048),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::with_faults(
+            &topo,
+            FaultAware::new(Dx::new(Theorem15::new(2)), std::sync::Arc::clone(&faults)),
+            &pb,
+            config,
+            faults.as_ref().clone(),
+        );
+        let mut tp = Transport::new(&pb, BackoffPolicy::fixed(4), seed ^ 0xf00d);
+        let steps = sim.run_with_protocol(500_000, &mut tp)
+            .expect("transient outages are always recoverable");
+        let rep = tp.report(steps);
+        prop_assert!(rep.exactly_once, "{:?}", rep);
+        prop_assert_eq!(rep.delivered, pb.len());
+        prop_assert_eq!(rep.acked, pb.len());
+        // Suppressed duplicates never leak into the application count even
+        // when the premature timer produced plenty of them.
+        prop_assert!(rep.duplicate_deliveries as usize + rep.delivered >= rep.delivered);
+    }
+}
