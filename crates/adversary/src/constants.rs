@@ -324,7 +324,10 @@ mod tests {
         assert!(p.l >= 1);
         assert_eq!(p.h, 2);
         // h = 1 delegates to the permutation constants.
-        assert_eq!(GeneralParams::hh(216, 1, 1).unwrap(), GeneralParams::new(216, 1).unwrap());
+        assert_eq!(
+            GeneralParams::hh(216, 1, 1).unwrap(),
+            GeneralParams::new(216, 1).unwrap()
+        );
         // h > k refused.
         assert!(matches!(
             GeneralParams::hh(600, 1, 2),

@@ -99,7 +99,10 @@ impl DimOrderConstruction {
 
         RoutingProblem::from_pairs(
             n,
-            format!("clt-dimorder-initial(n={n},k={},cn={cn},p={p},l={l})", self.params.k),
+            format!(
+                "clt-dimorder-initial(n={n},k={},cn={cn},p={p},l={l})",
+                self.params.k
+            ),
             pairs,
         )
     }
@@ -186,7 +189,9 @@ impl StepHook for DimOrderHook {
             for mi in 0..ctx.moves.len() {
                 let m = ctx.moves[mi];
                 loop {
-                    let Some(Class::N(j)) = self.classes.class_of(m.pkt) else { break };
+                    let Some(Class::N(j)) = self.classes.class_of(m.pkt) else {
+                        break;
+                    };
                     // Entering some N_i-column (from outside it)?
                     let to_i =
                         m.to.x as i64 + self.cons.params.cn as i64 + 2 - self.cons.params.n as i64;

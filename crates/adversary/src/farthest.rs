@@ -190,7 +190,9 @@ impl StepHook for FarthestHook {
             for mi in 0..ctx.moves.len() {
                 let m = ctx.moves[mi];
                 loop {
-                    let Some(Class::N(j)) = self.classes.class_of(m.pkt) else { break };
+                    let Some(Class::N(j)) = self.classes.class_of(m.pkt) else {
+                        break;
+                    };
                     // Scheduled to enter its OWN column, while some i < j is
                     // still protected (t ≤ i·dn for some i < j ⇔ t ≤ (j−1)dn)?
                     if j >= 2
@@ -260,15 +262,9 @@ mod tests {
     #[test]
     fn classes_decode() {
         let c = cons(216, 1);
-        assert_eq!(
-            c.classify_dst(Coord::new(215, 215)),
-            Some(Class::N(1))
-        );
+        assert_eq!(c.classify_dst(Coord::new(215, 215)), Some(Class::N(1)));
         let l = c.params.l;
-        assert_eq!(
-            c.classify_dst(Coord::new(216 - l, 215)),
-            Some(Class::N(l))
-        );
+        assert_eq!(c.classify_dst(Coord::new(216 - l, 215)), Some(Class::N(l)));
         // Below row cn: not a destination.
         assert_eq!(c.classify_dst(Coord::new(215, 0)), None);
     }

@@ -306,7 +306,9 @@ impl GeneralHook {
             // re-evaluate after each exchange. Two passes suffice, but loop
             // defensively until clean.
             loop {
-                let Some(cls) = self.classes.class_of(m.pkt) else { break };
+                let Some(cls) = self.classes.class_of(m.pkt) else {
+                    break;
+                };
                 let j = cls.index();
                 let mut exchanged = false;
 
@@ -424,7 +426,11 @@ mod tests {
                     assert_eq!(cls, Class::E(1));
                 }
                 // Destinations lie strictly outside the l-box.
-                assert!(!g.in_box(pk.dst, c.params.l), "dst {:?} inside l-box", pk.dst);
+                assert!(
+                    !g.in_box(pk.dst, c.params.l),
+                    "dst {:?} inside l-box",
+                    pk.dst
+                );
             }
             // Exactly p packets per class.
             for i in 1..=c.params.l {

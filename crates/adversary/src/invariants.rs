@@ -54,15 +54,15 @@ impl InvariantChecker {
 
         for idx in 0..self.num_packets {
             let p = PacketId(idx as u32);
-            let Some(cls) = classes.class_of(p) else { continue };
+            let Some(cls) = classes.class_of(p) else {
+                continue;
+            };
             let j = cls.index();
             let loc = loc_of(p);
             let coord = match loc {
                 Loc::At(c) => Some(c),
                 Loc::Delivered => None,
-                Loc::Pending => {
-                    return Err(format!("packet {p:?} pending mid-construction"))
-                }
+                Loc::Pending => return Err(format!("packet {p:?} pending mid-construction")),
                 // The adversary constructions run without fault plans, so a
                 // destroyed packet means the harness was miswired.
                 Loc::Lost => return Err(format!("packet {p:?} lost mid-construction")),
@@ -83,16 +83,12 @@ impl InvariantChecker {
                 match cls {
                     Class::N(_) => {
                         if c.x > geom.n_col(j) {
-                            return Err(format!(
-                                "N_{j} packet {p:?} east of its column at {c:?}"
-                            ));
+                            return Err(format!("N_{j} packet {p:?} east of its column at {c:?}"));
                         }
                     }
                     Class::E(_) => {
                         if c.y > geom.e_row(j) {
-                            return Err(format!(
-                                "E_{j} packet {p:?} north of its row at {c:?}"
-                            ));
+                            return Err(format!("E_{j} packet {p:?} north of its row at {c:?}"));
                         }
                     }
                 }

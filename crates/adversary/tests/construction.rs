@@ -4,9 +4,7 @@
 
 use mesh_adversary::dimorder::DimOrderConstruction;
 use mesh_adversary::farthest::FarthestFirstConstruction;
-use mesh_adversary::{
-    verify_lower_bound, DimOrderParams, GeneralConstruction, GeneralParams,
-};
+use mesh_adversary::{verify_lower_bound, DimOrderParams, GeneralConstruction, GeneralParams};
 use mesh_routers::{alt_adaptive, dim_order, theorem15, FarthestFirst};
 use mesh_topo::Mesh;
 
@@ -72,7 +70,10 @@ fn dimorder_construction_k1() {
     let outcome = cons.run(&topo, dim_order(1));
     assert!(outcome.undelivered_at_bound > 0);
     let report = verify_lower_bound(&topo, dim_order(1), &outcome, None);
-    assert!(report.undelivered_at_bound > 0, "Theorem: Ω(n²/k) for dim order");
+    assert!(
+        report.undelivered_at_bound > 0,
+        "Theorem: Ω(n²/k) for dim order"
+    );
     assert!(report.replay_matches_construction);
 }
 

@@ -47,7 +47,8 @@ fn main() {
             "--full" => full = true,
             "--csv" => {
                 csv_dir = Some(PathBuf::from(
-                    args.next().unwrap_or_else(|| usage_error("--csv needs a directory")),
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--csv needs a directory")),
                 ))
             }
             "--json-out" => {
@@ -84,7 +85,10 @@ fn main() {
                 if experiments::ALL.contains(&other) {
                     ids.push(other.to_string());
                 } else {
-                    eprintln!("unknown experiment '{other}'; valid: {:?}", experiments::ALL);
+                    eprintln!(
+                        "unknown experiment '{other}'; valid: {:?}",
+                        experiments::ALL
+                    );
                     std::process::exit(2);
                 }
             }
@@ -105,7 +109,9 @@ fn main() {
         if threads > 1 {
             1
         } else {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(4)
         }
     });
     let config = RunnerConfig { threads, trials };
@@ -113,8 +119,7 @@ fn main() {
 
     // Run experiments in parallel (each deterministic regardless of its own
     // pool size), print in requested order.
-    let results: Mutex<Vec<Option<JobResult>>> =
-        Mutex::new((0..ids.len()).map(|_| None).collect());
+    let results: Mutex<Vec<Option<JobResult>>> = Mutex::new((0..ids.len()).map(|_| None).collect());
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     crossbeam::scope(|s| {
         for _ in 0..jobs.max(1).min(ids.len()) {
@@ -146,7 +151,10 @@ fn main() {
                             &["status"],
                         );
                         t.row(vec!["failed".to_string()]);
-                        results.lock()[i] = Some(JobResult { table: t, run: None });
+                        results.lock()[i] = Some(JobResult {
+                            table: t,
+                            run: None,
+                        });
                     }
                 }
             });
@@ -165,11 +173,13 @@ fn main() {
             let doc = serde_json::to_string_pretty(&run.doc).expect("serialize BenchDoc");
             std::fs::write(dir.join(format!("BENCH_{id}.json")), doc + "\n")
                 .expect("write BENCH json");
-            let timing =
-                serde_json::to_string_pretty(&run.timing).expect("serialize TimingDoc");
+            let timing = serde_json::to_string_pretty(&run.timing).expect("serialize TimingDoc");
             std::fs::write(dir.join(format!("BENCH_{id}.timing.json")), timing + "\n")
                 .expect("write timing json");
-            eprintln!("[{id} json -> {}]", dir.join(format!("BENCH_{id}.json")).display());
+            eprintln!(
+                "[{id} json -> {}]",
+                dir.join(format!("BENCH_{id}.json")).display()
+            );
         }
     }
 }

@@ -142,7 +142,11 @@ fn save_json<T: serde::Serialize>(value: &T, path: &str) {
 }
 
 fn cmd_workload(args: &Args) {
-    let kind = args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    let kind = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let pb = make_workload(kind, args);
     eprintln!(
         "{}: {} packets, class {:?}, total work {}",
@@ -158,7 +162,11 @@ fn cmd_workload(args: &Args) {
 }
 
 fn cmd_route(args: &Args) {
-    let algo_name = args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    let algo_name = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let k = args.u32_flag("k").unwrap_or(4);
     let algo = make_algorithm(algo_name, k);
     let pb = if let Some(path) = args.flags.get("problem") {
@@ -238,7 +246,9 @@ fn cmd_route(args: &Args) {
                 with_sim!(Dx::new(mesh_routing::routers::WestFirst::new(k)))
             }
             Algorithm::BoundedDeflect { k, delta } => {
-                with_sim!(Dx::new(mesh_routing::routers::BoundedDeflect::new(pb.n, k, delta)))
+                with_sim!(Dx::new(mesh_routing::routers::BoundedDeflect::new(
+                    pb.n, k, delta
+                )))
             }
             _ => unreachable!(),
         }
@@ -246,7 +256,11 @@ fn cmd_route(args: &Args) {
 }
 
 fn cmd_construct(args: &Args) {
-    let kind = args.positional.get(1).map(String::as_str).unwrap_or_else(|| usage());
+    let kind = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let n = args.u32_flag("n").unwrap_or_else(|| usage());
     let k = args.u32_flag("k").unwrap_or(1);
     let check = args.has("check");

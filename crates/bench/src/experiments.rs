@@ -13,21 +13,15 @@
 
 use crate::cells;
 use crate::runner::{derive_seed, Experiment, TrialOutput};
+use crate::sweep::{
+    outcome_tag, per_n, ratio, routed, section6_router, short_label, stall_cap, steps_or_dash,
+};
 use crate::table::Table;
 use mesh_routing::adversary::dimorder::DimOrderConstruction;
 use mesh_routing::adversary::farthest::FarthestFirstConstruction;
 use mesh_routing::adversary::general::ConstructionOutcome;
 use mesh_routing::prelude::*;
-use mesh_routing::Section6Router;
 use std::sync::Arc;
-
-fn ratio(a: u64, b: f64) -> String {
-    format!("{:.3}", a as f64 / b)
-}
-
-fn short_label(pb: &RoutingProblem) -> String {
-    pb.label.split('(').next().unwrap_or("?").to_string()
-}
 
 /// E1 — Theorem 14: `Ω(n²/k²)` for destination-exchangeable minimal
 /// adaptive algorithms, via the §3 construction. For each `(n, k)` the
@@ -135,9 +129,7 @@ pub fn e2(full: bool) -> Experiment {
                 // end is the PASS certificate.
                 let outcome = match victim {
                     "dim-order" => cons.run(&topo, mesh_routing::routers::dim_order(k), true),
-                    "alt-adaptive" => {
-                        cons.run(&topo, mesh_routing::routers::alt_adaptive(k), true)
-                    }
+                    "alt-adaptive" => cons.run(&topo, mesh_routing::routers::alt_adaptive(k), true),
                     _ => cons.run(&topo, mesh_routing::routers::theorem15(k), true),
                 };
                 let rep = match victim {
@@ -166,8 +158,16 @@ pub fn e2(full: bool) -> Experiment {
                     victim,
                     outcome.bound_steps,
                     "PASS",
-                    if rep.replay_matches_construction { "PASS" } else { "FAIL" },
-                    if rep.undelivered_at_bound > 0 { "PASS" } else { "FAIL" }
+                    if rep.replay_matches_construction {
+                        "PASS"
+                    } else {
+                        "FAIL"
+                    },
+                    if rep.undelivered_at_bound > 0 {
+                        "PASS"
+                    } else {
+                        "FAIL"
+                    }
                 );
                 TrialOutput::with_report(row, rep.replay)
             });
@@ -281,17 +281,18 @@ pub fn e5(full: bool) -> Experiment {
             ratio(out.steps, denom as f64),
             out.max_queue
         );
-        TrialOutput {
-            row,
-            report: out.report,
-        }
+        routed(row, out)
     };
     for (n, k) in grid {
         e.fixed(format!("n={n} k={k} transpose"), move |_| {
             route_cell(n, k, workloads::transpose(n))
         });
         e.seeded(format!("n={n} k={k} random-permutation"), move |trial| {
-            route_cell(n, k, workloads::random_permutation(n, derive_seed(1, trial)))
+            route_cell(
+                n,
+                k,
+                workloads::random_permutation(n, derive_seed(1, trial)),
+            )
         });
         e.fixed(format!("n={n} k={k} column-funnel"), move |_| {
             route_cell(n, k, workloads::column_funnel(n))
@@ -331,11 +332,7 @@ pub fn e6(full: bool) -> Experiment {
         sizes.push(729);
     }
     let s6_cell = |n: u32, pb: RoutingProblem, variant: &'static str| -> TrialOutput {
-        let router = if variant == "q=408" {
-            Section6Router::new()
-        } else {
-            Section6Router::improved()
-        };
+        let router = section6_router(variant != "q=408");
         let r = router.route(&pb);
         TrialOutput::new(cells!(
             n,
@@ -344,16 +341,23 @@ pub fn e6(full: bool) -> Experiment {
             r.scheduled_steps,
             format!("{:.1}", r.steps_per_n()),
             r.quiescent_steps,
-            format!("{:.1}", r.quiescent_steps as f64 / n as f64),
+            per_n(r.quiescent_steps, n),
             r.max_node_load,
             r.total_moves == pb.total_work()
         ))
     };
     for n in sizes {
         for variant in ["q=408", "q=102 (improved)"] {
-            e.seeded(format!("n={n} random-permutation {variant}"), move |trial| {
-                s6_cell(n, workloads::random_permutation(n, derive_seed(11, trial)), variant)
-            });
+            e.seeded(
+                format!("n={n} random-permutation {variant}"),
+                move |trial| {
+                    s6_cell(
+                        n,
+                        workloads::random_permutation(n, derive_seed(11, trial)),
+                        variant,
+                    )
+                },
+            );
         }
         for variant in ["q=408", "q=102 (improved)"] {
             e.fixed(format!("n={n} transpose {variant}"), move |_| {
@@ -389,7 +393,7 @@ pub fn e7(full: bool) -> Experiment {
             r.steps,
             2 * n - 2,
             r.max_queue,
-            format!("{:.3}", r.max_queue as f64 / n as f64)
+            ratio(r.max_queue as u64, n as f64)
         );
         TrialOutput::with_report(row, r)
     };
@@ -498,9 +502,7 @@ pub fn e10(full: bool) -> Experiment {
         &["workload", "algorithm", "steps", "steps/n", "max queue", "done"],
     );
     let n = if full { 243 } else { 81 };
-    // Stalled (deadlocked) routers burn the whole cap; 8n² is still far
-    // beyond any completing run here.
-    let cap = 8 * (n as u64) * (n as u64);
+    let cap = stall_cap(n);
     let algos = [
         Algorithm::GreedyUnbounded,
         Algorithm::DimOrder { k: 4 },
@@ -514,19 +516,16 @@ pub fn e10(full: bool) -> Experiment {
         let row = cells!(
             short_label(&pb),
             out.algorithm,
-            if out.completed { out.steps.to_string() } else { "-".into() },
+            steps_or_dash(out.completed, out.steps),
             if out.completed {
-                format!("{:.1}", out.steps as f64 / n as f64)
+                per_n(out.steps, n)
             } else {
                 format!("stalled {}/{}", out.delivered, out.total_packets)
             },
             out.max_queue,
             out.completed
         );
-        TrialOutput {
-            row,
-            report: out.report,
-        }
+        routed(row, out)
     };
     // Workload builders: (name, seeded, builder by trial).
     type PbBuilder = Box<dyn Fn(u64) -> RoutingProblem + Send + Sync>;
@@ -535,15 +534,25 @@ pub fn e10(full: bool) -> Experiment {
     workload_list.push((
         "random-permutation".into(),
         true,
-        arc(Box::new(move |t| workloads::random_permutation(n, derive_seed(7, t)))),
+        arc(Box::new(move |t| {
+            workloads::random_permutation(n, derive_seed(7, t))
+        })),
     ));
-    workload_list.push(("transpose".into(), false, arc(Box::new(move |_| workloads::transpose(n)))));
+    workload_list.push((
+        "transpose".into(),
+        false,
+        arc(Box::new(move |_| workloads::transpose(n))),
+    ));
     workload_list.push((
         "bit-complement".into(),
         false,
         arc(Box::new(move |_| workloads::bit_complement(n))),
     ));
-    workload_list.push(("tornado".into(), false, arc(Box::new(move |_| workloads::tornado(n)))));
+    workload_list.push((
+        "tornado".into(),
+        false,
+        arc(Box::new(move |_| workloads::tornado(n))),
+    ));
     workload_list.push((
         "column-funnel".into(),
         false,
@@ -579,15 +588,15 @@ pub fn a1(full: bool) -> Experiment {
     );
     let n = if full { 128 } else { 64 };
     let pair_cell = move |k: u32, pb: RoutingProblem| -> TrialOutput {
-        let cap = 8 * (n as u64) * (n as u64);
+        let cap = stall_cap(n);
         let f = mesh_routing::route_with_cap(Algorithm::DimOrder { k }, &pb, cap);
         let ff = mesh_routing::route_with_cap(Algorithm::FarthestFirst { k }, &pb, cap);
         TrialOutput::new(cells!(
             n,
             k,
             short_label(&pb),
-            if f.completed { f.steps.to_string() } else { "-".into() },
-            if ff.completed { ff.steps.to_string() } else { "-".into() },
+            steps_or_dash(f.completed, f.steps),
+            steps_or_dash(ff.completed, ff.steps),
             f.completed,
             ff.completed
         ))
@@ -617,15 +626,15 @@ pub fn a2(full: bool) -> Experiment {
     );
     let n = if full { 128 } else { 64 };
     let pair_cell = move |k: u32, pb: RoutingProblem| -> TrialOutput {
-        let cap = 8 * (n as u64) * (n as u64);
+        let cap = stall_cap(n);
         let c = mesh_routing::route_with_cap(Algorithm::DimOrder { k: 4 * k }, &pb, cap);
         let i = mesh_routing::route_with_cap(Algorithm::Theorem15 { k }, &pb, cap);
         TrialOutput::new(cells!(
             n,
             k,
             short_label(&pb),
-            if c.completed { c.steps.to_string() } else { "-".into() },
-            if i.completed { i.steps.to_string() } else { "-".into() },
+            steps_or_dash(c.completed, c.steps),
+            steps_or_dash(i.completed, i.steps),
             c.completed,
             i.completed
         ))
@@ -657,11 +666,7 @@ pub fn a3(full: bool) -> Experiment {
         sizes.push(729);
     }
     let s6_cell = |n: u32, pb: RoutingProblem, q: &'static str| -> TrialOutput {
-        let router = if q == "408" {
-            Section6Router::new()
-        } else {
-            Section6Router::improved()
-        };
+        let router = section6_router(q != "408");
         let r = router.route(&pb);
         TrialOutput::new(cells!(
             n,
@@ -676,7 +681,11 @@ pub fn a3(full: bool) -> Experiment {
     for n in sizes {
         for q in ["408", "102"] {
             e.seeded(format!("n={n} random-permutation q={q}"), move |trial| {
-                s6_cell(n, workloads::random_permutation(n, derive_seed(13, trial)), q)
+                s6_cell(
+                    n,
+                    workloads::random_permutation(n, derive_seed(13, trial)),
+                    q,
+                )
             });
         }
         for q in ["408", "102"] {
@@ -708,36 +717,36 @@ pub fn e11(full: bool) -> Experiment {
     }
     for (n, k) in grid {
         // (a) dim-order's hard instance, fed to hot potato.
-        e.fixed(format!("n={n} k={k} hot-potato-on-hard-instance"), move |_| {
-            let topo = Mesh::new(n);
-            let params = DimOrderParams::new(n, k).unwrap();
-            let cons = DimOrderConstruction::new(params);
-            let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k));
-            let hp = mesh_routing::route_with_cap(
-                Algorithm::HotPotato,
-                &outcome.constructed,
-                16 * (n as u64) * (n as u64),
-            );
-            let row = cells!(
-                n,
-                k,
-                "hot-potato on dim-order's hard instance",
-                if hp.completed {
-                    format!(
-                        "{} steps ({:.1}n) — vs the >= {} it forces on dim-order",
-                        hp.steps,
-                        hp.steps as f64 / n as f64,
-                        outcome.bound_steps
-                    )
-                } else {
-                    format!("stalled at {}/{}", hp.delivered, hp.total_packets)
-                }
-            );
-            TrialOutput {
-                row,
-                report: hp.report,
-            }
-        });
+        e.fixed(
+            format!("n={n} k={k} hot-potato-on-hard-instance"),
+            move |_| {
+                let topo = Mesh::new(n);
+                let params = DimOrderParams::new(n, k).unwrap();
+                let cons = DimOrderConstruction::new(params);
+                let outcome = cons.run(&topo, mesh_routing::routers::dim_order(k));
+                let hp = mesh_routing::route_with_cap(
+                    Algorithm::HotPotato,
+                    &outcome.constructed,
+                    16 * (n as u64) * (n as u64),
+                );
+                let row = cells!(
+                    n,
+                    k,
+                    "hot-potato on dim-order's hard instance",
+                    if hp.completed {
+                        format!(
+                            "{} steps ({}n) — vs the >= {} it forces on dim-order",
+                            hp.steps,
+                            per_n(hp.steps, n),
+                            outcome.bound_steps
+                        )
+                    } else {
+                        format!("stalled at {}/{}", hp.delivered, hp.total_packets)
+                    }
+                );
+                routed(row, hp)
+            },
+        );
         // (b) the general adversary aimed at hot potato itself.
         e.fixed(format!("n={n} k={k} adversary-vs-hot-potato"), move |_| {
             let topo = Mesh::new(n);
@@ -844,8 +853,7 @@ pub fn e13(full: bool) -> Experiment {
     for rate in rates {
         for router in ["theorem15(k=2)", "hot-potato", "greedy"] {
             e.seeded(format!("rate={rate} {router}"), move |trial| {
-                let pb =
-                    workloads::dynamic_bernoulli(n, rate, window / 4, derive_seed(99, trial));
+                let pb = workloads::dynamic_bernoulli(n, rate, window / 4, derive_seed(99, trial));
                 if pb.is_empty() {
                     return TrialOutput::new(cells!(n, rate, router, 0, "-", "-", 0, true));
                 }
@@ -943,13 +951,15 @@ pub fn chaos(full: bool) -> Experiment {
                         };
                         macro_rules! soak {
                             ($r:expr) => {{
-                                let mut sim =
-                                    Sim::with_faults(&topo, $r, &pb, config, faults.as_ref().clone());
+                                let mut sim = Sim::with_faults(
+                                    &topo,
+                                    $r,
+                                    &pb,
+                                    config,
+                                    faults.as_ref().clone(),
+                                );
                                 let res = sim.run(50_000);
-                                let outcome = match &res {
-                                    Ok(_) => "completed",
-                                    Err(err) => err.kind(),
-                                };
+                                let outcome = outcome_tag(&res);
                                 // Stretch over delivered packets only: hops
                                 // actually walked per unit of L1 distance.
                                 let (mut hops, mut l1) = (0u64, 0u64);
@@ -972,7 +982,7 @@ pub fn chaos(full: bool) -> Experiment {
                                     workload,
                                     outcome,
                                     format!("{}/{}", sim.delivered(), pb.len()),
-                                    format!("{:.3}", sim.delivered() as f64 / pb.len() as f64),
+                                    ratio(sim.delivered() as u64, pb.len() as f64),
                                     rep.steps,
                                     stretch
                                 );
@@ -982,10 +992,16 @@ pub fn chaos(full: bool) -> Experiment {
                         match router {
                             "dim-order/raw" => soak!(Dx::new(DimOrder::new(k))),
                             "dim-order/fault-aware" => {
-                                soak!(FaultAware::new(Dx::new(DimOrder::new(k)), Arc::clone(&faults)))
+                                soak!(FaultAware::new(
+                                    Dx::new(DimOrder::new(k)),
+                                    Arc::clone(&faults)
+                                ))
                             }
                             "west-first/fault-aware" => {
-                                soak!(FaultAware::new(Dx::new(WestFirst::new(k)), Arc::clone(&faults)))
+                                soak!(FaultAware::new(
+                                    Dx::new(WestFirst::new(k)),
+                                    Arc::clone(&faults)
+                                ))
                             }
                             "theorem15(k=2)/fault-aware" => soak!(FaultAware::new(
                                 Dx::new(Theorem15::new(2)),
@@ -1085,10 +1101,7 @@ pub fn reliable(full: bool) -> Experiment {
                             match policy {
                                 None => {
                                     let res = sim.run(200_000);
-                                    let outcome = match &res {
-                                        Ok(_) => "completed",
-                                        Err(err) => err.kind(),
-                                    };
+                                    let outcome = outcome_tag(&res);
                                     let lat = sim.latency_distribution();
                                     let steps = sim.steps().max(1);
                                     (
@@ -1101,13 +1114,9 @@ pub fn reliable(full: bool) -> Experiment {
                                     )
                                 }
                                 Some(policy) => {
-                                    let mut tp =
-                                        Transport::new(&pb, policy, derive_seed(7, trial));
+                                    let mut tp = Transport::new(&pb, policy, derive_seed(7, trial));
                                     let res = sim.run_with_protocol(200_000, &mut tp);
-                                    let outcome = match &res {
-                                        Ok(_) => "completed",
-                                        Err(err) => err.kind(),
-                                    };
+                                    let outcome = outcome_tag(&res);
                                     let rep = tp.report(sim.steps());
                                     (
                                         outcome,
@@ -1146,8 +1155,8 @@ pub fn reliable(full: bool) -> Experiment {
 
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-    "a1", "a2", "a3", "chaos", "reliable",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2",
+    "a3", "chaos", "reliable",
 ];
 
 /// Builds the experiment (its cells) by id, without running anything.

@@ -41,6 +41,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
 pub use runner::{BenchDoc, Experiment, ExperimentRun, RunnerConfig, TimingDoc};

@@ -149,8 +149,7 @@ pub fn run_cells(cells: Vec<Cell>, config: &RunnerConfig) -> Vec<CellResult> {
         }
     }
 
-    let mut slots: Vec<Option<(TrialOutput, Duration)>> =
-        (0..units.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<(TrialOutput, Duration)>> = (0..units.len()).map(|_| None).collect();
     let threads = config.threads.max(1).min(units.len().max(1));
     if threads == 1 {
         for (slot, &(ci, trial)) in slots.iter_mut().zip(units.iter()) {

@@ -19,12 +19,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        id: &str,
-        title: &str,
-        expectation: &str,
-        headers: &[&str],
-    ) -> Table {
+    pub fn new(id: &str, title: &str, expectation: &str, headers: &[&str]) -> Table {
         Table {
             id: id.into(),
             title: title.into(),

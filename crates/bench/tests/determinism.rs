@@ -23,7 +23,11 @@ fn mini_experiment() -> Experiment {
         sim.run(100_000).unwrap();
         let r = sim.report();
         TrialOutput::with_report(
-            vec!["theorem15".into(), r.steps.to_string(), r.total_moves.to_string()],
+            vec![
+                "theorem15".into(),
+                r.steps.to_string(),
+                r.total_moves.to_string(),
+            ],
             r,
         )
     });
@@ -34,7 +38,11 @@ fn mini_experiment() -> Experiment {
         sim.run(100_000).unwrap();
         let r = sim.report();
         TrialOutput::with_report(
-            vec!["greedy".into(), r.steps.to_string(), r.total_moves.to_string()],
+            vec![
+                "greedy".into(),
+                r.steps.to_string(),
+                r.total_moves.to_string(),
+            ],
             r,
         )
     });
@@ -45,7 +53,11 @@ fn mini_experiment() -> Experiment {
         sim.run(100_000).unwrap();
         let r = sim.report();
         TrialOutput::with_report(
-            vec!["transpose".into(), r.steps.to_string(), r.total_moves.to_string()],
+            vec![
+                "transpose".into(),
+                r.steps.to_string(),
+                r.total_moves.to_string(),
+            ],
             r,
         )
     });
@@ -61,11 +73,21 @@ fn bench_json_is_byte_identical_across_thread_counts() {
     };
     let serial = render(1);
     for threads in [2, 4, 8] {
-        assert_eq!(serial, render(threads), "JSON diverged at {threads} threads");
+        assert_eq!(
+            serial,
+            render(threads),
+            "JSON diverged at {threads} threads"
+        );
     }
     // Sanity on the document itself: seeded cells actually ran 3 distinct
     // trials, the fixed cell ran once, and aggregates were attached.
-    let run = run_experiment(mini_experiment(), &RunnerConfig { threads: 4, trials: 3 });
+    let run = run_experiment(
+        mini_experiment(),
+        &RunnerConfig {
+            threads: 4,
+            trials: 3,
+        },
+    );
     assert_eq!(run.doc.cells.len(), 3);
     assert_eq!(run.doc.cells[0].rows.len(), 3);
     assert_eq!(run.doc.cells[2].rows.len(), 1);
@@ -95,7 +117,11 @@ fn reliable_experiment_json_is_byte_identical_across_thread_counts() {
     };
     let serial = render(1);
     for threads in [2, 4, 8] {
-        assert_eq!(serial, render(threads), "JSON diverged at {threads} threads");
+        assert_eq!(
+            serial,
+            render(threads),
+            "JSON diverged at {threads} threads"
+        );
     }
 }
 
@@ -105,6 +131,12 @@ fn table_equals_historical_serial_run() {
     // regardless of parallelism, so the recorded EXPERIMENTS.md values are
     // stable under the runner.
     let serial = run_experiment(mini_experiment(), &RunnerConfig::serial());
-    let parallel = run_experiment(mini_experiment(), &RunnerConfig { threads: 8, trials: 5 });
+    let parallel = run_experiment(
+        mini_experiment(),
+        &RunnerConfig {
+            threads: 8,
+            trials: 5,
+        },
+    );
     assert_eq!(serial.table.markdown(), parallel.table.markdown());
 }

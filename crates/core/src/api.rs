@@ -2,7 +2,9 @@
 
 use crate::section6::{Section6Report, Section6Router};
 use mesh_engine::{Dx, Sim};
-use mesh_routers::{AltAdaptive, BoundedDeflect, DimOrder, FarthestFirst, HotPotato, Theorem15, WestFirst};
+use mesh_routers::{
+    AltAdaptive, BoundedDeflect, DimOrder, FarthestFirst, HotPotato, Theorem15, WestFirst,
+};
 use mesh_topo::Mesh;
 use mesh_traffic::RoutingProblem;
 use serde::{Deserialize, Serialize};
@@ -113,28 +115,34 @@ pub fn route(algorithm: Algorithm, problem: &RoutingProblem) -> RouteOutcome {
 
 /// [`route`] with an explicit step cap (ignored by §6, which always
 /// terminates by construction).
-pub fn route_with_cap(
-    algorithm: Algorithm,
-    problem: &RoutingProblem,
-    cap: u64,
-) -> RouteOutcome {
+pub fn route_with_cap(algorithm: Algorithm, problem: &RoutingProblem, cap: u64) -> RouteOutcome {
     let topo = Mesh::new(problem.n);
     match algorithm {
-        Algorithm::DimOrder { k } => {
-            engine_route(algorithm, Sim::new(&topo, Dx::new(DimOrder::new(k)), problem), cap)
-        }
-        Algorithm::DimOrderYx { k } => {
-            engine_route(algorithm, Sim::new(&topo, Dx::new(DimOrder::yx(k)), problem), cap)
-        }
-        Algorithm::AltAdaptive { k } => {
-            engine_route(algorithm, Sim::new(&topo, Dx::new(AltAdaptive::new(k)), problem), cap)
-        }
-        Algorithm::Theorem15 { k } => {
-            engine_route(algorithm, Sim::new(&topo, Dx::new(Theorem15::new(k)), problem), cap)
-        }
-        Algorithm::FarthestFirst { k } => {
-            engine_route(algorithm, Sim::new(&topo, FarthestFirst::new(k), problem), cap)
-        }
+        Algorithm::DimOrder { k } => engine_route(
+            algorithm,
+            Sim::new(&topo, Dx::new(DimOrder::new(k)), problem),
+            cap,
+        ),
+        Algorithm::DimOrderYx { k } => engine_route(
+            algorithm,
+            Sim::new(&topo, Dx::new(DimOrder::yx(k)), problem),
+            cap,
+        ),
+        Algorithm::AltAdaptive { k } => engine_route(
+            algorithm,
+            Sim::new(&topo, Dx::new(AltAdaptive::new(k)), problem),
+            cap,
+        ),
+        Algorithm::Theorem15 { k } => engine_route(
+            algorithm,
+            Sim::new(&topo, Dx::new(Theorem15::new(k)), problem),
+            cap,
+        ),
+        Algorithm::FarthestFirst { k } => engine_route(
+            algorithm,
+            Sim::new(&topo, FarthestFirst::new(k), problem),
+            cap,
+        ),
         Algorithm::GreedyUnbounded => engine_route(
             algorithm,
             Sim::new(&topo, FarthestFirst::unbounded(problem.n), problem),
@@ -147,7 +155,11 @@ pub fn route_with_cap(
         ),
         Algorithm::BoundedDeflect { k, delta } => engine_route(
             algorithm,
-            Sim::new(&topo, Dx::new(BoundedDeflect::new(problem.n, k, delta)), problem),
+            Sim::new(
+                &topo,
+                Dx::new(BoundedDeflect::new(problem.n, k, delta)),
+                problem,
+            ),
             cap,
         ),
         Algorithm::WestFirst { k } => engine_route(

@@ -48,7 +48,9 @@ pub mod prelude {
         StepEvents,
     };
     pub use mesh_reliable::{BackoffPolicy, Transport, TransportReport};
-    pub use mesh_routers::{AltAdaptive, DimOrder, FarthestFirst, FaultAware, Theorem15, WestFirst};
+    pub use mesh_routers::{
+        AltAdaptive, DimOrder, FarthestFirst, FaultAware, Theorem15, WestFirst,
+    };
     pub use mesh_topo::{Coord, Dir, DirSet, Mesh, Topology, Torus};
     pub use mesh_traffic::{workloads, Packet, PacketId, PayloadId, Quadrant, RoutingProblem};
 }

@@ -94,9 +94,7 @@ mod tests {
         let n = 9;
         let pairs: Vec<_> = (0..n)
             .flat_map(|y| {
-                (0..n).map(move |x| {
-                    (Coord::new(x, y), Coord::new(swap1(x, n), swap1(y, n)))
-                })
+                (0..n).map(move |x| (Coord::new(x, y), Coord::new(swap1(x, n), swap1(y, n))))
             })
             .collect();
         let pb = RoutingProblem::from_pairs(n, "near", pairs);
@@ -106,7 +104,11 @@ mod tests {
         let steps = run_base_case(&mut st, &all);
         assert!(st.done());
         assert!(steps <= 14, "Lemma 32: took {steps}");
-        assert!(st.max_load <= 9, "Lemma 28 base-case bound: {}", st.max_load);
+        assert!(
+            st.max_load <= 9,
+            "Lemma 28 base-case bound: {}",
+            st.max_load
+        );
     }
 
     #[test]

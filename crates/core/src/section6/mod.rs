@@ -27,8 +27,8 @@ pub mod phase;
 pub mod state;
 pub mod virt;
 
-use mesh_traffic::{Quadrant, RoutingProblem};
 use mesh_topo::{Tiling, TilingSet};
+use mesh_traffic::{Quadrant, RoutingProblem};
 use phase::PhaseDurations;
 use serde::{Deserialize, Serialize};
 use state::S6State;
@@ -124,7 +124,10 @@ impl Section6Router {
             is_power_of_3(n),
             "the §6 algorithm assumes n is a power of 3 (got {n})"
         );
-        assert!(problem.is_static(), "the §6 algorithm routes static problems");
+        assert!(
+            problem.is_static(),
+            "the §6 algorithm routes static problems"
+        );
         let is_perm = problem.is_partial_permutation();
         let mut st = S6State::new(problem);
 

@@ -80,7 +80,12 @@ pub fn run_phase(
     keys.sort_unstable(); // determinism
     for key in keys {
         let pkts = &groups[&key];
-        let tile = Rect::new(key.0, key.1, key.0 + t_side as i64 - 1, key.1 + t_side as i64 - 1);
+        let tile = Rect::new(
+            key.0,
+            key.1,
+            key.0 + t_side as i64 - 1,
+            key.1 + t_side as i64 - 1,
+        );
         let mut sim = TilePhase::new(st, tf, tile, d, q, n);
         // Active: at least 3 strips south of the destination strip, at the
         // beginning of the phase.
@@ -108,9 +113,22 @@ pub fn run_phase(
 
     // Lemmas 29–31: actual durations never exceed the scheduled ones.
     let sched = scheduled_durations(d as u64, q as u64, t_side as u64);
-    assert!(dur.march <= sched.march, "Lemma 29 violated: {} > {}", dur.march, sched.march);
-    assert!(dur.ss_even <= sched.ss_even && dur.ss_odd <= sched.ss_odd, "Lemma 30 violated");
-    assert!(dur.balance <= sched.balance, "Lemma 31 violated: {} > {}", dur.balance, sched.balance);
+    assert!(
+        dur.march <= sched.march,
+        "Lemma 29 violated: {} > {}",
+        dur.march,
+        sched.march
+    );
+    assert!(
+        dur.ss_even <= sched.ss_even && dur.ss_odd <= sched.ss_odd,
+        "Lemma 30 violated"
+    );
+    assert!(
+        dur.balance <= sched.balance,
+        "Lemma 31 violated: {} > {}",
+        dur.balance,
+        sched.balance
+    );
     dur
 }
 
@@ -125,7 +143,13 @@ struct TilePhase {
 
 impl TilePhase {
     fn new(_st: &S6State, tf: &Transform, tile: Rect, d: u32, q: u32, n: u32) -> TilePhase {
-        TilePhase { tf: *tf, tile, d, q, n }
+        TilePhase {
+            tf: *tf,
+            tile,
+            d,
+            q,
+            n,
+        }
     }
 
     /// Strip number (1..=27) of a virtual row.
@@ -153,7 +177,10 @@ impl TilePhase {
         let (vx, vy) = self.vpos(st, p);
         let (rx, ry) = self.tf.to_real((vx, vy + 1));
         let delivered = st.move_packet(p as usize, Coord::new(rx, ry));
-        debug_assert!(!delivered, "phase moves never deliver (destinations are ≥ d+1 away)");
+        debug_assert!(
+            !delivered,
+            "phase moves never deliver (destinations are ≥ d+1 away)"
+        );
     }
 
     /// Moves packet `p` one step east in virtual space.
@@ -289,7 +316,11 @@ impl TilePhase {
             for &p in pkts {
                 let s = self.strip_of(self.vpos(st, p).1);
                 let i = self.strip_of(self.vdst(st, p).1);
-                debug_assert_eq!(s + 3, i, "March left packet {p} in strip {s}, dst strip {i}");
+                debug_assert_eq!(
+                    s + 3,
+                    i,
+                    "March left packet {p} in strip {s}, dst strip {i}"
+                );
             }
 
             max_steps = max_steps.max(steps);
@@ -515,10 +546,7 @@ impl TilePhase {
                 let mut s = 0u64;
                 for x in (x0..=c).rev() {
                     s += 1;
-                    count += pkts
-                        .iter()
-                        .filter(|&&(px, dx)| px == x && dx <= c)
-                        .count() as u64;
+                    count += pkts.iter().filter(|&&(px, dx)| px == x && dx <= c).count() as u64;
                     assert!(
                         count <= 2 * s,
                         "Lemma 16 violated at row {vy}, col {c}, s={s}: {count} packets"

@@ -109,7 +109,11 @@ impl core::fmt::Display for DiagnosticSnapshot {
                 write!(f, "{} {fault}", if i == 0 { "" } else { "," })?;
             }
             if self.active_faults.len() > DISPLAY_LIMIT {
-                write!(f, " … and {} more", self.active_faults.len() - DISPLAY_LIMIT)?;
+                write!(
+                    f,
+                    " … and {} more",
+                    self.active_faults.len() - DISPLAY_LIMIT
+                )?;
             }
         }
         Ok(())

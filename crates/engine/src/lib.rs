@@ -45,23 +45,31 @@
 //! order is the policies' business; the engine only enforces capacity.
 
 pub mod diag;
+mod driver;
 pub mod hook;
 pub mod metrics;
+pub mod phases;
 pub mod protocol;
 pub mod queue;
 pub mod router;
 pub mod sim;
 pub mod stats;
+mod storage;
 pub mod view;
+mod watchdog;
+
+#[cfg(test)]
+mod engine_tests;
 
 pub use diag::{DiagnosticSnapshot, NodeOccupancy, StuckPacket};
 pub use hook::{HookCtx, NoHook, ScheduledMove, StepHook};
 pub use metrics::{ReportAggregate, SimReport};
+pub use phases::{Phase, STEP_PIPELINE};
 pub use protocol::{ProtocolControl, ProtocolHook, StepEvents};
 pub use queue::{QueueArch, QueueKind};
 pub use router::{Dx, DxRouter, Router};
-pub use sim::{Sim, SimConfig, SimError};
 pub use sim::Loc;
+pub use sim::{Sim, SimConfig, SimError};
 
 // Fault plans are part of the engine's public vocabulary (constructors take
 // them); re-export the crate so downstream users need not depend on

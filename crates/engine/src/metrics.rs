@@ -62,9 +62,7 @@ impl SimReport {
             max_node_load: Summary::of_u64(reports.iter().map(|r| r.max_node_load as u64)),
             total_moves: Summary::of_u64(reports.iter().map(|r| r.total_moves)),
             exchanges: Summary::of_u64(reports.iter().map(|r| r.exchanges)),
-            avg_latency: Summary::of(
-                &reports.iter().map(|r| r.avg_latency).collect::<Vec<f64>>(),
-            ),
+            avg_latency: Summary::of(&reports.iter().map(|r| r.avg_latency).collect::<Vec<f64>>()),
             max_latency: Summary::of_u64(reports.iter().map(|r| r.max_latency)),
             delivered: Summary::of_u64(reports.iter().map(|r| r.delivered as u64)),
             lost: Summary::of_u64(reports.iter().map(|r| r.lost as u64)),

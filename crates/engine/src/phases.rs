@@ -1,0 +1,580 @@
+//! The §2 step, decomposed into named phases over a shared [`StepCtx`].
+//!
+//! [`STEP_PIPELINE`] is the single visible statement of phase order;
+//! [`Sim::step_with_hook`](crate::sim::Sim::step_with_hook) executes
+//! exactly that list. Each phase maps onto the paper's step anatomy:
+//!
+//! | phase | §2 sentence |
+//! |---|---|
+//! | [`Phase::Inject`] | dynamic-setting remark (§5): due packets enter their origin queues as space permits |
+//! | [`Phase::Route`] | (a) every outqueue policy selects at most one packet per outlink |
+//! | [`Phase::EnforceFaults`] | fault-model extension: down links drop the move, lossy links destroy the packet in flight |
+//! | [`Phase::Adversary`] | (b) the adversary observes the schedule and may exchange destinations |
+//! | [`Phase::Accept`] | (c) every inqueue policy decides which offered arrivals to accept |
+//! | [`Phase::Transmit`] | (d) scheduled-and-accepted packets move; arrivals at their destination are delivered |
+//! | [`Phase::Audit`] | engine guarantee: capacity bounds hold, occupancy metrics update |
+//! | [`Phase::UpdateState`] | (e) node and packet states update within the information the model permits |
+//!
+//! Fault enforcement that *gates a policy invocation* — a stalled node's
+//! outqueue/inqueue is never consulted, a degraded node's acceptance is
+//! clamped after its inqueue ran — necessarily lives inside the
+//! route/accept/inject phases; only link faults act on the schedule
+//! itself and form their own phase.
+
+use crate::hook::{HookCtx, ScheduledMove, StepHook};
+use crate::router::Router;
+use crate::storage::{Loc, NodeGrid, PacketStore};
+use crate::view::{Arrival, FullView};
+use mesh_faults::CompiledFaults;
+use mesh_topo::{Coord, Topology, ALL_DIRS};
+use mesh_traffic::PacketId;
+
+/// One named phase of the step pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Admission control: stage due packets and drain them into origin
+    /// queues while capacity (and faults) permit.
+    Inject,
+    /// §2 (a): outqueue policies schedule at most one packet per outlink.
+    Route,
+    /// Link faults act on the schedule: down links drop moves before the
+    /// adversary ever sees them; lossy links convert moves into losses.
+    EnforceFaults,
+    /// §2 (b): the adversary hook observes the (fault-filtered) schedule
+    /// and may exchange destinations.
+    Adversary,
+    /// §2 (c): inqueue policies accept or reject offered arrivals;
+    /// degraded nodes are clamped to their reduced capacity.
+    Accept,
+    /// §2 (d): accepted packets move (delivering at their destination);
+    /// lossy-link packets are destroyed in flight.
+    Transmit,
+    /// Capacity validation and occupancy metrics over the active nodes.
+    Audit,
+    /// §2 (e): end-of-step node and packet state update.
+    UpdateState,
+}
+
+/// The step's phase order. This list *is* the engine's step semantics:
+/// the dispatcher runs it verbatim, in order.
+pub const STEP_PIPELINE: [Phase; 8] = [
+    Phase::Inject,
+    Phase::Route,
+    Phase::EnforceFaults,
+    Phase::Adversary,
+    Phase::Accept,
+    Phase::Transmit,
+    Phase::Audit,
+    Phase::UpdateState,
+];
+
+/// Monotone run counters, updated by phases and read by reports.
+#[derive(Default)]
+pub(crate) struct Progress {
+    pub(crate) steps: u64,
+    pub(crate) delivered: usize,
+    pub(crate) lost: usize,
+    pub(crate) total_moves: u64,
+    pub(crate) exchanges: u64,
+    pub(crate) max_queue: u32,
+    pub(crate) max_node_load: u32,
+    /// Admission-control pressure: packet-steps spent staged outside the
+    /// network because the origin queue had no room (or the node was
+    /// stalled). One packet deferred for five steps counts five.
+    pub(crate) deferred_injections: u64,
+}
+
+/// Per-step protocol events: packets delivered / destroyed during the
+/// most recent step, in deterministic (schedule) order. Consumed by
+/// `Sim::run_with_protocol`; cleared at the start of every step.
+#[derive(Default)]
+pub(crate) struct EventLog {
+    pub(crate) delivered: Vec<PacketId>,
+    pub(crate) lost: Vec<PacketId>,
+}
+
+/// Workhorse buffers reused across steps (perf-book guidance: zero
+/// allocation in the hot loop — every phase works in place).
+#[derive(Default)]
+pub(crate) struct StepBufs {
+    pub(crate) views: Vec<FullView>,
+    pub(crate) arrivals: Vec<Arrival<FullView>>,
+    pub(crate) accept: Vec<bool>,
+    pub(crate) schedule: Vec<ScheduledMove>,
+    pub(crate) order: Vec<u32>,
+    pub(crate) accepted: Vec<bool>,
+    pub(crate) states: Vec<u64>,
+    pub(crate) lost_moves: Vec<ScheduledMove>,
+    /// The active-node snapshot the route phase drains from the grid.
+    pub(crate) snapshot: Vec<u32>,
+    /// Scratch for the inject phase's pending-node sweep.
+    pub(crate) inject_nodes: Vec<u32>,
+}
+
+/// Everything one step needs, as split borrows of the simulation's parts:
+/// phases take `&mut StepCtx` and the borrow checker sees disjoint fields.
+pub(crate) struct StepCtx<'a, 't, T: Topology, R: Router> {
+    /// The 0-based step being executed (the paper's step `t0 + 1`).
+    pub(crate) t0: u64,
+    pub(crate) topo: &'t T,
+    pub(crate) router: &'a R,
+    pub(crate) validate: bool,
+    pub(crate) faults: Option<&'a CompiledFaults>,
+    pub(crate) store: &'a mut PacketStore,
+    pub(crate) grid: &'a mut NodeGrid,
+    pub(crate) node_state: &'a mut [R::NodeState],
+    pub(crate) progress: &'a mut Progress,
+    pub(crate) events: &'a mut EventLog,
+    pub(crate) bufs: &'a mut StepBufs,
+}
+
+/// Builds the views of all packets queued at node `ni`, reading straight
+/// from the [`PacketStore`] and [`NodeGrid`] — no intermediate copies.
+pub(crate) fn build_views<T: Topology>(
+    topo: &T,
+    store: &PacketStore,
+    grid: &NodeGrid,
+    ni: usize,
+    node: Coord,
+    out: &mut Vec<FullView>,
+) {
+    out.clear();
+    for slot in 0..grid.slots() {
+        let kind = grid.slot_kind(slot);
+        for (pos, pid) in grid.queue(ni, slot).iter().enumerate() {
+            let i = pid.index();
+            out.push(FullView {
+                id: *pid,
+                src: store.src[i],
+                dst: store.dst[i],
+                state: store.state[i],
+                profitable: topo.profitable(node, store.dst[i]),
+                queue: kind,
+                pos: pos as u32,
+            });
+        }
+    }
+}
+
+/// Moves packets whose injection time has come into their origin queues,
+/// capacity (and faults) permitting. Returns whether any packet entered
+/// the network.
+pub(crate) fn inject<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) -> bool {
+    let t = ctx.t0;
+    let mut injected = false;
+    // Stage newly due packets into per-node pending queues.
+    while ctx.store.inject_cursor < ctx.store.inject_order.len() {
+        let pid = ctx.store.inject_order[ctx.store.inject_cursor];
+        if ctx.store.inject_at[pid.index()] > t {
+            break;
+        }
+        ctx.store.inject_cursor += 1;
+        let src = ctx.store.src[pid.index()];
+        if src == ctx.store.dst[pid.index()] {
+            // Trivial packet: delivered without entering the network.
+            ctx.store.loc[pid.index()] = Loc::Delivered;
+            ctx.store.delivered_at[pid.index()] = t;
+            ctx.progress.delivered += 1;
+            ctx.events.delivered.push(pid);
+            continue;
+        }
+        let ni = ctx.grid.node_index(src) as u32;
+        ctx.grid.pending.entry(ni).or_default().push_back(pid);
+        ctx.grid.mark_active(ni as usize);
+    }
+    if !ctx.grid.has_pending() {
+        return injected;
+    }
+    // Drain pending into origin queues while capacity lasts. A stalled
+    // node injects nothing; a degraded node only up to its reduced
+    // capacity. Sorted node order: behaviorally inert (every pending node
+    // is already active and per-node draining is independent), but it
+    // keeps the engine independent of HashMap iteration order by
+    // construction.
+    let origin = ctx.grid.arch().origin_queue();
+    let cap = ctx.grid.arch().capacity(origin);
+    let nodes = &mut ctx.bufs.inject_nodes;
+    nodes.clear();
+    nodes.extend(ctx.grid.pending.keys().copied());
+    nodes.sort_unstable();
+    for &ni in nodes.iter() {
+        let c = ctx.grid.coord_of(ni as usize);
+        let cap = match ctx.faults {
+            Some(f) if f.node_stalled(t, c) => {
+                ctx.grid.mark_active(ni as usize);
+                continue;
+            }
+            Some(f) => cap.map(|k| k.saturating_sub(f.degraded_slots(t, c))),
+            None => cap,
+        };
+        loop {
+            let room = match cap {
+                Some(cv) => ctx.grid.queue_len(ni as usize, origin.slot()) < cv as usize,
+                None => true,
+            };
+            if !room {
+                break;
+            }
+            let Some(pid) = ctx.grid.pop_pending(ni) else {
+                break;
+            };
+            ctx.grid.push(c, origin, pid);
+            ctx.store.loc[pid.index()] = Loc::At(c);
+            ctx.store.queue_of[pid.index()] = origin;
+            injected = true;
+        }
+        ctx.grid.mark_active(ni as usize);
+    }
+    // Whatever is still staged was deferred by admission control this
+    // step: the origin queue is full (or the node stalled), so the
+    // packet waits outside the network instead of overflowing.
+    ctx.progress.deferred_injections += ctx
+        .grid
+        .pending
+        .values()
+        .map(|q| q.len() as u64)
+        .sum::<u64>();
+    injected
+}
+
+/// §2 (a): every loaded, unstalled node's outqueue policy schedules at
+/// most one packet per outlink. Fills `bufs.schedule` in deterministic
+/// node-then-direction order; validation panics on malformed schedules.
+pub(crate) fn route<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
+    let t0 = ctx.t0;
+    ctx.bufs.schedule.clear();
+    ctx.bufs.lost_moves.clear();
+    ctx.grid.drain_active_into(&mut ctx.bufs.snapshot);
+    for idx in 0..ctx.bufs.snapshot.len() {
+        let ni = ctx.bufs.snapshot[idx] as usize;
+        if ctx.grid.node_load(ni) == 0 {
+            continue;
+        }
+        let node = ctx.grid.coord_of(ni);
+        // A stalled node sends nothing this step (its packets stay put;
+        // the active-set rebuild in transmit keeps it scheduled for later).
+        if let Some(f) = ctx.faults {
+            if f.node_stalled(t0, node) {
+                continue;
+            }
+        }
+        build_views(ctx.topo, ctx.store, ctx.grid, ni, node, &mut ctx.bufs.views);
+        let mut out = [None::<usize>; 4];
+        ctx.router
+            .outqueue(t0, node, &mut ctx.node_state[ni], &ctx.bufs.views, &mut out);
+        if ctx.validate {
+            #[allow(clippy::needless_range_loop)]
+            for a in 0..4 {
+                if let Some(i) = out[a] {
+                    assert!(
+                        i < ctx.bufs.views.len(),
+                        "{}: outqueue index out of range at {node} step {t0}",
+                        ctx.router.name()
+                    );
+                    for b in (a + 1)..4 {
+                        assert!(
+                            out[b] != Some(i),
+                            "{}: packet scheduled on two outlinks at {node} step {t0}",
+                            ctx.router.name()
+                        );
+                    }
+                }
+            }
+        }
+        for d in ALL_DIRS {
+            if let Some(i) = out[d.index()] {
+                let v = ctx.bufs.views[i];
+                let to = ctx.topo.neighbor(node, d).unwrap_or_else(|| {
+                    panic!(
+                        "{}: scheduled {:?} on missing {d} outlink of {node}",
+                        ctx.router.name(),
+                        v.id
+                    )
+                });
+                if ctx.validate && ctx.router.is_minimal() {
+                    assert!(
+                        v.profitable.contains(d),
+                        "{}: non-minimal move {:?} {d} from {node} (profitable {:?}) step {t0}",
+                        ctx.router.name(),
+                        v.id,
+                        v.profitable
+                    );
+                }
+                ctx.bufs.schedule.push(ScheduledMove {
+                    pkt: v.id,
+                    from: node,
+                    to,
+                    travel: d,
+                });
+            }
+        }
+    }
+}
+
+/// Link-fault enforcement on the schedule, *before* the adversary hook
+/// observes it, so the exchanger only ever sees moves that can happen.
+/// A down link carries nothing: the move is dropped. A *lossy* link does
+/// carry the packet — it just never arrives: the transmission happens
+/// (the sender's queue slot frees), but the packet is destroyed in
+/// flight (resolved in the transmit phase).
+pub(crate) fn enforce_faults<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
+    let Some(f) = ctx.faults else { return };
+    let t0 = ctx.t0;
+    let lost_moves = &mut ctx.bufs.lost_moves;
+    ctx.bufs.schedule.retain(|m| {
+        if f.link_down(t0, m.from, m.travel) {
+            return false;
+        }
+        if f.link_lossy(t0, m.from, m.travel) {
+            lost_moves.push(*m);
+            return false;
+        }
+        true
+    });
+}
+
+/// §2 (b): the adversary hook observes the schedule and may exchange
+/// destinations.
+pub(crate) fn adversary<T: Topology, R: Router, H: StepHook>(
+    ctx: &mut StepCtx<'_, '_, T, R>,
+    hook: &mut H,
+) {
+    let mut hctx = HookCtx {
+        t: ctx.t0 + 1,
+        n: ctx.grid.n(),
+        moves: &ctx.bufs.schedule,
+        dst: &mut ctx.store.dst,
+        loc: &ctx.store.loc,
+        src: &ctx.store.src,
+        exchanges: &mut ctx.progress.exchanges,
+    };
+    hook.on_scheduled(&mut hctx);
+}
+
+/// §2 (c): group scheduled moves by target node (stable in schedule
+/// order), let each unstalled target's inqueue policy accept or reject,
+/// then clamp acceptance at degraded nodes down to the reduced capacity.
+/// Deliveries never occupy a queue slot, so they are exempt from the
+/// clamp; residents already over the reduced capacity are not evicted —
+/// they drain naturally.
+pub(crate) fn accept<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
+    let t0 = ctx.t0;
+    let n = ctx.grid.n();
+    ctx.bufs.order.clear();
+    ctx.bufs.order.extend(0..ctx.bufs.schedule.len() as u32);
+    let schedule = &ctx.bufs.schedule;
+    ctx.bufs.order.sort_by_key(|&i| {
+        let m = &schedule[i as usize];
+        m.to.y * n + m.to.x
+    });
+    ctx.bufs.accepted.clear();
+    ctx.bufs.accepted.resize(ctx.bufs.schedule.len(), false);
+    let mut g = 0;
+    while g < ctx.bufs.order.len() {
+        let target = ctx.bufs.schedule[ctx.bufs.order[g] as usize].to;
+        let mut end = g + 1;
+        while end < ctx.bufs.order.len()
+            && ctx.bufs.schedule[ctx.bufs.order[end] as usize].to == target
+        {
+            end += 1;
+        }
+        let ni = ctx.grid.node_index(target);
+        // A stalled node accepts nothing: the whole arrival group stays
+        // rejected and its router never observes the offered packets.
+        if let Some(f) = ctx.faults {
+            if f.node_stalled(t0, target) {
+                g = end;
+                continue;
+            }
+        }
+        build_views(
+            ctx.topo,
+            ctx.store,
+            ctx.grid,
+            ni,
+            target,
+            &mut ctx.bufs.views,
+        );
+        ctx.bufs.arrivals.clear();
+        for gi in g..end {
+            let m = ctx.bufs.schedule[ctx.bufs.order[gi] as usize];
+            let i = m.pkt.index();
+            ctx.bufs.arrivals.push(Arrival {
+                view: FullView {
+                    id: m.pkt,
+                    src: ctx.store.src[i],
+                    dst: ctx.store.dst[i],
+                    state: ctx.store.state[i],
+                    // §2: profitable outlinks of scheduled packets are
+                    // measured from the node they are coming from.
+                    profitable: ctx.topo.profitable(m.from, ctx.store.dst[i]),
+                    queue: ctx.grid.arch().arrival_queue(m.travel),
+                    pos: u32::MAX,
+                },
+                travel: m.travel,
+            });
+        }
+        ctx.bufs.accept.clear();
+        ctx.bufs.accept.resize(ctx.bufs.arrivals.len(), false);
+        ctx.router.inqueue(
+            t0,
+            target,
+            &mut ctx.node_state[ni],
+            &ctx.bufs.views,
+            &ctx.bufs.arrivals,
+            &mut ctx.bufs.accept,
+        );
+        // Queue degradation: clamp what a (degradation-unaware) router
+        // accepted down to the reduced capacity.
+        if let Some(f) = ctx.faults {
+            let lost = f.degraded_slots(t0, target);
+            if lost > 0 {
+                let mut room = [usize::MAX; 5];
+                for (s, r) in room.iter_mut().enumerate().take(ctx.grid.slots()) {
+                    let kind = ctx.grid.slot_kind(s);
+                    if let Some(cap) = ctx.grid.arch().capacity(kind) {
+                        let eff = cap.saturating_sub(lost) as usize;
+                        *r = eff.saturating_sub(ctx.grid.queue_len(ni, s));
+                    }
+                }
+                for (j, a) in ctx.bufs.arrivals.iter().enumerate() {
+                    if !ctx.bufs.accept[j] || a.view.dst == target {
+                        continue;
+                    }
+                    let s = ctx.grid.arch().arrival_queue(a.travel).slot();
+                    if room[s] > 0 {
+                        room[s] -= 1;
+                    } else {
+                        ctx.bufs.accept[j] = false;
+                    }
+                }
+            }
+        }
+        for (j, gi) in (g..end).enumerate() {
+            ctx.bufs.accepted[ctx.bufs.order[gi] as usize] = ctx.bufs.accept[j];
+        }
+        g = end;
+    }
+}
+
+/// §2 (d): accepted packets leave their source queues and either deliver
+/// (arriving at their destination) or enter their target queue; lossy
+/// transmissions count as a move and a hop but destroy the packet. Then
+/// the active worklist is rebuilt: previously active nodes that still
+/// hold packets (or have pending injections) stay active; transmission
+/// already marked the targets.
+pub(crate) fn transmit<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
+    for mi in 0..ctx.bufs.schedule.len() {
+        if !ctx.bufs.accepted[mi] {
+            continue;
+        }
+        let m = ctx.bufs.schedule[mi];
+        let pi = m.pkt.index();
+        let kind = ctx.store.queue_of[pi];
+        debug_assert_eq!(ctx.store.loc[pi], Loc::At(m.from));
+        ctx.grid.remove(
+            m.from,
+            kind,
+            m.pkt,
+            "scheduled packet missing from its queue",
+        );
+        ctx.progress.total_moves += 1;
+        ctx.store.hops[pi] += 1;
+        if ctx.store.dst[pi] == m.to {
+            ctx.store.loc[pi] = Loc::Delivered;
+            ctx.store.delivered_at[pi] = ctx.t0 + 1;
+            ctx.progress.delivered += 1;
+            ctx.events.delivered.push(m.pkt);
+        } else {
+            let akind = ctx.grid.arch().arrival_queue(m.travel);
+            ctx.grid.push(m.to, akind, m.pkt);
+            ctx.store.loc[pi] = Loc::At(m.to);
+            ctx.store.queue_of[pi] = akind;
+            let tni = ctx.grid.node_index(m.to);
+            ctx.grid.mark_active(tni);
+        }
+    }
+    // Lossy-link transmissions: the packet left its queue and traversed
+    // the link (it counts as a move and a hop), but it never arrives
+    // anywhere — it is destroyed. Its inqueue policy never saw it
+    // offered, so no acceptance bookkeeping exists to undo.
+    for li in 0..ctx.bufs.lost_moves.len() {
+        let m = ctx.bufs.lost_moves[li];
+        let pi = m.pkt.index();
+        let kind = ctx.store.queue_of[pi];
+        debug_assert_eq!(ctx.store.loc[pi], Loc::At(m.from));
+        ctx.grid
+            .remove(m.from, kind, m.pkt, "lost packet missing from its queue");
+        ctx.progress.total_moves += 1;
+        ctx.store.hops[pi] += 1;
+        ctx.store.loc[pi] = Loc::Lost;
+        ctx.progress.lost += 1;
+        ctx.events.lost.push(m.pkt);
+    }
+    // Rebuild the active worklist from the route snapshot.
+    for idx in 0..ctx.bufs.snapshot.len() {
+        let ni = ctx.bufs.snapshot[idx] as usize;
+        if ctx.grid.node_load(ni) > 0 || ctx.grid.pending.contains_key(&(ni as u32)) {
+            ctx.grid.mark_active(ni);
+        }
+    }
+}
+
+/// Capacity validation plus occupancy metrics over the active nodes.
+/// Overflow panics here are router implementation bugs, not runtime
+/// conditions.
+pub(crate) fn audit<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
+    let t0 = ctx.t0;
+    for idx in 0..ctx.grid.active_len() {
+        let ni = ctx.grid.active_at(idx);
+        let mut load = 0u32;
+        for slot in 0..ctx.grid.slots() {
+            let len = ctx.grid.queue_len(ni, slot) as u32;
+            load += len;
+            let kind = ctx.grid.slot_kind(slot);
+            if let Some(cap) = ctx.grid.arch().capacity(kind) {
+                if ctx.validate {
+                    assert!(
+                        len <= cap,
+                        "{}: queue {kind:?} of node {:?} overflowed ({len} > {cap}) at step {t0}",
+                        ctx.router.name(),
+                        ctx.grid.coord_of(ni)
+                    );
+                }
+                ctx.progress.max_queue = ctx.progress.max_queue.max(len);
+            } else {
+                // Unbounded (injection) queues count toward node load and
+                // max_queue tracking is skipped.
+            }
+        }
+        debug_assert_eq!(load, ctx.grid.node_load(ni), "occupancy index out of sync");
+        ctx.progress.max_node_load = ctx.progress.max_node_load.max(load);
+        ctx.grid.note_peak(ni, load as u16);
+    }
+}
+
+/// §2 (e): the end-of-step state update for every loaded active node.
+pub(crate) fn update_state<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
+    for idx in 0..ctx.grid.active_len() {
+        let ni = ctx.grid.active_at(idx);
+        if ctx.grid.node_load(ni) == 0 {
+            continue;
+        }
+        let node = ctx.grid.coord_of(ni);
+        build_views(ctx.topo, ctx.store, ctx.grid, ni, node, &mut ctx.bufs.views);
+        ctx.bufs.states.clear();
+        ctx.bufs
+            .states
+            .extend(ctx.bufs.views.iter().map(|v| v.state));
+        ctx.router.end_of_step(
+            ctx.t0,
+            node,
+            &mut ctx.node_state[ni],
+            &ctx.bufs.views,
+            &mut ctx.bufs.states,
+        );
+        for (v, s) in ctx.bufs.views.iter().zip(ctx.bufs.states.iter()) {
+            ctx.store.state[v.id.index()] = *s;
+        }
+    }
+}

@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn origin_queues() {
-        assert_eq!(QueueArch::Central { k: 1 }.origin_queue(), QueueKind::Central);
+        assert_eq!(
+            QueueArch::Central { k: 1 }.origin_queue(),
+            QueueKind::Central
+        );
         assert_eq!(
             QueueArch::PerInlink { k: 1 }.origin_queue(),
             QueueKind::Injection

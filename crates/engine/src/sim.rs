@@ -1,30 +1,28 @@
-//! The synchronous multi-port simulation engine.
+//! The synchronous multi-port simulation façade.
+//!
+//! [`Sim`] composes the engine's parts — the [`PacketStore`] packet
+//! table and [`NodeGrid`] queue storage (`storage`), the named step
+//! phases (`phases`, see [`STEP_PIPELINE`]), the unified run driver
+//! (`driver`), and the no-progress watchdog (`watchdog`) — behind the
+//! public API. [`Sim::step_with_hook`] dispatches the phase pipeline;
+//! `run`, [`Sim::run_with_hook`], and [`Sim::run_with_protocol`] are
+//! thin wrappers over the one `run_driver`.
 
 use crate::diag::{DiagnosticSnapshot, NodeOccupancy, StuckPacket};
-use crate::hook::{HookCtx, NoHook, ScheduledMove, StepHook};
+use crate::driver::{self, HookRunner, ProtocolRunner};
+use crate::hook::{NoHook, StepHook};
 use crate::metrics::SimReport;
-use crate::queue::{QueueArch, QueueKind};
+use crate::phases::{self, EventLog, Phase, Progress, StepBufs, StepCtx, STEP_PIPELINE};
+use crate::protocol::ProtocolHook;
+use crate::queue::QueueArch;
 use crate::router::Router;
-use crate::view::{Arrival, FullView};
+use crate::storage::{NodeGrid, PacketStore, NOT_DELIVERED};
+use crate::watchdog::Timers;
 use mesh_faults::CompiledFaults;
-use mesh_topo::{Coord, Dir, Topology, ALL_DIRS};
+use mesh_topo::{Coord, Topology};
 use mesh_traffic::{PacketId, RoutingProblem};
-use std::collections::HashMap;
 
-/// Where a packet currently is.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Loc {
-    /// Not yet injected (dynamic problems, or waiting for queue space).
-    Pending,
-    /// In some queue of the node at the given coordinate.
-    At(Coord),
-    /// Delivered and removed from the network.
-    Delivered,
-    /// Destroyed by a lossy link: transmitted, never arrived, gone for good.
-    /// Only the reliable-transport layer can recover the payload (by
-    /// spawning a retransmission as a fresh packet).
-    Lost,
-}
+pub use crate::storage::Loc;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -107,76 +105,19 @@ impl std::error::Error for SimError {}
 pub struct Sim<'t, T: Topology, R: Router> {
     topo: &'t T,
     router: R,
-    arch: QueueArch,
-    slots: usize,
-    n: u32,
     workload: String,
-    config: SimConfig,
+    pub(crate) config: SimConfig,
     // Compiled fault state; `None` (no plan, or an empty plan) is the fast
     // path with zero per-move overhead.
     faults: Option<CompiledFaults>,
-
-    // Packet table (struct-of-arrays, indexed by PacketId).
-    src: Vec<Coord>,
-    dst: Vec<Coord>,
-    state: Vec<u64>,
-    inject_at: Vec<u64>,
-    loc: Vec<Loc>,
-    queue_of: Vec<QueueKind>,
-    delivered_at: Vec<u64>,
-
-    // Per-node data.
+    pub(crate) store: PacketStore,
+    grid: NodeGrid,
     node_state: Vec<R::NodeState>,
-    queues: Vec<Vec<PacketId>>,
-    pending: HashMap<u32, std::collections::VecDeque<PacketId>>,
-
-    // Active-node tracking.
-    active: Vec<u32>,
-    in_active: Vec<bool>,
-
-    // Watchdog trackers: last step (1-based, 0 = never) that saw any
-    // activity (accepted move or injection) / any delivery.
-    last_activity: u64,
-    last_delivery: u64,
-
-    // Progress and metrics.
-    steps: u64,
-    delivered: usize,
-    lost: usize,
-    total_moves: u64,
-    hops: Vec<u32>,
-    exchanges: u64,
-    max_queue: u32,
-    max_node_load: u32,
-    peak_load: Vec<u16>,
-    // Admission-control pressure: packet-steps spent staged outside the
-    // network because the origin queue had no room (or the node was
-    // stalled). One packet deferred for five steps counts five.
-    deferred_injections: u64,
-
-    // Next injection cursor: packet ids sorted by inject_at.
-    inject_order: Vec<PacketId>,
-    inject_cursor: usize,
-
-    // Per-step protocol events: packets delivered / destroyed during the
-    // most recent step, in deterministic (schedule) order. Consumed by
-    // [`Sim::run_with_protocol`]; cleared at the start of every step.
-    events_delivered: Vec<PacketId>,
-    events_lost: Vec<PacketId>,
-
-    // Workhorse buffers reused across steps (perf-book guidance: no per-step
-    // allocation in the hot loop).
-    view_buf: Vec<FullView>,
-    arrival_buf: Vec<Arrival<FullView>>,
-    accept_buf: Vec<bool>,
-    sched_buf: Vec<ScheduledMove>,
-    order_buf: Vec<u32>,
-    accepted_buf: Vec<bool>,
-    state_buf: Vec<u64>,
-    lost_buf: Vec<ScheduledMove>,
+    progress: Progress,
+    pub(crate) timers: Timers,
+    pub(crate) events: EventLog,
+    bufs: StepBufs,
 }
-
-const NOT_DELIVERED: u64 = u64::MAX;
 
 impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     /// Sets up a simulation of `problem` under `router` on `topo`.
@@ -227,597 +168,77 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         });
         let arch = router.queue_arch();
         assert!(arch.k() >= 1, "queue capacity k must be at least 1");
-        let slots = arch.num_slots();
         let nodes = (n * n) as usize;
-        let np = problem.len();
 
         let mut sim = Sim {
             topo,
             router,
-            arch,
-            slots,
-            n,
             workload: problem.label.clone(),
             config,
             faults,
-            src: problem.packets.iter().map(|p| p.src).collect(),
-            dst: problem.packets.iter().map(|p| p.dst).collect(),
-            state: problem.packets.iter().map(|p| p.state).collect(),
-            inject_at: problem.packets.iter().map(|p| p.inject_at).collect(),
-            loc: vec![Loc::Pending; np],
-            queue_of: vec![QueueKind::Central; np],
-            delivered_at: vec![NOT_DELIVERED; np],
+            store: PacketStore::new(problem),
+            grid: NodeGrid::new(n, arch),
             node_state: vec![R::NodeState::default(); nodes],
-            queues: (0..nodes * slots).map(|_| Vec::new()).collect(),
-            pending: HashMap::new(),
-            active: Vec::new(),
-            in_active: vec![false; nodes],
-            last_activity: 0,
-            last_delivery: 0,
-            steps: 0,
-            delivered: 0,
-            lost: 0,
-            total_moves: 0,
-            hops: vec![0; np],
-            exchanges: 0,
-            max_queue: 0,
-            max_node_load: 0,
-            peak_load: vec![0; nodes],
-            deferred_injections: 0,
-            inject_order: (0..np as u32).map(PacketId).collect(),
-            inject_cursor: 0,
-            events_delivered: Vec::new(),
-            events_lost: Vec::new(),
-            view_buf: Vec::new(),
-            arrival_buf: Vec::new(),
-            accept_buf: Vec::new(),
-            sched_buf: Vec::new(),
-            order_buf: Vec::new(),
-            accepted_buf: Vec::new(),
-            state_buf: Vec::new(),
-            lost_buf: Vec::new(),
+            progress: Progress::default(),
+            timers: Timers::default(),
+            events: EventLog::default(),
+            bufs: StepBufs::default(),
         };
-        sim.inject_order
-            .sort_by_key(|p| sim.inject_at[p.index()]);
-        sim.inject(0);
+        phases::inject(&mut sim.step_ctx(0));
         sim
     }
 
-    #[inline]
-    fn node_index(&self, c: Coord) -> usize {
-        (c.y * self.n + c.x) as usize
-    }
-
-    #[inline]
-    fn queue_mut(&mut self, c: Coord, kind: QueueKind) -> &mut Vec<PacketId> {
-        let i = self.node_index(c) * self.slots + kind.slot();
-        &mut self.queues[i]
-    }
-
-    fn mark_active(&mut self, ni: usize) {
-        if !self.in_active[ni] {
-            self.in_active[ni] = true;
-            self.active.push(ni as u32);
+    /// Assembles the split-borrow phase context for step `t0`.
+    fn step_ctx(&mut self, t0: u64) -> StepCtx<'_, 't, T, R> {
+        StepCtx {
+            t0,
+            topo: self.topo,
+            router: &self.router,
+            validate: self.config.validate,
+            faults: self.faults.as_ref(),
+            store: &mut self.store,
+            grid: &mut self.grid,
+            node_state: &mut self.node_state,
+            progress: &mut self.progress,
+            events: &mut self.events,
+            bufs: &mut self.bufs,
         }
     }
 
-    /// Total packets currently in the node's queues (excluding pending).
-    fn node_load(&self, ni: usize) -> usize {
-        (0..self.slots)
-            .map(|s| self.queues[ni * self.slots + s].len())
-            .sum()
-    }
-
-    /// Moves packets whose injection time has come into their origin queues,
-    /// capacity (and faults) permitting. Returns whether any packet entered
-    /// the network.
-    fn inject(&mut self, t: u64) -> bool {
-        let mut injected = false;
-        // Stage newly due packets into per-node pending queues.
-        while self.inject_cursor < self.inject_order.len() {
-            let pid = self.inject_order[self.inject_cursor];
-            if self.inject_at[pid.index()] > t {
-                break;
-            }
-            self.inject_cursor += 1;
-            let src = self.src[pid.index()];
-            if src == self.dst[pid.index()] {
-                // Trivial packet: delivered without entering the network.
-                self.loc[pid.index()] = Loc::Delivered;
-                self.delivered_at[pid.index()] = t;
-                self.delivered += 1;
-                self.events_delivered.push(pid);
-                continue;
-            }
-            let ni = self.node_index(src) as u32;
-            self.pending.entry(ni).or_default().push_back(pid);
-            self.mark_active(ni as usize);
-        }
-        if self.pending.is_empty() {
-            return injected;
-        }
-        // Drain pending into origin queues while capacity lasts. A stalled
-        // node injects nothing; a degraded node only up to its reduced
-        // capacity.
-        let origin = self.arch.origin_queue();
-        let cap = self.arch.capacity(origin);
-        let nodes: Vec<u32> = self.pending.keys().copied().collect();
-        for ni in nodes {
-            let c = self.coord_of(ni as usize);
-            let cap = match &self.faults {
-                Some(f) if f.node_stalled(t, c) => {
-                    self.mark_active(ni as usize);
-                    continue;
-                }
-                Some(f) => cap.map(|k| k.saturating_sub(f.degraded_slots(t, c))),
-                None => cap,
-            };
-            loop {
-                let qi = ni as usize * self.slots + origin.slot();
-                let room = match cap {
-                    Some(c) => self.queues[qi].len() < c as usize,
-                    None => true,
-                };
-                if !room {
-                    break;
-                }
-                let Some(q) = self.pending.get_mut(&ni) else { break };
-                let Some(pid) = q.pop_front() else {
-                    self.pending.remove(&ni);
-                    break;
-                };
-                self.queues[qi].push(pid);
-                self.loc[pid.index()] = Loc::At(c);
-                self.queue_of[pid.index()] = origin;
-                injected = true;
-                if q.is_empty() {
-                    self.pending.remove(&ni);
-                }
-            }
-            self.mark_active(ni as usize);
-        }
-        // Whatever is still staged was deferred by admission control this
-        // step: the origin queue is full (or the node stalled), so the
-        // packet waits outside the network instead of overflowing.
-        self.deferred_injections += self.pending.values().map(|q| q.len() as u64).sum::<u64>();
-        injected
-    }
-
-    #[inline]
-    fn coord_of(&self, ni: usize) -> Coord {
-        Coord::new(ni as u32 % self.n, ni as u32 / self.n)
-    }
-
-    /// Builds the views of all packets in node `ni` into `view_buf`.
-    #[allow(clippy::too_many_arguments)]
-    fn build_views(
-        topo: &T,
-        queues: &[Vec<PacketId>],
-        slots: usize,
-        arch: QueueArch,
-        src: &[Coord],
-        dst: &[Coord],
-        state: &[u64],
-        ni: usize,
-        node: Coord,
-        out: &mut Vec<FullView>,
-    ) {
-        out.clear();
-        for slot in 0..slots {
-            let kind = match (arch, slot) {
-                (QueueArch::Central { .. }, _) => QueueKind::Central,
-                (QueueArch::PerInlink { .. }, 4) => QueueKind::Injection,
-                (QueueArch::PerInlink { .. }, s) => QueueKind::Inlink(Dir::from_index(s)),
-            };
-            for (pos, pid) in queues[ni * slots + slot].iter().enumerate() {
-                let i = pid.index();
-                out.push(FullView {
-                    id: *pid,
-                    src: src[i],
-                    dst: dst[i],
-                    state: state[i],
-                    profitable: topo.profitable(node, dst[i]),
-                    queue: kind,
-                    pos: pos as u32,
-                });
-            }
-        }
-    }
-
-    /// Executes one step under the given hook. Returns `true` when every
-    /// packet has been delivered (in which case nothing was simulated).
+    /// Executes one step under the given hook by dispatching
+    /// [`STEP_PIPELINE`] in order. Returns `true` when every packet has
+    /// been delivered (in which case nothing was simulated).
     pub fn step_with_hook<H: StepHook>(&mut self, hook: &mut H) -> bool {
-        if self.delivered == self.src.len() {
+        if self.done() {
             return true;
         }
-        let t0 = self.steps;
-        let delivered_before = self.delivered;
-        let moves_before = self.total_moves;
-        self.events_delivered.clear();
-        self.events_lost.clear();
+        let t0 = self.progress.steps;
+        let delivered_before = self.progress.delivered;
+        let moves_before = self.progress.total_moves;
+        self.events.delivered.clear();
+        self.events.lost.clear();
         let mut injected_any = false;
-        if t0 > 0 {
-            injected_any = self.inject(t0);
-        }
-
-        // ---- (a) outqueue ----
-        let mut schedule = std::mem::take(&mut self.sched_buf);
-        schedule.clear();
-        let mut lost_moves = std::mem::take(&mut self.lost_buf);
-        lost_moves.clear();
-        let snapshot = std::mem::take(&mut self.active);
-        for &ni in &snapshot {
-            self.in_active[ni as usize] = false;
-        }
-        let mut views = std::mem::take(&mut self.view_buf);
-        for &ni in &snapshot {
-            let ni = ni as usize;
-            if self.node_load(ni) == 0 {
-                continue;
-            }
-            let node = self.coord_of(ni);
-            // A stalled node sends nothing this step (its packets stay put;
-            // the active-set rebuild below keeps it scheduled for later).
-            if let Some(f) = &self.faults {
-                if f.node_stalled(t0, node) {
-                    continue;
-                }
-            }
-            Self::build_views(
-                self.topo,
-                &self.queues,
-                self.slots,
-                self.arch,
-                &self.src,
-                &self.dst,
-                &self.state,
-                ni,
-                node,
-                &mut views,
-            );
-            let mut out = [None::<usize>; 4];
-            self.router
-                .outqueue(t0, node, &mut self.node_state[ni], &views, &mut out);
-            if self.config.validate {
-                #[allow(clippy::needless_range_loop)]
-                for a in 0..4 {
-                    if let Some(i) = out[a] {
-                        assert!(
-                            i < views.len(),
-                            "{}: outqueue index out of range at {node} step {t0}",
-                            self.router.name()
-                        );
-                        for b in (a + 1)..4 {
-                            assert!(
-                                out[b] != Some(i),
-                                "{}: packet scheduled on two outlinks at {node} step {t0}",
-                                self.router.name()
-                            );
-                        }
-                    }
-                }
-            }
-            for d in ALL_DIRS {
-                if let Some(i) = out[d.index()] {
-                    let v = views[i];
-                    let to = self.topo.neighbor(node, d).unwrap_or_else(|| {
-                        panic!(
-                            "{}: scheduled {:?} on missing {d} outlink of {node}",
-                            self.router.name(),
-                            v.id
-                        )
-                    });
-                    if self.config.validate && self.router.is_minimal() {
-                        assert!(
-                            v.profitable.contains(d),
-                            "{}: non-minimal move {:?} {d} from {node} (profitable {:?}) step {t0}",
-                            self.router.name(),
-                            v.id,
-                            v.profitable
-                        );
-                    }
-                    // A down link carries nothing: the move is dropped here,
-                    // *before* the adversary hook observes the schedule, so
-                    // the exchanger only ever sees moves that can happen.
-                    // A *lossy* link does carry the packet — it just never
-                    // arrives: the transmission happens (the sender's queue
-                    // slot frees), but the packet is destroyed in flight.
-                    // Like down-link drops, loss is resolved before the hook.
-                    if let Some(f) = &self.faults {
-                        if f.link_down(t0, node, d) {
-                            continue;
-                        }
-                        if f.link_lossy(t0, node, d) {
-                            lost_moves.push(ScheduledMove {
-                                pkt: v.id,
-                                from: node,
-                                to,
-                                travel: d,
-                            });
-                            continue;
-                        }
-                    }
-                    schedule.push(ScheduledMove {
-                        pkt: v.id,
-                        from: node,
-                        to,
-                        travel: d,
-                    });
-                }
+        let mut ctx = self.step_ctx(t0);
+        for phase in STEP_PIPELINE {
+            match phase {
+                // Construction already injected everything due at step 0.
+                Phase::Inject if t0 > 0 => injected_any = phases::inject(&mut ctx),
+                Phase::Inject => {}
+                Phase::Route => phases::route(&mut ctx),
+                Phase::EnforceFaults => phases::enforce_faults(&mut ctx),
+                Phase::Adversary => phases::adversary(&mut ctx, hook),
+                Phase::Accept => phases::accept(&mut ctx),
+                Phase::Transmit => phases::transmit(&mut ctx),
+                Phase::Audit => phases::audit(&mut ctx),
+                Phase::UpdateState => phases::update_state(&mut ctx),
             }
         }
-
-        // ---- (b) adversary hook ----
-        {
-            let mut ctx = HookCtx {
-                t: t0 + 1,
-                n: self.n,
-                moves: &schedule,
-                dst: &mut self.dst,
-                loc: &self.loc,
-                src: &self.src,
-                exchanges: &mut self.exchanges,
-            };
-            hook.on_scheduled(&mut ctx);
-        }
-
-        // ---- (c) inqueue ----
-        let mut order = std::mem::take(&mut self.order_buf);
-        order.clear();
-        order.extend(0..schedule.len() as u32);
-        let n = self.n;
-        order.sort_by_key(|&i| {
-            let m = &schedule[i as usize];
-            m.to.y * n + m.to.x
-        });
-        let mut accepted = std::mem::take(&mut self.accepted_buf);
-        accepted.clear();
-        accepted.resize(schedule.len(), false);
-        let mut arrivals = std::mem::take(&mut self.arrival_buf);
-        let mut accept = std::mem::take(&mut self.accept_buf);
-        let mut g = 0;
-        while g < order.len() {
-            let target = schedule[order[g] as usize].to;
-            let mut end = g + 1;
-            while end < order.len() && schedule[order[end] as usize].to == target {
-                end += 1;
-            }
-            let ni = self.node_index(target);
-            // A stalled node accepts nothing: the whole arrival group stays
-            // rejected and its router never observes the offered packets.
-            if let Some(f) = &self.faults {
-                if f.node_stalled(t0, target) {
-                    g = end;
-                    continue;
-                }
-            }
-            Self::build_views(
-                self.topo,
-                &self.queues,
-                self.slots,
-                self.arch,
-                &self.src,
-                &self.dst,
-                &self.state,
-                ni,
-                target,
-                &mut views,
-            );
-            arrivals.clear();
-            for &mi in &order[g..end] {
-                let m = &schedule[mi as usize];
-                let i = m.pkt.index();
-                arrivals.push(Arrival {
-                    view: FullView {
-                        id: m.pkt,
-                        src: self.src[i],
-                        dst: self.dst[i],
-                        state: self.state[i],
-                        // §2: profitable outlinks of scheduled packets are
-                        // measured from the node they are coming from.
-                        profitable: self.topo.profitable(m.from, self.dst[i]),
-                        queue: self.arch.arrival_queue(m.travel),
-                        pos: u32::MAX,
-                    },
-                    travel: m.travel,
-                });
-            }
-            accept.clear();
-            accept.resize(arrivals.len(), false);
-            self.router.inqueue(
-                t0,
-                target,
-                &mut self.node_state[ni],
-                &views,
-                &arrivals,
-                &mut accept,
-            );
-            // Queue degradation: clamp what a (degradation-unaware) router
-            // accepted down to the reduced capacity. Deliveries never occupy
-            // a queue slot, so they are exempt; residents already over the
-            // reduced capacity are not evicted — they drain naturally.
-            if let Some(f) = &self.faults {
-                let lost = f.degraded_slots(t0, target);
-                if lost > 0 {
-                    let mut room = [usize::MAX; 5];
-                    for (s, r) in room.iter_mut().enumerate().take(self.slots) {
-                        let kind = match (self.arch, s) {
-                            (QueueArch::Central { .. }, _) => QueueKind::Central,
-                            (QueueArch::PerInlink { .. }, 4) => QueueKind::Injection,
-                            (QueueArch::PerInlink { .. }, s) => {
-                                QueueKind::Inlink(Dir::from_index(s))
-                            }
-                        };
-                        if let Some(cap) = self.arch.capacity(kind) {
-                            let eff = cap.saturating_sub(lost) as usize;
-                            *r = eff.saturating_sub(self.queues[ni * self.slots + s].len());
-                        }
-                    }
-                    for (j, a) in arrivals.iter().enumerate() {
-                        if !accept[j] || a.view.dst == target {
-                            continue;
-                        }
-                        let s = self.arch.arrival_queue(a.travel).slot();
-                        if room[s] > 0 {
-                            room[s] -= 1;
-                        } else {
-                            accept[j] = false;
-                        }
-                    }
-                }
-            }
-            for (j, &mi) in order[g..end].iter().enumerate() {
-                accepted[mi as usize] = accept[j];
-            }
-            g = end;
-        }
-
-        // ---- (d) transmit ----
-        for (mi, m) in schedule.iter().enumerate() {
-            if !accepted[mi] {
-                continue;
-            }
-            let pi = m.pkt.index();
-            // Remove from its source queue.
-            let kind = self.queue_of[pi];
-            let from = m.from;
-            debug_assert_eq!(self.loc[pi], Loc::At(from));
-            let q = self.queue_mut(from, kind);
-            let pos = q
-                .iter()
-                .position(|&p| p == m.pkt)
-                .expect("scheduled packet missing from its queue");
-            q.remove(pos);
-            self.total_moves += 1;
-            self.hops[pi] += 1;
-            if self.dst[pi] == m.to {
-                self.loc[pi] = Loc::Delivered;
-                self.delivered_at[pi] = t0 + 1;
-                self.delivered += 1;
-                self.events_delivered.push(m.pkt);
-            } else {
-                let akind = self.arch.arrival_queue(m.travel);
-                self.queue_mut(m.to, akind).push(m.pkt);
-                self.loc[pi] = Loc::At(m.to);
-                self.queue_of[pi] = akind;
-                let tni = self.node_index(m.to);
-                self.mark_active(tni);
-            }
-        }
-        // Lossy-link transmissions: the packet left its queue and traversed
-        // the link (it counts as a move and a hop), but it never arrives
-        // anywhere — it is destroyed. Its inqueue policy never saw it
-        // offered, so no acceptance bookkeeping exists to undo.
-        for m in &lost_moves {
-            let pi = m.pkt.index();
-            let kind = self.queue_of[pi];
-            debug_assert_eq!(self.loc[pi], Loc::At(m.from));
-            let q = self.queue_mut(m.from, kind);
-            let pos = q
-                .iter()
-                .position(|&p| p == m.pkt)
-                .expect("lost packet missing from its queue");
-            q.remove(pos);
-            self.total_moves += 1;
-            self.hops[pi] += 1;
-            self.loc[pi] = Loc::Lost;
-            self.lost += 1;
-            self.events_lost.push(m.pkt);
-        }
-
-        // Rebuild the active set: previously active nodes that still hold
-        // packets (or have pending injections) stay active; transmit already
-        // marked the targets.
-        for &ni in &snapshot {
-            let ni = ni as usize;
-            if self.node_load(ni) > 0 || self.pending.contains_key(&(ni as u32)) {
-                self.mark_active(ni);
-            }
-        }
-
-        // ---- capacity validation + occupancy metrics ----
-        let active_now = std::mem::take(&mut self.active);
-        for &ni in &active_now {
-            let ni = ni as usize;
-            let mut load = 0u32;
-            for slot in 0..self.slots {
-                let len = self.queues[ni * self.slots + slot].len() as u32;
-                load += len;
-                let kind = match (self.arch, slot) {
-                    (QueueArch::Central { .. }, _) => QueueKind::Central,
-                    (QueueArch::PerInlink { .. }, 4) => QueueKind::Injection,
-                    (QueueArch::PerInlink { .. }, s) => QueueKind::Inlink(Dir::from_index(s)),
-                };
-                if let Some(cap) = self.arch.capacity(kind) {
-                    if self.config.validate {
-                        assert!(
-                            len <= cap,
-                            "{}: queue {kind:?} of node {:?} overflowed ({len} > {cap}) at step {t0}",
-                            self.router.name(),
-                            self.coord_of(ni)
-                        );
-                    }
-                    self.max_queue = self.max_queue.max(len);
-                } else {
-                    // Unbounded (injection) queues count toward node load and
-                    // max_queue tracking is skipped.
-                }
-            }
-            self.max_node_load = self.max_node_load.max(load);
-            if load as u16 > self.peak_load[ni] {
-                self.peak_load[ni] = load as u16;
-            }
-        }
-
-        // ---- (e) end-of-step state update ----
-        let mut states = std::mem::take(&mut self.state_buf);
-        for &ni in &active_now {
-            let ni = ni as usize;
-            if self.node_load(ni) == 0 {
-                continue;
-            }
-            let node = self.coord_of(ni);
-            Self::build_views(
-                self.topo,
-                &self.queues,
-                self.slots,
-                self.arch,
-                &self.src,
-                &self.dst,
-                &self.state,
-                ni,
-                node,
-                &mut views,
-            );
-            states.clear();
-            states.extend(views.iter().map(|v| v.state));
-            self.router
-                .end_of_step(t0, node, &mut self.node_state[ni], &views, &mut states);
-            for (v, s) in views.iter().zip(states.iter()) {
-                self.state[v.id.index()] = *s;
-            }
-        }
-        self.active = active_now;
-
-        // Return buffers.
-        self.sched_buf = schedule;
-        self.view_buf = views;
-        self.arrival_buf = arrivals;
-        self.accept_buf = accept;
-        self.order_buf = order;
-        self.accepted_buf = accepted;
-        self.state_buf = states;
-        self.lost_buf = lost_moves;
-
-        self.steps += 1;
+        self.progress.steps += 1;
         // Watchdog bookkeeping (1-based step stamps; 0 = never).
-        if self.total_moves != moves_before || injected_any || self.delivered != delivered_before {
-            self.last_activity = self.steps;
-        }
-        if self.delivered != delivered_before {
-            self.last_delivery = self.steps;
-        }
-        self.delivered == self.src.len()
+        let delivered = self.progress.delivered != delivered_before;
+        let activity = self.progress.total_moves != moves_before || injected_any || delivered;
+        self.timers.note(self.progress.steps, activity, delivered);
+        self.done()
     }
 
     /// Executes one step with no adversary.
@@ -833,96 +254,12 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         max_steps: u64,
         hook: &mut H,
     ) -> Result<u64, SimError> {
-        // The watchdog only arms once nothing external can still change the
-        // picture: all injections done and every transient fault lifted
-        // (permanent faults never lift, so they do not hold it off).
-        let settle = self.faults.as_ref().map_or(0, |f| f.last_transition());
-        while self.steps < max_steps {
-            if self.step_with_hook(hook) {
-                return Ok(self.steps);
-            }
-            if let Some(w) = self.config.watchdog {
-                if self.inject_cursor >= self.inject_order.len() {
-                    if self.steps.saturating_sub(self.last_activity.max(settle)) >= w {
-                        return Err(SimError::Deadlock(self.diagnostics()));
-                    }
-                    if self.steps.saturating_sub(self.last_delivery.max(settle)) >= w {
-                        return Err(SimError::Livelock(self.diagnostics()));
-                    }
-                }
-            }
-        }
-        if self.delivered == self.src.len() {
-            Ok(self.steps)
-        } else {
-            Err(SimError::StepCap(self.diagnostics()))
-        }
+        driver::run_driver(self, max_steps, &mut HookRunner { hook })
     }
 
     /// Runs without an adversary until done or `max_steps`.
     pub fn run(&mut self, max_steps: u64) -> Result<u64, SimError> {
         self.run_with_hook(max_steps, &mut NoHook)
-    }
-
-    // ---- runtime packet spawning (protocol layers) ----
-
-    /// Appends a fresh packet to the running simulation, to be injected at
-    /// the beginning of step `inject_at` (which must not lie in the past).
-    /// Returns its id — always `num_packets()` at call time, so callers can
-    /// maintain dense side tables. The injection goes through the same
-    /// admission control as everything else: if the origin queue is full,
-    /// the packet waits outside the network.
-    ///
-    /// This is how a transport layer retransmits (and ACKs): a
-    /// retransmission is a *new* packet for the same payload, not a revival
-    /// of the lost one.
-    pub fn spawn(&mut self, src: Coord, dst: Coord, inject_at: u64) -> PacketId {
-        assert!(
-            inject_at >= self.steps,
-            "spawn at step {inject_at} but the simulation is already at {}",
-            self.steps
-        );
-        assert!(
-            src.x < self.n && src.y < self.n && dst.x < self.n && dst.y < self.n,
-            "spawn endpoints must lie on the {0}x{0} grid",
-            self.n
-        );
-        let id = PacketId(self.src.len() as u32);
-        self.src.push(src);
-        self.dst.push(dst);
-        self.state.push(0);
-        self.inject_at.push(inject_at);
-        self.loc.push(Loc::Pending);
-        self.queue_of.push(QueueKind::Central);
-        self.delivered_at.push(NOT_DELIVERED);
-        self.hops.push(0);
-        // Keep the uninjected tail of `inject_order` sorted by inject_at
-        // (ties resolve in spawn order, matching the constructor's stable
-        // sort by id).
-        let inject_at_of = &self.inject_at;
-        let tail = &self.inject_order[self.inject_cursor..];
-        let at = self.inject_cursor + tail.partition_point(|p| inject_at_of[p.index()] <= inject_at);
-        self.inject_order.insert(at, id);
-        id
-    }
-
-    /// Packets delivered during the most recent step, in deterministic
-    /// order. Valid until the next step executes.
-    pub fn last_step_deliveries(&self) -> &[PacketId] {
-        &self.events_delivered
-    }
-
-    /// Packets destroyed by lossy links during the most recent step.
-    pub fn last_step_losses(&self) -> &[PacketId] {
-        &self.events_lost
-    }
-
-    /// True when no future or deferred injection remains: the cursor is
-    /// exhausted *and* admission control holds nothing back. While this is
-    /// false, outside input can still change the network, so a watchdog
-    /// must not declare a wedge on quietness alone.
-    pub fn injections_exhausted(&self) -> bool {
-        self.inject_cursor >= self.inject_order.len() && self.pending.is_empty()
     }
 
     /// Runs the simulation under a [`ProtocolHook`] (e.g. the
@@ -940,132 +277,115 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     /// [`SimError::Livelock`]. Once nothing is outstanding and every
     /// injection (including deferred ones) is in, the ordinary no-activity
     /// deadlock rule applies.
-    pub fn run_with_protocol<P: crate::protocol::ProtocolHook>(
+    pub fn run_with_protocol<P: ProtocolHook>(
         &mut self,
         max_steps: u64,
         proto: &mut P,
     ) -> Result<u64, SimError> {
-        use crate::protocol::ProtocolControl;
-        let settle = self.faults.as_ref().map_or(0, |f| f.last_transition());
-        // Trivial (src == dst) packets due at step 0 were delivered during
-        // construction, before any step could report them; surface them to
-        // the protocol as a synthetic step-0 batch so their payloads get
-        // acknowledged like any other.
-        if self.steps == 0 && !self.events_delivered.is_empty() {
-            let events = crate::protocol::StepEvents {
-                step: 0,
-                delivered: std::mem::take(&mut self.events_delivered),
-                lost: Vec::new(),
-            };
-            let ctl = proto.on_step(self, &events);
-            self.events_delivered = events.delivered;
-            self.events_delivered.clear();
-            if ctl == ProtocolControl::Done {
-                return Ok(0);
-            }
-        }
-        loop {
-            if self.steps >= max_steps {
-                return if self.done() {
-                    Ok(self.steps)
-                } else {
-                    Err(SimError::StepCap(self.diagnostics()))
-                };
-            }
-            let packets_before = self.src.len();
-            let done = self.step();
-            let events = crate::protocol::StepEvents {
-                step: self.steps,
-                delivered: std::mem::take(&mut self.events_delivered),
-                lost: std::mem::take(&mut self.events_lost),
-            };
-            let ctl = proto.on_step(self, &events);
-            // Recycle the event buffers, emptied: a later early-returning
-            // step must not re-present stale events.
-            self.events_delivered = events.delivered;
-            self.events_delivered.clear();
-            self.events_lost = events.lost;
-            self.events_lost.clear();
-            match ctl {
-                ProtocolControl::Done => return Ok(self.steps),
-                ProtocolControl::Continue { outstanding } => {
-                    if done && self.src.len() == packets_before {
-                        // Network empty and the protocol spawned nothing.
-                        // With work outstanding that is a protocol wedge
-                        // (nothing in flight can ever ack it); without, the
-                        // run is simply complete.
-                        return if outstanding == 0 {
-                            Ok(self.steps)
-                        } else {
-                            Err(SimError::Deadlock(self.diagnostics()))
-                        };
-                    }
-                    if let Some(w) = self.config.watchdog {
-                        if outstanding > 0 {
-                            if self.steps.saturating_sub(self.last_delivery.max(settle)) >= w {
-                                return Err(SimError::Livelock(self.diagnostics()));
-                            }
-                        } else if self.injections_exhausted()
-                            && self.steps.saturating_sub(self.last_activity.max(settle)) >= w
-                        {
-                            return Err(SimError::Deadlock(self.diagnostics()));
-                        }
-                    }
-                }
-            }
-        }
+        driver::run_driver(self, max_steps, &mut ProtocolRunner { proto })
+    }
+
+    // ---- runtime packet spawning (protocol layers) ----
+
+    /// Appends a fresh packet to the running simulation, to be injected at
+    /// the beginning of step `inject_at` (which must not lie in the past).
+    /// Returns its id — always `num_packets()` at call time, so callers can
+    /// maintain dense side tables. The injection goes through the same
+    /// admission control as everything else: if the origin queue is full,
+    /// the packet waits outside the network.
+    ///
+    /// This is how a transport layer retransmits (and ACKs): a
+    /// retransmission is a *new* packet for the same payload, not a revival
+    /// of the lost one.
+    pub fn spawn(&mut self, src: Coord, dst: Coord, inject_at: u64) -> PacketId {
+        assert!(
+            inject_at >= self.progress.steps,
+            "spawn at step {inject_at} but the simulation is already at {}",
+            self.progress.steps
+        );
+        let n = self.grid.n();
+        assert!(
+            src.x < n && src.y < n && dst.x < n && dst.y < n,
+            "spawn endpoints must lie on the {n}x{n} grid"
+        );
+        self.store.push(src, dst, inject_at)
+    }
+
+    /// Packets delivered during the most recent step, in deterministic
+    /// order. Valid until the next step executes.
+    pub fn last_step_deliveries(&self) -> &[PacketId] {
+        &self.events.delivered
+    }
+
+    /// Packets destroyed by lossy links during the most recent step.
+    pub fn last_step_losses(&self) -> &[PacketId] {
+        &self.events.lost
+    }
+
+    /// True when no future or deferred injection remains: the cursor is
+    /// exhausted *and* admission control holds nothing back. While this is
+    /// false, outside input can still change the network, so a watchdog
+    /// must not declare a wedge on quietness alone.
+    pub fn injections_exhausted(&self) -> bool {
+        self.store.cursor_exhausted() && !self.grid.has_pending()
+    }
+
+    /// The last step at which a *transient* fault transitions — the
+    /// watchdog's settle horizon.
+    pub(crate) fn fault_settle(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.last_transition())
     }
 
     // ---- accessors ----
 
     /// Steps executed so far.
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.progress.steps
     }
 
     /// Packets delivered so far.
     pub fn delivered(&self) -> usize {
-        self.delivered
+        self.progress.delivered
     }
 
     /// Packets destroyed by lossy links so far.
     pub fn lost(&self) -> usize {
-        self.lost
+        self.progress.lost
     }
 
     /// Packet-steps spent deferred by injection admission control so far.
     pub fn deferred_injections(&self) -> u64 {
-        self.deferred_injections
+        self.progress.deferred_injections
     }
 
     /// Total packets.
     pub fn num_packets(&self) -> usize {
-        self.src.len()
+        self.store.len()
     }
 
     /// True when every packet has been delivered.
     pub fn done(&self) -> bool {
-        self.delivered == self.src.len()
+        self.progress.delivered == self.store.len()
     }
 
     /// Current location of a packet.
     pub fn loc(&self, p: PacketId) -> Loc {
-        self.loc[p.index()]
+        self.store.loc[p.index()]
     }
 
     /// Current destination of a packet (reflects adversary exchanges).
     pub fn dst(&self, p: PacketId) -> Coord {
-        self.dst[p.index()]
+        self.store.dst[p.index()]
     }
 
     /// Source of a packet.
     pub fn src(&self, p: PacketId) -> Coord {
-        self.src[p.index()]
+        self.store.src[p.index()]
     }
 
     /// Step at which a packet was delivered (1-based), if delivered.
     pub fn delivered_step(&self, p: PacketId) -> Option<u64> {
-        let d = self.delivered_at[p.index()];
+        let d = self.store.delivered_at[p.index()];
         (d != NOT_DELIVERED).then_some(d)
     }
 
@@ -1073,15 +393,14 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     /// `PacketId`. Sums to `total_moves`; for a delivered packet of a minimal
     /// router it equals the source→destination L1 distance.
     pub fn packet_hops(&self) -> &[u32] {
-        &self.hops
+        &self.store.hops
     }
 
-    /// The packets currently in a node, over all queues, in queue order.
-    pub fn packets_at(&self, c: Coord) -> Vec<PacketId> {
-        let ni = self.node_index(c);
-        (0..self.slots)
-            .flat_map(|s| self.queues[ni * self.slots + s].iter().copied())
-            .collect()
+    /// The packets currently in a node, over all queues, in queue order —
+    /// answered from the [`NodeGrid`]'s own slots (no packet-table scan,
+    /// no allocation).
+    pub fn packets_at(&self, c: Coord) -> impl Iterator<Item = PacketId> + '_ {
+        self.grid.packets_at(c)
     }
 
     /// The routing problem defined by the packets' *current* destinations —
@@ -1089,44 +408,42 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     /// permutation** (step 4 of the §3 construction).
     pub fn current_problem(&self, label: impl Into<String>) -> RoutingProblem {
         RoutingProblem::from_pairs(
-            self.n,
+            self.grid.n(),
             label,
-            self.src.iter().copied().zip(self.dst.iter().copied()),
+            self.store
+                .src
+                .iter()
+                .copied()
+                .zip(self.store.dst.iter().copied()),
         )
     }
 
     /// A deterministic digest of packet configuration (location, destination,
     /// state per packet) for replay-equivalence tests (Lemma 12).
     pub fn packet_snapshot(&self) -> Vec<(Loc, Coord, u64)> {
-        (0..self.src.len())
-            .map(|i| (self.loc[i], self.dst[i], self.state[i]))
+        (0..self.store.len())
+            .map(|i| (self.store.loc[i], self.store.dst[i], self.store.state[i]))
             .collect()
     }
 
     /// Summary of the run so far.
     pub fn report(&self) -> SimReport {
-        let lat: Vec<u64> = self
-            .delivered_at
-            .iter()
-            .zip(self.inject_at.iter())
-            .filter(|(&d, _)| d != NOT_DELIVERED)
-            .map(|(&d, &i)| d.saturating_sub(i))
-            .collect();
+        let lat: Vec<u64> = self.latencies();
         SimReport {
             algorithm: self.router.name(),
             workload: self.workload.clone(),
-            n: self.n,
-            arch: self.arch,
-            total_packets: self.src.len(),
-            delivered: self.delivered,
-            lost: self.lost,
-            deferred_injections: self.deferred_injections,
-            steps: self.steps,
+            n: self.grid.n(),
+            arch: self.grid.arch(),
+            total_packets: self.store.len(),
+            delivered: self.progress.delivered,
+            lost: self.progress.lost,
+            deferred_injections: self.progress.deferred_injections,
+            steps: self.progress.steps,
             completed: self.done(),
-            max_queue: self.max_queue,
-            max_node_load: self.max_node_load,
-            total_moves: self.total_moves,
-            exchanges: self.exchanges,
+            max_queue: self.progress.max_queue,
+            max_node_load: self.progress.max_node_load,
+            total_moves: self.progress.total_moves,
+            exchanges: self.progress.exchanges,
             avg_latency: if lat.is_empty() {
                 0.0
             } else {
@@ -1136,31 +453,37 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         }
     }
 
+    /// Per-packet latencies (delivery step minus injection step) over
+    /// delivered packets.
+    fn latencies(&self) -> Vec<u64> {
+        self.store
+            .delivered_at
+            .iter()
+            .zip(self.store.inject_at.iter())
+            .filter(|(&d, _)| d != NOT_DELIVERED)
+            .map(|(&d, &i)| d.saturating_sub(i))
+            .collect()
+    }
+
     /// Latency distribution over delivered packets (delivery step minus
     /// injection step).
     pub fn latency_distribution(&self) -> crate::stats::Distribution {
-        let lat: Vec<u64> = self
-            .delivered_at
-            .iter()
-            .zip(self.inject_at.iter())
-            .filter(|(&d, _)| d != NOT_DELIVERED)
-            .map(|(&d, &i)| d.saturating_sub(i))
-            .collect();
-        crate::stats::Distribution::of(&lat)
+        crate::stats::Distribution::of(&self.latencies())
     }
 
     /// Per-node peak occupancy over the whole run (congestion map).
     pub fn congestion_map(&self) -> crate::stats::NodeField {
         crate::stats::NodeField {
-            n: self.n,
-            values: self.peak_load.iter().map(|&v| v as u32).collect(),
+            n: self.grid.n(),
+            values: self.grid.peak_load.iter().map(|&v| v as u32).collect(),
         }
     }
 
     /// Deliveries per step.
     pub fn delivery_curve(&self) -> crate::stats::DeliveryCurve {
         crate::stats::DeliveryCurve::from_delivery_steps(
-            self.delivered_at
+            self.store
+                .delivered_at
                 .iter()
                 .copied()
                 .filter(|&d| d != NOT_DELIVERED),
@@ -1171,45 +494,45 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     /// carry: stuck packets, per-node occupancy, active faults.
     pub fn diagnostics(&self) -> DiagnosticSnapshot {
         let mut stuck = Vec::new();
-        for i in 0..self.src.len() {
-            if let Loc::At(c) = self.loc[i] {
+        for i in 0..self.store.len() {
+            if let Loc::At(c) = self.store.loc[i] {
                 stuck.push(StuckPacket {
                     id: PacketId(i as u32),
                     at: c,
-                    dst: self.dst[i],
-                    hops: self.hops[i],
+                    dst: self.store.dst[i],
+                    hops: self.store.hops[i],
                 });
             }
         }
         let mut occupancy = Vec::new();
-        for ni in 0..(self.n * self.n) as usize {
-            let load = self.node_load(ni) as u32;
+        for ni in 0..self.grid.nodes() {
+            let load = self.grid.node_load(ni);
             if load > 0 {
                 occupancy.push(NodeOccupancy {
-                    node: self.coord_of(ni),
+                    node: self.grid.coord_of(ni),
                     load,
                 });
             }
         }
         DiagnosticSnapshot {
-            step: self.steps,
-            delivered: self.delivered,
-            total: self.src.len(),
-            pending: self.src.len() - self.delivered - self.lost - stuck.len(),
-            lost: self.lost,
+            step: self.progress.steps,
+            delivered: self.progress.delivered,
+            total: self.store.len(),
+            pending: self.store.len() - self.progress.delivered - self.progress.lost - stuck.len(),
+            lost: self.progress.lost,
             stuck,
             occupancy,
             active_faults: self
                 .faults
                 .as_ref()
-                .map(|f| f.active_at(self.steps))
+                .map(|f| f.active_at(self.progress.steps))
                 .unwrap_or_default(),
         }
     }
 
     /// The router's queue architecture.
     pub fn arch(&self) -> QueueArch {
-        self.arch
+        self.grid.arch()
     }
 
     /// Immutable access to the router.
@@ -1218,1077 +541,15 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::queue::QueueArch;
-    use crate::router::{Dx, DxRouter};
-    use crate::view::DxView;
-    use mesh_topo::Mesh;
-    use mesh_traffic::RoutingProblem;
-
-    /// Minimal destination-exchangeable test router: greedy "first profitable
-    /// direction in canonical order", FIFO outqueue, accept while the central
-    /// queue has strict headroom at the beginning of the step.
-    pub(super) struct Greedy {
-        pub(super) k: u32,
+// Keep the compiler honest about the phase list: one entry per `Phase`
+// variant, each exactly once (a match would not catch duplicates).
+const _: () = {
+    let mut seen = [false; 8];
+    let mut i = 0;
+    while i < STEP_PIPELINE.len() {
+        let idx = STEP_PIPELINE[i] as usize;
+        assert!(!seen[idx], "phase listed twice");
+        seen[idx] = true;
+        i += 1;
     }
-
-    impl DxRouter for Greedy {
-        type NodeState = ();
-
-        fn name(&self) -> String {
-            format!("test-greedy(k={})", self.k)
-        }
-
-        fn queue_arch(&self) -> QueueArch {
-            QueueArch::Central { k: self.k }
-        }
-
-        fn outqueue(
-            &self,
-            _step: u64,
-            _node: Coord,
-            _state: &mut (),
-            pkts: &[DxView],
-            out: &mut [Option<usize>; 4],
-        ) {
-            // Oldest packet first; each packet takes its first profitable
-            // direction whose outlink is still free.
-            let mut order: Vec<usize> = (0..pkts.len()).collect();
-            order.sort_by_key(|&i| pkts[i].pos);
-            for i in order {
-                if let Some(d) = pkts[i]
-                    .profitable
-                    .iter()
-                    .find(|d| out[d.index()].is_none())
-                {
-                    out[d.index()] = Some(i);
-                }
-            }
-        }
-
-        fn inqueue(
-            &self,
-            _step: u64,
-            _node: Coord,
-            _state: &mut (),
-            residents: &[DxView],
-            arrivals: &[Arrival<DxView>],
-            accept: &mut [bool],
-        ) {
-            let mut room = (self.k as usize).saturating_sub(residents.len());
-            for (i, _a) in arrivals.iter().enumerate() {
-                if room > 0 {
-                    accept[i] = true;
-                    room -= 1;
-                }
-            }
-        }
-    }
-
-    fn greedy(k: u32) -> Dx<Greedy> {
-        Dx::new(Greedy { k })
-    }
-
-    #[test]
-    fn single_packet_takes_shortest_path_time() {
-        let topo = Mesh::new(8);
-        let pb = RoutingProblem::from_pairs(8, "one", [(Coord::new(0, 0), Coord::new(5, 3))]);
-        let mut sim = Sim::new(&topo, greedy(2), &pb);
-        let steps = sim.run(100).unwrap();
-        assert_eq!(steps, 8); // manhattan distance
-        let r = sim.report();
-        assert!(r.completed);
-        assert_eq!(r.total_moves, 8);
-        assert_eq!(r.max_queue, 1);
-        assert_eq!(sim.delivered_step(PacketId(0)), Some(8));
-    }
-
-    #[test]
-    fn trivial_packet_is_delivered_at_injection() {
-        let topo = Mesh::new(4);
-        let pb = RoutingProblem::from_pairs(4, "trivial", [(Coord::new(2, 2), Coord::new(2, 2))]);
-        let mut sim = Sim::new(&topo, greedy(1), &pb);
-        assert!(sim.done());
-        assert_eq!(sim.run(10).unwrap(), 0);
-        assert_eq!(sim.delivered_step(PacketId(0)), Some(0));
-    }
-
-    #[test]
-    fn two_packets_share_a_link_one_waits() {
-        // Both packets must traverse the single link (0,0)->(1,0) ... build a
-        // 2x1-ish scenario on a 2x2 mesh: packets at (0,0) and (0,1), both to
-        // (1,1) is not a partial permutation; instead two packets whose only
-        // profitable dir from their shared node differs. Simpler: two packets
-        // starting at the same node is impossible (k=1). Use k=2 with both
-        // packets at (0,0): to (1,0) and (2,0) on a 3x1 row — they compete for
-        // the East outlink.
-        let topo = Mesh::new(3);
-        let pb = RoutingProblem::from_pairs(
-            3,
-            "contend",
-            [
-                (Coord::new(0, 0), Coord::new(2, 0)),
-                (Coord::new(0, 0), Coord::new(1, 0)),
-            ],
-        );
-        let mut sim = Sim::new(&topo, greedy(2), &pb);
-        let steps = sim.run(100).unwrap();
-        // Packet 0 (older in queue) goes first: delivered at step 2.
-        // Packet 1 waits one step, delivered at step 2 as well (moves at
-        // step 2 after the link frees at step 2? it moves at step 2).
-        assert!(sim.done());
-        assert!(steps >= 2);
-        let r = sim.report();
-        assert_eq!(r.total_moves, 3);
-    }
-
-    #[test]
-    fn capacity_blocks_acceptance() {
-        // k=1: a chain 4 long with all packets moving east; heads block tails.
-        let topo = Mesh::new(5);
-        let pairs: Vec<_> = (0..4u32)
-            .map(|x| (Coord::new(x, 0), Coord::new(x + 1, 0)))
-            .collect();
-        let pb = RoutingProblem::from_pairs(5, "chain", pairs);
-        let mut sim = Sim::new(&topo, greedy(1), &pb);
-        let steps = sim.run(100).unwrap();
-        assert!(sim.done());
-        // The head (packet at x=3) is delivered at step 1, freeing space;
-        // everything drains in a wave.
-        assert!(steps <= 4, "chain should drain quickly, took {steps}");
-        assert_eq!(sim.report().max_queue, 1, "k=1 never exceeded");
-    }
-
-    #[test]
-    fn dynamic_injection_waits_for_time() {
-        let topo = Mesh::new(4);
-        let pb = RoutingProblem::from_packets(
-            4,
-            "late",
-            vec![mesh_traffic::Packet::injected_at(
-                0,
-                Coord::new(0, 0),
-                Coord::new(1, 0),
-                5,
-            )],
-        );
-        let mut sim = Sim::new(&topo, greedy(1), &pb);
-        let steps = sim.run(100).unwrap();
-        assert_eq!(steps, 6); // waits 5 steps, moves during step 6
-        assert_eq!(sim.delivered_step(PacketId(0)), Some(6));
-        // Latency counts from injection: 6 - 5 = 1.
-        assert_eq!(sim.report().max_latency, 1);
-    }
-
-    #[test]
-    fn hook_exchange_swaps_destinations() {
-        let topo = Mesh::new(4);
-        let pb = RoutingProblem::from_pairs(
-            4,
-            "swap",
-            [
-                (Coord::new(0, 0), Coord::new(3, 0)),
-                (Coord::new(0, 1), Coord::new(3, 1)),
-            ],
-        );
-        let mut sim = Sim::new(&topo, greedy(1), &pb);
-        let mut swapped = false;
-        let mut hook = |ctx: &mut HookCtx<'_>| {
-            if !swapped {
-                ctx.exchange(PacketId(0), PacketId(1));
-                swapped = true;
-            }
-        };
-        sim.run_with_hook(100, &mut hook).unwrap();
-        assert!(sim.done());
-        // Destinations were exchanged before any move: packet 0 now ends at (3,1).
-        assert_eq!(sim.dst(PacketId(0)), Coord::new(3, 1));
-        assert_eq!(sim.dst(PacketId(1)), Coord::new(3, 0));
-        assert_eq!(sim.report().exchanges, 1);
-    }
-
-    #[test]
-    fn exchange_is_invisible_to_dx_router_lemma_10() {
-        // Run the same problem twice: once plainly, once with an adversary
-        // that exchanges two same-profitable-direction packets at step 1.
-        // The *trajectories as a multiset* must be identical with the two
-        // packets' roles swapped — here we check the coarser consequence
-        // that total steps and total moves agree.
-        let topo = Mesh::new(6);
-        let pb = RoutingProblem::from_pairs(
-            6,
-            "lemma10",
-            [
-                (Coord::new(0, 0), Coord::new(4, 3)),
-                (Coord::new(1, 1), Coord::new(3, 4)),
-                (Coord::new(2, 0), Coord::new(5, 5)),
-            ],
-        );
-        let mut plain = Sim::new(&topo, greedy(2), &pb);
-        plain.run(1000).unwrap();
-
-        let mut adv = Sim::new(&topo, greedy(2), &pb);
-        let mut done_once = false;
-        let mut hook = |ctx: &mut HookCtx<'_>| {
-            if !done_once {
-                // Both packets are northeast-bound; exchange is legal in the
-                // Lemma 10 sense (both destinations stay northeast of both).
-                ctx.exchange(PacketId(0), PacketId(1));
-                done_once = true;
-            }
-        };
-        adv.run_with_hook(1000, &mut hook).unwrap();
-
-        assert_eq!(plain.steps(), adv.steps());
-        assert_eq!(plain.report().total_moves, adv.report().total_moves);
-        assert_eq!(plain.report().max_queue, adv.report().max_queue);
-    }
-
-    #[test]
-    #[should_panic(expected = "overflowed")]
-    fn engine_panics_on_overflowing_router() {
-        /// A broken router that accepts everything regardless of capacity.
-        struct Overflower;
-        impl DxRouter for Overflower {
-            type NodeState = ();
-            fn name(&self) -> String {
-                "overflower".into()
-            }
-            fn queue_arch(&self) -> QueueArch {
-                QueueArch::Central { k: 1 }
-            }
-            fn outqueue(
-                &self,
-                _s: u64,
-                _n: Coord,
-                _st: &mut (),
-                pkts: &[DxView],
-                out: &mut [Option<usize>; 4],
-            ) {
-                for (i, p) in pkts.iter().enumerate() {
-                    if let Some(d) = p.profitable.iter().find(|d| out[d.index()].is_none()) {
-                        out[d.index()] = Some(i);
-                    }
-                }
-            }
-            fn inqueue(
-                &self,
-                _s: u64,
-                _n: Coord,
-                _st: &mut (),
-                _r: &[DxView],
-                _a: &[Arrival<DxView>],
-                accept: &mut [bool],
-            ) {
-                accept.iter_mut().for_each(|f| *f = true);
-            }
-        }
-        let topo = Mesh::new(3);
-        // Two packets converge on (1,1) from both sides and both keep going;
-        // with k=1 and accept-everything the queue must overflow.
-        let pb = RoutingProblem::from_pairs(
-            3,
-            "overflow",
-            [
-                (Coord::new(0, 1), Coord::new(2, 1)),
-                (Coord::new(1, 0), Coord::new(1, 2)),
-            ],
-        );
-        let mut sim = Sim::new(&topo, Dx::new(Overflower), &pb);
-        let _ = sim.run(10);
-    }
-
-    #[test]
-    fn determinism() {
-        // k = 64 is effectively unbounded on an 8x8 mesh (64 packets total),
-        // so the naive test router cannot deadlock.
-        let topo = Mesh::new(8);
-        let pb = mesh_traffic::workloads::random_permutation(8, 42);
-        let mut a = Sim::new(&topo, greedy(64), &pb);
-        let mut b = Sim::new(&topo, greedy(64), &pb);
-        a.run(10_000).unwrap();
-        b.run(10_000).unwrap();
-        assert_eq!(a.steps(), b.steps());
-        assert_eq!(a.packet_snapshot(), b.packet_snapshot());
-    }
-
-    #[test]
-    fn report_counts_are_consistent() {
-        let topo = Mesh::new(8);
-        let pb = mesh_traffic::workloads::random_permutation(8, 7);
-        let mut sim = Sim::new(&topo, greedy(64), &pb);
-        sim.run(100_000).unwrap();
-        let r = sim.report();
-        assert!(r.completed);
-        assert_eq!(r.delivered, r.total_packets);
-        // Every packet moved exactly its manhattan distance (greedy is
-        // minimal): total moves == total work.
-        assert_eq!(r.total_moves, pb.total_work());
-        assert!(r.max_latency as u64 <= r.steps);
-        assert!(r.steps >= pb.diameter_bound() as u64);
-    }
-
-    #[test]
-    fn step_limit_reports_error() {
-        let topo = Mesh::new(8);
-        let pb = RoutingProblem::from_pairs(8, "far", [(Coord::new(0, 0), Coord::new(7, 7))]);
-        let mut sim = Sim::new(&topo, greedy(1), &pb);
-        let err = sim.run(3).unwrap_err();
-        assert!(matches!(err, SimError::StepCap(_)));
-        assert_eq!(err.kind(), "step-cap");
-        let snap = err.snapshot();
-        assert_eq!(snap.step, 3);
-        assert_eq!(snap.delivered, 0);
-        assert_eq!(snap.total, 1);
-        assert_eq!(snap.stuck.len(), 1);
-        assert_eq!(snap.stuck[0].dst, Coord::new(7, 7));
-        assert_eq!(snap.stuck[0].hops, 3);
-        let msg = err.to_string();
-        assert!(msg.contains("step limit reached"), "got: {msg}");
-        assert!(msg.contains("0/1 delivered"), "got: {msg}");
-    }
-
-    /// A two-packet cyclic wait: on a 1-wide corridor with k=1 and a router
-    /// that never yields, the two packets face each other forever. The
-    /// watchdog must report `Deadlock` within its window — not spin to the
-    /// step cap.
-    #[test]
-    fn watchdog_reports_cyclic_wait_as_deadlock() {
-        let topo = Mesh::new(2);
-        // (0,0)->(1,0) and (1,0)->(0,0): each needs the cell the other holds;
-        // greedy's inqueue demands strict headroom, so neither ever moves.
-        let pb = RoutingProblem::from_pairs(
-            2,
-            "face-off",
-            [
-                (Coord::new(0, 0), Coord::new(1, 0)),
-                (Coord::new(1, 0), Coord::new(0, 0)),
-            ],
-        );
-        let config = SimConfig {
-            watchdog: Some(25),
-            ..SimConfig::default()
-        };
-        let mut sim = Sim::with_config(&topo, greedy(1), &pb, config);
-        let err = sim.run(100_000).unwrap_err();
-        assert!(matches!(err, SimError::Deadlock(_)), "got {err}");
-        assert!(sim.steps() <= 30, "watchdog should fire within the window");
-        let snap = err.snapshot();
-        assert_eq!(snap.stuck.len(), 2);
-        assert_eq!(snap.occupancy.len(), 2);
-        assert!(snap.active_faults.is_empty());
-    }
-
-    /// The watchdog must never fire on a fault-free run that is making
-    /// progress — even with the smallest sensible window.
-    #[test]
-    fn watchdog_never_trips_on_healthy_permutation() {
-        let topo = Mesh::new(8);
-        let pb = mesh_traffic::workloads::random_permutation(8, 13);
-        let config = SimConfig {
-            watchdog: Some(20),
-            ..SimConfig::default()
-        };
-        let mut sim = Sim::with_config(&topo, greedy(64), &pb, config);
-        sim.run(100_000).expect("healthy run must complete");
-        assert!(sim.done());
-    }
-
-    /// The watchdog stays disarmed while injections are still scheduled:
-    /// a long quiet gap before a late packet is not a deadlock.
-    #[test]
-    fn watchdog_waits_for_scheduled_injections() {
-        let topo = Mesh::new(4);
-        let pb = RoutingProblem::from_packets(
-            4,
-            "late",
-            vec![mesh_traffic::Packet::injected_at(
-                0,
-                Coord::new(0, 0),
-                Coord::new(1, 0),
-                80,
-            )],
-        );
-        let config = SimConfig {
-            watchdog: Some(10),
-            ..SimConfig::default()
-        };
-        let mut sim = Sim::with_config(&topo, greedy(1), &pb, config);
-        let steps = sim.run(1000).expect("late injection is not a deadlock");
-        assert_eq!(steps, 81);
-    }
-}
-
-#[cfg(test)]
-mod fault_tests {
-    use super::tests::Greedy;
-    use super::*;
-    use crate::router::Dx;
-    use mesh_faults::FaultPlan;
-    use mesh_topo::Mesh;
-    use mesh_traffic::{workloads, RoutingProblem};
-
-    fn greedy(k: u32) -> Dx<Greedy> {
-        Dx::new(Greedy { k })
-    }
-
-    /// An *empty* fault plan must be indistinguishable from no plan at all:
-    /// identical step counts and identical per-packet trajectories.
-    #[test]
-    fn empty_plan_is_exactly_no_plan() {
-        let topo = Mesh::new(8);
-        let pb = workloads::random_permutation(8, 99);
-        let mut plain = Sim::new(&topo, greedy(3), &pb);
-        let mut faulted = Sim::with_faults(
-            &topo,
-            greedy(3),
-            &pb,
-            SimConfig::default(),
-            FaultPlan::none(8).compile(),
-        );
-        let a = plain.run(100_000).unwrap();
-        let b = faulted.run(100_000).unwrap();
-        assert_eq!(a, b);
-        assert_eq!(plain.packet_snapshot(), faulted.packet_snapshot());
-        assert_eq!(plain.report().total_moves, faulted.report().total_moves);
-    }
-
-    /// A down link carries nothing while down; traffic resumes once it
-    /// lifts. One packet, one link on its only path, fault for steps [0, 10).
-    #[test]
-    fn transient_link_fault_delays_crossing() {
-        let topo = Mesh::new(3);
-        let pb = RoutingProblem::from_pairs(3, "cross", [(Coord::new(0, 0), Coord::new(1, 0))]);
-        let faults = FaultPlan::none(3)
-            .link_down(Coord::new(0, 0), Dir::East, 0, Some(10))
-            .compile();
-        let mut sim = Sim::with_faults(&topo, greedy(1), &pb, SimConfig::default(), faults);
-        let steps = sim.run(100).unwrap();
-        // The link is down during steps 0..10 (t0 = 0..=9); the move happens
-        // during t0 = 10, i.e. run completes after 11 steps.
-        assert_eq!(steps, 11);
-    }
-
-    /// A stalled node neither sends nor accepts: neighbors' packets aimed at
-    /// it wait, and its own packets freeze.
-    #[test]
-    fn stalled_node_freezes_traffic_through_it() {
-        let topo = Mesh::new(3);
-        // Packet A crosses the center; packet B starts at the center.
-        let pb = RoutingProblem::from_pairs(
-            3,
-            "through-center",
-            [
-                (Coord::new(0, 1), Coord::new(2, 1)),
-                (Coord::new(1, 1), Coord::new(1, 2)),
-            ],
-        );
-        let faults = FaultPlan::none(3).stall(Coord::new(1, 1), 0, Some(5)).compile();
-        let mut sim = Sim::with_faults(&topo, greedy(2), &pb, SimConfig::default(), faults);
-        for _ in 0..5 {
-            sim.step();
-        }
-        // While stalled: A could not enter the center, and B — whose source
-        // *is* the stalled node — could not even inject.
-        assert_eq!(sim.loc(mesh_traffic::PacketId(0)), Loc::At(Coord::new(0, 1)));
-        assert_eq!(sim.loc(mesh_traffic::PacketId(1)), Loc::Pending);
-        let steps = sim.run(100).unwrap();
-        assert!(sim.done());
-        assert!(steps >= 7, "stall must have cost at least 5 steps, took {steps}");
-    }
-
-    /// Queue degradation clamps *new* acceptance without evicting residents:
-    /// with k=2 degraded by 1, a node holding one packet accepts nothing.
-    #[test]
-    fn degraded_queue_rejects_at_reduced_capacity() {
-        let topo = Mesh::new(3);
-        // B parks at (1,0) (its destination is further, but it is boxed in by
-        // A's passage); simpler: A at (0,0) moving east to (2,0), B resident
-        // at (1,0) headed to (1,2) but stalled by... use a plain check: A
-        // wants to enter (1,0) which already holds B; degraded k=2 -> room 0.
-        let pb = RoutingProblem::from_pairs(
-            3,
-            "degrade",
-            [
-                (Coord::new(0, 0), Coord::new(2, 0)),
-                (Coord::new(1, 0), Coord::new(1, 1)),
-            ],
-        );
-        // Stall B's node? No: degrade (1,0) by one slot for the whole run and
-        // ALSO make B immobile by downing its only profitable link. Then A
-        // can never pass through (1,0) while degradation holds.
-        let faults = FaultPlan::none(3)
-            .degrade(Coord::new(1, 0), 1, 0, Some(20))
-            .link_down(Coord::new(1, 0), Dir::North, 0, Some(20))
-            .compile();
-        let mut sim = Sim::with_faults(&topo, greedy(2), &pb, SimConfig::default(), faults);
-        for _ in 0..20 {
-            sim.step();
-        }
-        // Throughout the fault window, A never entered (1,0): k=2 minus one
-        // degraded slot leaves room 1, fully used by resident B.
-        assert_eq!(sim.loc(mesh_traffic::PacketId(0)), Loc::At(Coord::new(0, 0)));
-        // After the faults lift everything drains.
-        sim.run(100).unwrap();
-        assert!(sim.done());
-    }
-
-    /// Deliveries are exempt from degradation: a packet arriving *at its
-    /// destination* consumes no queue slot and must not be clamped.
-    #[test]
-    fn degradation_does_not_block_delivery() {
-        let topo = Mesh::new(2);
-        let pb = RoutingProblem::from_pairs(2, "deliver", [(Coord::new(0, 0), Coord::new(1, 0))]);
-        // Degrade the destination to zero effective capacity.
-        let faults = FaultPlan::none(2).degrade(Coord::new(1, 0), 1, 0, None).compile();
-        let mut sim =
-            Sim::with_faults(&topo, greedy(1), &pb, SimConfig::default(), faults);
-        assert_eq!(sim.run(10).unwrap(), 1);
-    }
-
-    /// A permanent link fault on the only profitable path, plus the watchdog:
-    /// the run must end in `Deadlock` carrying the fault in its snapshot —
-    /// not a panic, not a step-cap timeout.
-    #[test]
-    fn permanent_fault_is_reported_as_deadlock_with_fault_context() {
-        let topo = Mesh::new(3);
-        let pb = RoutingProblem::from_pairs(3, "blocked", [(Coord::new(0, 0), Coord::new(2, 0))]);
-        let faults = FaultPlan::none(3)
-            .link_down(Coord::new(0, 0), Dir::East, 0, None)
-            .compile();
-        let config = SimConfig {
-            watchdog: Some(30),
-            ..SimConfig::default()
-        };
-        let mut sim = Sim::with_faults(&topo, greedy(1), &pb, config, faults);
-        let err = sim.run(100_000).unwrap_err();
-        assert!(matches!(err, SimError::Deadlock(_)), "got {err}");
-        let snap = err.snapshot();
-        assert_eq!(snap.active_faults.len(), 1);
-        assert_eq!(snap.stuck.len(), 1);
-        assert!(err.to_string().contains("link (0,0)-E down"), "got {err}");
-    }
-
-    /// The watchdog holds off while a *transient* fault might still lift,
-    /// then the run completes normally.
-    #[test]
-    fn watchdog_waits_out_transient_faults() {
-        let topo = Mesh::new(3);
-        let pb = RoutingProblem::from_pairs(3, "patience", [(Coord::new(0, 0), Coord::new(1, 0))]);
-        let faults = FaultPlan::none(3)
-            .link_down(Coord::new(0, 0), Dir::East, 0, Some(200))
-            .compile();
-        let config = SimConfig {
-            watchdog: Some(10),
-            ..SimConfig::default()
-        };
-        let mut sim = Sim::with_faults(&topo, greedy(1), &pb, config, faults);
-        let steps = sim.run(1000).expect("fault lifts; not a deadlock");
-        assert_eq!(steps, 201);
-    }
-
-    /// A node stalled from step 0 does not inject its static packet until
-    /// the stall lifts.
-    #[test]
-    fn stall_at_step_zero_blocks_injection() {
-        let topo = Mesh::new(3);
-        let pb = RoutingProblem::from_pairs(3, "held", [(Coord::new(0, 0), Coord::new(1, 0))]);
-        let faults = FaultPlan::none(3).stall(Coord::new(0, 0), 0, Some(4)).compile();
-        let mut sim = Sim::with_faults(&topo, greedy(1), &pb, SimConfig::default(), faults);
-        assert_eq!(sim.loc(mesh_traffic::PacketId(0)), Loc::Pending);
-        let steps = sim.run(100).unwrap();
-        assert!(steps >= 5, "stall held injection, took {steps}");
-        assert!(sim.done());
-    }
-}
-
-#[cfg(test)]
-mod stats_tests {
-    use super::*;
-    use crate::router::Dx;
-    use mesh_topo::Mesh;
-
-    #[test]
-    fn stats_accessors_are_consistent() {
-        // Reuse the greedy test router defined in `tests`.
-        let topo = Mesh::new(8);
-        let pb = mesh_traffic::workloads::random_permutation(8, 21);
-        let mut sim = Sim::new(&topo, Dx::new(tests::Greedy { k: 64 }), &pb);
-        sim.run(10_000).unwrap();
-        let d = sim.latency_distribution();
-        assert_eq!(d.count, 64);
-        assert!(d.max as u64 <= sim.steps());
-        assert!(d.min >= 1 || pb.packets.iter().any(|p| p.src == p.dst));
-        let map = sim.congestion_map();
-        assert_eq!(map.values.len(), 64);
-        assert_eq!(
-            map.values.iter().copied().max().unwrap(),
-            sim.report().max_node_load
-        );
-        let curve = sim.delivery_curve();
-        assert_eq!(curve.per_step.iter().map(|&c| c as usize).sum::<usize>(), 64);
-        assert_eq!(
-            curve.completion_step(64, 1.0),
-            Some(sim.report().max_latency)
-        );
-    }
-}
-
-#[cfg(test)]
-mod conservation_tests {
-    use super::*;
-    use crate::router::Dx;
-    use mesh_topo::{Mesh, Topology};
-    use mesh_traffic::workloads;
-
-    /// Packet conservation: at every step, delivered + in-network + pending
-    /// partitions the packet set, and queue contents are globally consistent
-    /// with per-packet locations.
-    #[test]
-    fn packets_are_conserved_every_step() {
-        let topo = Mesh::new(12);
-        let pb = workloads::dynamic_bernoulli(12, 0.05, 40, 3);
-        let mut sim = Sim::new(&topo, Dx::new(super::tests::Greedy { k: 3 }), &pb);
-        for _ in 0..600 {
-            let done = sim.step();
-            let mut delivered = 0;
-            let mut in_network = 0;
-            let mut pending = 0;
-            let mut lost = 0;
-            for i in 0..sim.num_packets() {
-                match sim.loc(mesh_traffic::PacketId(i as u32)) {
-                    Loc::Delivered => delivered += 1,
-                    Loc::At(c) => {
-                        in_network += 1;
-                        // The node's queues must actually contain it.
-                        assert!(
-                            sim.packets_at(c).contains(&mesh_traffic::PacketId(i as u32)),
-                            "packet {i} location desynchronized"
-                        );
-                    }
-                    Loc::Pending => pending += 1,
-                    Loc::Lost => lost += 1,
-                }
-            }
-            assert_eq!(delivered + in_network + pending + lost, sim.num_packets());
-            assert_eq!(delivered, sim.delivered());
-            assert_eq!(lost, sim.lost());
-            assert_eq!(lost, 0, "no lossy faults in this plan");
-            // And the reverse: every queued id maps back to that node.
-            for c in topo.coords() {
-                for p in sim.packets_at(c) {
-                    assert_eq!(sim.loc(p), Loc::At(c));
-                }
-            }
-            if done {
-                break;
-            }
-        }
-        assert!(sim.done(), "dynamic traffic should drain");
-    }
-
-    /// Moves are monotone: total_moves never decreases and increases by at
-    /// most one per directed link per step (4·n² absolute cap).
-    #[test]
-    fn move_accounting_is_bounded_per_step() {
-        let topo = Mesh::new(10);
-        let pb = workloads::random_permutation(10, 5);
-        let mut sim = Sim::new(&topo, Dx::new(super::tests::Greedy { k: 100 }), &pb);
-        let mut last = 0;
-        while !sim.step() {
-            let now = sim.report().total_moves;
-            assert!(now >= last);
-            assert!(now - last <= 4 * 100, "more moves than links in a step");
-            last = now;
-            assert!(
-                sim.steps() <= 10_000,
-                "did not finish within 10000 steps: {}",
-                sim.diagnostics()
-            );
-        }
-    }
-}
-
-#[cfg(test)]
-mod chaos_tests {
-    //! Fuzzing the engine with a "chaos router": a deterministic but
-    //! arbitrary-looking destination-exchangeable policy (decisions from a
-    //! hash of step/node/packet data). Whatever the policy does, the engine
-    //! must uphold the model: one packet per link, capacity bounds, packet
-    //! conservation, minimality of scheduled moves.
-
-    use super::*;
-    use crate::queue::QueueArch;
-    use crate::router::{Dx, DxRouter};
-    use crate::view::DxView;
-    use mesh_topo::{Mesh, ALL_DIRS};
-    use mesh_traffic::workloads;
-
-    struct Chaos {
-        seed: u64,
-        k: u32,
-    }
-
-    fn hash(mut x: u64) -> u64 {
-        // splitmix64
-        x = x.wrapping_add(0x9E3779B97F4A7C15);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
-        x ^ (x >> 31)
-    }
-
-    impl DxRouter for Chaos {
-        type NodeState = u64;
-
-        fn name(&self) -> String {
-            format!("chaos({})", self.seed)
-        }
-
-        fn queue_arch(&self) -> QueueArch {
-            QueueArch::Central { k: self.k }
-        }
-
-        fn outqueue(
-            &self,
-            step: u64,
-            node: Coord,
-            state: &mut u64,
-            pkts: &[DxView],
-            out: &mut [Option<usize>; 4],
-        ) {
-            *state = hash(*state ^ step);
-            for (i, p) in pkts.iter().enumerate() {
-                let dirs: Vec<_> = p.profitable.iter().collect();
-                if dirs.is_empty() {
-                    continue;
-                }
-                let h = hash(self.seed ^ step ^ ((node.x as u64) << 32) ^ node.y as u64 ^ p.id.0 as u64);
-                // Sometimes refuse to schedule at all.
-                if h.is_multiple_of(5) {
-                    continue;
-                }
-                let d = dirs[(h as usize / 7) % dirs.len()];
-                if out[d.index()].is_none() {
-                    out[d.index()] = Some(i);
-                }
-            }
-        }
-
-        fn inqueue(
-            &self,
-            step: u64,
-            node: Coord,
-            _state: &mut u64,
-            residents: &[DxView],
-            arrivals: &[crate::view::Arrival<DxView>],
-            accept: &mut [bool],
-        ) {
-            let mut room = (self.k as usize).saturating_sub(residents.len());
-            for (i, a) in arrivals.iter().enumerate() {
-                let h = hash(self.seed ^ step ^ node.x as u64 ^ ((node.y as u64) << 16) ^ a.view.id.0 as u64);
-                if room > 0 && !h.is_multiple_of(3) {
-                    accept[i] = true;
-                    room -= 1;
-                }
-            }
-        }
-
-        fn end_of_step(
-            &self,
-            step: u64,
-            _node: Coord,
-            _state: &mut u64,
-            _residents: &[DxView],
-            states: &mut [u64],
-        ) {
-            for s in states.iter_mut() {
-                *s = hash(*s ^ step);
-            }
-        }
-    }
-
-    #[test]
-    fn engine_invariants_hold_under_arbitrary_policies() {
-        for seed in 0..8u64 {
-            for k in [1u32, 2, 5] {
-                let topo = Mesh::new(9);
-                let pb = workloads::random_partial_permutation(9, 0.6, seed);
-                let mut sim = Sim::new(&topo, Dx::new(Chaos { seed, k }), &pb);
-                // Chaos may never finish; run a bounded window. The engine's
-                // internal validation (capacity, minimality, one packet per
-                // link) panics on any violation.
-                let _ = sim.run(600);
-                let r = sim.report();
-                assert!(r.max_queue <= k, "seed={seed} k={k}");
-                assert!(r.delivered <= r.total_packets);
-                // Moves of delivered packets are exactly their distances
-                // (minimal moves only) — undelivered ones are en route, so
-                // total moves never exceeds total work.
-                assert!(r.total_moves <= pb.total_work());
-            }
-        }
-    }
-
-    #[test]
-    fn chaos_runs_are_reproducible() {
-        let topo = Mesh::new(9);
-        let pb = workloads::random_partial_permutation(9, 0.5, 3);
-        let run = |seed| {
-            let mut sim = Sim::new(&topo, Dx::new(Chaos { seed, k: 2 }), &pb);
-            let _ = sim.run(400);
-            sim.packet_snapshot()
-        };
-        assert_eq!(run(7), run(7));
-        assert_ne!(run(7), run(8), "different chaos seeds should diverge");
-    }
-
-    #[test]
-    fn chaos_respects_link_exclusivity() {
-        // Count arrivals per (node, from) per step via a hook: at most one.
-        let topo = Mesh::new(9);
-        let pb = workloads::random_partial_permutation(9, 0.8, 11);
-        let mut sim = Sim::new(&topo, Dx::new(Chaos { seed: 5, k: 3 }), &pb);
-        let mut hook = |ctx: &mut crate::hook::HookCtx<'_>| {
-            let mut seen = std::collections::HashSet::new();
-            for m in ctx.moves {
-                assert!(
-                    seen.insert((m.from, m.travel)),
-                    "two packets scheduled on one link"
-                );
-                for d in ALL_DIRS {
-                    let _ = d;
-                }
-            }
-        };
-        let _ = sim.run_with_hook(400, &mut hook);
-    }
-}
-
-#[cfg(test)]
-mod loss_and_protocol_tests {
-    //! Lossy links, runtime spawning, and the protocol driving loop.
-
-    use super::*;
-    use crate::protocol::{ProtocolControl, ProtocolHook, StepEvents};
-    use crate::router::Dx;
-    use mesh_faults::FaultPlan;
-    use mesh_topo::Mesh;
-    use mesh_traffic::RoutingProblem;
-
-    fn one_packet(n: u32, src: Coord, dst: Coord) -> RoutingProblem {
-        RoutingProblem::from_pairs(n, "one", [(src, dst)])
-    }
-
-    #[test]
-    fn lossy_link_destroys_the_packet_in_flight() {
-        let topo = Mesh::new(4);
-        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 0));
-        let faults = FaultPlan::none(4)
-            .lossy(Coord::new(1, 0), Dir::East, 0, None)
-            .compile();
-        let mut sim = Sim::with_faults(
-            &topo,
-            Dx::new(tests::Greedy { k: 4 }),
-            &pb,
-            SimConfig {
-                watchdog: Some(8),
-                ..SimConfig::default()
-            },
-            faults,
-        );
-        // Step 1: (0,0) -> (1,0). Step 2: transmitted over the lossy link,
-        // destroyed.
-        assert!(!sim.step());
-        assert_eq!(sim.loc(PacketId(0)), Loc::At(Coord::new(1, 0)));
-        assert!(!sim.step());
-        assert_eq!(sim.loc(PacketId(0)), Loc::Lost);
-        assert_eq!(sim.lost(), 1);
-        assert_eq!(sim.last_step_losses(), &[PacketId(0)]);
-        assert_eq!(sim.packet_hops()[0], 2, "the fatal hop counts");
-        assert_eq!(sim.report().total_moves, 2);
-        assert!(sim.packets_at(Coord::new(1, 0)).is_empty());
-        // The run can never finish; the watchdog reports the wedge and the
-        // diagnostics account for the loss.
-        let err = sim.run(1_000).unwrap_err();
-        let snap = err.snapshot();
-        assert_eq!(snap.lost, 1);
-        assert_eq!(snap.pending, 0);
-        assert!(snap.stuck.is_empty());
-        assert!(err.to_string().contains("1 lost to faulty links"), "{err}");
-    }
-
-    #[test]
-    fn loss_interval_boundaries_are_respected() {
-        // The same route, but the loss interval ends before the packet
-        // reaches the link: it crosses unharmed.
-        let topo = Mesh::new(4);
-        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 0));
-        let faults = FaultPlan::none(4)
-            .lossy(Coord::new(1, 0), Dir::East, 0, Some(1))
-            .compile();
-        let mut sim = Sim::with_faults(
-            &topo,
-            Dx::new(tests::Greedy { k: 4 }),
-            &pb,
-            SimConfig::default(),
-            faults,
-        );
-        assert_eq!(sim.run(100).unwrap(), 3);
-        assert_eq!(sim.lost(), 0);
-    }
-
-    #[test]
-    fn down_takes_precedence_over_lossy_on_the_same_link() {
-        // A link both down and lossy blocks the move (packet survives at
-        // its sender) rather than eating the packet.
-        let topo = Mesh::new(4);
-        let pb = one_packet(4, Coord::new(0, 0), Coord::new(2, 0));
-        let faults = FaultPlan::none(4)
-            .link_down(Coord::new(1, 0), Dir::East, 0, Some(5))
-            .lossy(Coord::new(1, 0), Dir::East, 0, Some(5))
-            .compile();
-        let mut sim = Sim::with_faults(
-            &topo,
-            Dx::new(tests::Greedy { k: 4 }),
-            &pb,
-            SimConfig::default(),
-            faults,
-        );
-        for _ in 0..4 {
-            sim.step();
-        }
-        assert_eq!(sim.loc(PacketId(0)), Loc::At(Coord::new(1, 0)));
-        assert_eq!(sim.lost(), 0);
-        assert!(sim.run(100).is_ok(), "delivers after the fault lifts");
-    }
-
-    #[test]
-    fn spawn_injects_like_any_other_packet() {
-        let topo = Mesh::new(4);
-        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 3));
-        let mut sim = Sim::new(&topo, Dx::new(tests::Greedy { k: 4 }), &pb);
-        sim.step();
-        let id = sim.spawn(Coord::new(3, 0), Coord::new(0, 0), sim.steps());
-        assert_eq!(id, PacketId(1));
-        assert_eq!(sim.num_packets(), 2);
-        assert_eq!(sim.loc(id), Loc::Pending);
-        sim.run(100).unwrap();
-        assert!(sim.done());
-        assert_eq!(sim.delivered(), 2);
-        assert!(sim.delivered_step(id).unwrap() >= 2);
-        // Deliveries surfaced through the per-step events as they happened.
-        assert_eq!(sim.last_step_deliveries().len(), 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "spawn at step")]
-    fn spawn_rejects_past_injection_times() {
-        let topo = Mesh::new(4);
-        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 3));
-        let mut sim = Sim::new(&topo, Dx::new(tests::Greedy { k: 4 }), &pb);
-        sim.step();
-        sim.spawn(Coord::new(0, 0), Coord::new(1, 1), 0);
-    }
-
-    #[test]
-    fn deferred_injections_are_counted() {
-        // k = 1 and three same-source packets: two wait outside the network
-        // on the first step.
-        let n = 4;
-        let topo = Mesh::new(n);
-        let s = Coord::new(0, 0);
-        let pb = RoutingProblem::from_pairs(
-            n,
-            "burst",
-            [(s, Coord::new(3, 0)), (s, Coord::new(3, 1)), (s, Coord::new(3, 2))],
-        );
-        let mut sim = Sim::new(&topo, Dx::new(tests::Greedy { k: 1 }), &pb);
-        assert_eq!(sim.deferred_injections(), 2, "two deferred at t=0");
-        assert!(!sim.injections_exhausted());
-        sim.run(100).unwrap();
-        assert!(sim.injections_exhausted());
-        assert!(sim.report().deferred_injections >= 2);
-    }
-
-    /// A deliberately minimal transport: resend every lost packet once per
-    /// loss event, succeed when everything (original or resend) arrived.
-    struct Resend {
-        outstanding: usize,
-    }
-
-    impl ProtocolHook for Resend {
-        fn on_step<T: Topology, R: Router>(
-            &mut self,
-            sim: &mut Sim<'_, T, R>,
-            events: &StepEvents,
-        ) -> ProtocolControl {
-            self.outstanding -= events.delivered.len();
-            for &p in &events.lost {
-                let (src, dst) = (sim.src(p), sim.dst(p));
-                sim.spawn(src, dst, events.step);
-            }
-            if self.outstanding == 0 {
-                ProtocolControl::Done
-            } else {
-                ProtocolControl::Continue {
-                    outstanding: self.outstanding,
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn run_with_protocol_recovers_a_lost_packet() {
-        let topo = Mesh::new(4);
-        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 0));
-        // Lossy only during the first crossing; the resend gets through.
-        let faults = FaultPlan::none(4)
-            .lossy(Coord::new(1, 0), Dir::East, 0, Some(2))
-            .compile();
-        let mut sim = Sim::with_faults(
-            &topo,
-            Dx::new(tests::Greedy { k: 4 }),
-            &pb,
-            SimConfig {
-                watchdog: Some(16),
-                ..SimConfig::default()
-            },
-            faults,
-        );
-        let mut proto = Resend { outstanding: 1 };
-        let steps = sim.run_with_protocol(1_000, &mut proto).unwrap();
-        assert_eq!(sim.lost(), 1);
-        assert_eq!(sim.delivered(), 1);
-        assert_eq!(sim.num_packets(), 2, "one original + one resend");
-        assert!(steps > 3, "loss plus resend costs extra steps");
-    }
-
-    #[test]
-    fn run_with_protocol_reports_livelock_when_starved() {
-        // Permanently lossy link on the only minimal path: every resend is
-        // eaten too. The protocol-aware watchdog must flag the wedge (as
-        // delivery starvation) instead of waiting forever on the endless
-        // resend activity.
-        let topo = Mesh::new(4);
-        let pb = one_packet(4, Coord::new(0, 0), Coord::new(3, 0));
-        let faults = FaultPlan::none(4)
-            .lossy(Coord::new(0, 0), Dir::East, 0, None)
-            .compile();
-        let mut sim = Sim::with_faults(
-            &topo,
-            Dx::new(tests::Greedy { k: 4 }),
-            &pb,
-            SimConfig {
-                watchdog: Some(12),
-                ..SimConfig::default()
-            },
-            faults,
-        );
-        let mut proto = Resend { outstanding: 1 };
-        let err = sim.run_with_protocol(10_000, &mut proto).unwrap_err();
-        assert!(matches!(err, SimError::Livelock(_)), "got {err}");
-        assert!(err.snapshot().lost >= 1);
-    }
-}
+};

@@ -219,7 +219,10 @@ mod tests {
     fn summary_empty_and_single() {
         assert_eq!(Summary::of(&[]).count, 0);
         let s = Summary::of_u64([7]);
-        assert_eq!((s.count, s.mean, s.min, s.max, s.stddev), (1, 7.0, 7.0, 7.0, 0.0));
+        assert_eq!(
+            (s.count, s.mean, s.min, s.max, s.stddev),
+            (1, 7.0, 7.0, 7.0, 0.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Flat packet and queue storage: the [`PacketStore`] struct-of-arrays
+//! packet table and the [`NodeGrid`] node-major queue layout.
+//!
+//! Everything the step pipeline reads or writes about packets and queues
+//! lives here, behind named accessors instead of ad-hoc index math. The
+//! grid keeps an incremental per-node **occupancy index** (`load`), so
+//! "how full is this node" — the question the route, rebuild, and
+//! diagnostics paths ask constantly — is O(1), and
+//! [`Sim::packets_at`](crate::sim::Sim::packets_at) answers straight from
+//! the node's own slots without touching the packet table.
+
+use crate::queue::{QueueArch, QueueKind};
+use mesh_topo::{Coord, Dir};
+use mesh_traffic::{PacketId, RoutingProblem};
+use std::collections::{HashMap, VecDeque};
+
+/// Where a packet currently is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Loc {
+    /// Not yet injected (dynamic problems, or waiting for queue space).
+    Pending,
+    /// In some queue of the node at the given coordinate.
+    At(Coord),
+    /// Delivered and removed from the network.
+    Delivered,
+    /// Destroyed by a lossy link: transmitted, never arrived, gone for good.
+    /// Only the reliable-transport layer can recover the payload (by
+    /// spawning a retransmission as a fresh packet).
+    Lost,
+}
+
+/// Sentinel in `delivered_at` for packets still in flight.
+pub(crate) const NOT_DELIVERED: u64 = u64::MAX;
+
+/// The packet table: one struct-of-arrays entry per packet, indexed by
+/// [`PacketId`]. Dense, append-only (protocol layers [`push`](Self::push)
+/// retransmissions at runtime), never reordered.
+pub(crate) struct PacketStore {
+    pub(crate) src: Vec<Coord>,
+    pub(crate) dst: Vec<Coord>,
+    pub(crate) state: Vec<u64>,
+    pub(crate) inject_at: Vec<u64>,
+    pub(crate) loc: Vec<Loc>,
+    pub(crate) queue_of: Vec<QueueKind>,
+    pub(crate) delivered_at: Vec<u64>,
+    pub(crate) hops: Vec<u32>,
+    /// Injection cursor: packet ids sorted by `inject_at` (stable in id for
+    /// ties); `inject_order[inject_cursor..]` is the uninjected tail.
+    pub(crate) inject_order: Vec<PacketId>,
+    pub(crate) inject_cursor: usize,
+}
+
+impl PacketStore {
+    pub(crate) fn new(problem: &RoutingProblem) -> Self {
+        let np = problem.len();
+        let mut store = PacketStore {
+            src: problem.packets.iter().map(|p| p.src).collect(),
+            dst: problem.packets.iter().map(|p| p.dst).collect(),
+            state: problem.packets.iter().map(|p| p.state).collect(),
+            inject_at: problem.packets.iter().map(|p| p.inject_at).collect(),
+            loc: vec![Loc::Pending; np],
+            queue_of: vec![QueueKind::Central; np],
+            delivered_at: vec![NOT_DELIVERED; np],
+            hops: vec![0; np],
+            inject_order: (0..np as u32).map(PacketId).collect(),
+            inject_cursor: 0,
+        };
+        let inject_at = &store.inject_at;
+        store.inject_order.sort_by_key(|p| inject_at[p.index()]);
+        store
+    }
+
+    /// Total packets ever created (original problem plus runtime spawns).
+    pub(crate) fn len(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Appends a fresh packet record, keeping the uninjected tail of
+    /// `inject_order` sorted by `inject_at` (ties resolve in spawn order,
+    /// matching the constructor's stable sort by id). Returns its id.
+    pub(crate) fn push(&mut self, src: Coord, dst: Coord, inject_at: u64) -> PacketId {
+        let id = PacketId(self.src.len() as u32);
+        self.src.push(src);
+        self.dst.push(dst);
+        self.state.push(0);
+        self.inject_at.push(inject_at);
+        self.loc.push(Loc::Pending);
+        self.queue_of.push(QueueKind::Central);
+        self.delivered_at.push(NOT_DELIVERED);
+        self.hops.push(0);
+        let inject_at_of = &self.inject_at;
+        let tail = &self.inject_order[self.inject_cursor..];
+        let at =
+            self.inject_cursor + tail.partition_point(|p| inject_at_of[p.index()] <= inject_at);
+        self.inject_order.insert(at, id);
+        id
+    }
+
+    /// True when every scheduled injection has been staged (packets may
+    /// still wait in per-node pending queues — see
+    /// [`NodeGrid::has_pending`]).
+    pub(crate) fn cursor_exhausted(&self) -> bool {
+        self.inject_cursor >= self.inject_order.len()
+    }
+}
+
+/// Per-node queue storage in a flat node-major, slot-minor layout
+/// (`queues[ni * slots + slot]`), plus the staging and bookkeeping the
+/// step pipeline needs per node: pending (admission-controlled)
+/// injections, the active-node worklist, the O(1) occupancy index, and
+/// the peak-load congestion map.
+pub(crate) struct NodeGrid {
+    n: u32,
+    arch: QueueArch,
+    slots: usize,
+    queues: Vec<Vec<PacketId>>,
+    /// Occupancy index: packets currently queued at each node, maintained
+    /// incrementally by [`push`](Self::push)/[`remove`](Self::remove).
+    load: Vec<u32>,
+    /// Packets staged for injection at a node, held outside the network by
+    /// admission control until the origin queue has room.
+    pub(crate) pending: HashMap<u32, VecDeque<PacketId>>,
+    /// Worklist of nodes that may hold or receive packets this step.
+    active: Vec<u32>,
+    in_active: Vec<bool>,
+    /// Per-node all-time peak occupancy (congestion map).
+    pub(crate) peak_load: Vec<u16>,
+}
+
+impl NodeGrid {
+    pub(crate) fn new(n: u32, arch: QueueArch) -> Self {
+        let nodes = (n * n) as usize;
+        let slots = arch.num_slots();
+        NodeGrid {
+            n,
+            arch,
+            slots,
+            queues: (0..nodes * slots).map(|_| Vec::new()).collect(),
+            load: vec![0; nodes],
+            pending: HashMap::new(),
+            active: Vec::new(),
+            in_active: vec![false; nodes],
+            peak_load: vec![0; nodes],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn n(&self) -> u32 {
+        self.n
+    }
+
+    #[inline]
+    pub(crate) fn arch(&self) -> QueueArch {
+        self.arch
+    }
+
+    #[inline]
+    pub(crate) fn slots(&self) -> usize {
+        self.slots
+    }
+
+    #[inline]
+    pub(crate) fn nodes(&self) -> usize {
+        (self.n * self.n) as usize
+    }
+
+    #[inline]
+    pub(crate) fn node_index(&self, c: Coord) -> usize {
+        (c.y * self.n + c.x) as usize
+    }
+
+    #[inline]
+    pub(crate) fn coord_of(&self, ni: usize) -> Coord {
+        Coord::new(ni as u32 % self.n, ni as u32 / self.n)
+    }
+
+    /// The [`QueueKind`] stored at a slot index under this architecture —
+    /// the single source of the slot↔kind mapping.
+    #[inline]
+    pub(crate) fn slot_kind(&self, slot: usize) -> QueueKind {
+        match (self.arch, slot) {
+            (QueueArch::Central { .. }, _) => QueueKind::Central,
+            (QueueArch::PerInlink { .. }, 4) => QueueKind::Injection,
+            (QueueArch::PerInlink { .. }, s) => QueueKind::Inlink(Dir::from_index(s)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn queue(&self, ni: usize, slot: usize) -> &[PacketId] {
+        &self.queues[ni * self.slots + slot]
+    }
+
+    #[inline]
+    pub(crate) fn queue_len(&self, ni: usize, slot: usize) -> usize {
+        self.queues[ni * self.slots + slot].len()
+    }
+
+    /// Appends a packet to a node's queue, updating the occupancy index.
+    pub(crate) fn push(&mut self, c: Coord, kind: QueueKind, pid: PacketId) {
+        let ni = self.node_index(c);
+        self.queues[ni * self.slots + kind.slot()].push(pid);
+        self.load[ni] += 1;
+    }
+
+    /// Removes a packet from a node's queue (position scan — queues are
+    /// short by construction), updating the occupancy index. Panics with
+    /// `what` if the packet is not there: that is an engine bug, not a
+    /// runtime condition.
+    pub(crate) fn remove(&mut self, c: Coord, kind: QueueKind, pid: PacketId, what: &str) {
+        let ni = self.node_index(c);
+        let q = &mut self.queues[ni * self.slots + kind.slot()];
+        let pos = q.iter().position(|&p| p == pid).expect(what);
+        q.remove(pos);
+        self.load[ni] -= 1;
+    }
+
+    /// Total packets currently in the node's queues (excluding pending) —
+    /// O(1) from the occupancy index.
+    #[inline]
+    pub(crate) fn node_load(&self, ni: usize) -> u32 {
+        self.load[ni]
+    }
+
+    /// The packets currently at a node, over all queues in slot order —
+    /// answered from the node's own slots, no packet-table scan, no
+    /// allocation.
+    pub(crate) fn packets_at(&self, c: Coord) -> impl Iterator<Item = PacketId> + '_ {
+        let ni = self.node_index(c);
+        (0..self.slots).flat_map(move |s| self.queues[ni * self.slots + s].iter().copied())
+    }
+
+    pub(crate) fn mark_active(&mut self, ni: usize) {
+        if !self.in_active[ni] {
+            self.in_active[ni] = true;
+            self.active.push(ni as u32);
+        }
+    }
+
+    /// Moves the active worklist into `out` (clearing membership flags),
+    /// leaving the grid's list empty for the step to rebuild.
+    pub(crate) fn drain_active_into(&mut self, out: &mut Vec<u32>) {
+        out.clear();
+        std::mem::swap(&mut self.active, out);
+        for &ni in out.iter() {
+            self.in_active[ni as usize] = false;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    #[inline]
+    pub(crate) fn active_at(&self, idx: usize) -> usize {
+        self.active[idx] as usize
+    }
+
+    /// Pops the next pending (admission-deferred) packet of a node,
+    /// dropping the node's entry once drained. `None` means nothing is
+    /// staged there.
+    pub(crate) fn pop_pending(&mut self, ni: u32) -> Option<PacketId> {
+        let q = self.pending.get_mut(&ni)?;
+        match q.pop_front() {
+            Some(pid) => {
+                if q.is_empty() {
+                    self.pending.remove(&ni);
+                }
+                Some(pid)
+            }
+            None => {
+                self.pending.remove(&ni);
+                None
+            }
+        }
+    }
+
+    #[inline]
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Records a node's end-of-step load into the congestion map.
+    #[inline]
+    pub(crate) fn note_peak(&mut self, ni: usize, load: u16) {
+        if load > self.peak_load[ni] {
+            self.peak_load[ni] = load;
+        }
+    }
+}

@@ -64,4 +64,3 @@ pub struct Arrival<V> {
     /// side of the accepting node).
     pub travel: Dir,
 }
-

@@ -1,0 +1,93 @@
+//! The no-progress watchdog: one rule set, three arming modes.
+//!
+//! Every run driver observes steps through [`Timers`] and asks
+//! [`check`] after each one. What differs between drivers is only *when*
+//! the watchdog may speak — captured by [`WatchdogMode`]:
+//!
+//! - [`Standard`](WatchdogMode::Standard) (plain/hook runs): armed once
+//!   the injection cursor is exhausted; a quiet window is a deadlock, a
+//!   delivery-free window with activity is a livelock.
+//! - [`DeliveryStarvation`](WatchdogMode::DeliveryStarvation) (protocol
+//!   runs with payloads outstanding): retransmissions generate activity
+//!   forever, so only delivery starvation counts — as a livelock.
+//! - [`ActivityStarvation`](WatchdogMode::ActivityStarvation) (protocol
+//!   runs with nothing outstanding): armed once every injection —
+//!   including admission-deferred ones — is in; a quiet window is a
+//!   deadlock.
+//!
+//! All modes measure windows from `max(timer, settle)` where `settle` is
+//! the last *transient* fault transition: the watchdog never declares a
+//! wedge while an external change could still unblock the network.
+
+use crate::router::Router;
+use crate::sim::{Sim, SimError};
+use mesh_topo::Topology;
+
+/// Last-progress stamps (1-based step numbers; 0 = never).
+#[derive(Default)]
+pub(crate) struct Timers {
+    /// Last step with any activity: an accepted move, an injection, or a
+    /// delivery.
+    pub(crate) last_activity: u64,
+    /// Last step that delivered a packet.
+    pub(crate) last_delivery: u64,
+}
+
+impl Timers {
+    /// Records the just-finished step `step`.
+    pub(crate) fn note(&mut self, step: u64, activity: bool, delivery: bool) {
+        if activity {
+            self.last_activity = step;
+        }
+        if delivery {
+            self.last_delivery = step;
+        }
+    }
+}
+
+/// When the watchdog is allowed to declare a wedge (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WatchdogMode {
+    Standard,
+    DeliveryStarvation,
+    ActivityStarvation,
+}
+
+/// Applies the configured watchdog (if any) after a step, under `mode`.
+pub(crate) fn check<T: Topology, R: Router>(
+    sim: &Sim<'_, T, R>,
+    mode: WatchdogMode,
+    settle: u64,
+) -> Result<(), SimError> {
+    let Some(w) = sim.config.watchdog else {
+        return Ok(());
+    };
+    let steps = sim.steps();
+    let timers = &sim.timers;
+    let no_activity = steps.saturating_sub(timers.last_activity.max(settle)) >= w;
+    let no_delivery = steps.saturating_sub(timers.last_delivery.max(settle)) >= w;
+    match mode {
+        WatchdogMode::Standard => {
+            if !sim.store.cursor_exhausted() {
+                return Ok(());
+            }
+            if no_activity {
+                return Err(SimError::Deadlock(sim.diagnostics()));
+            }
+            if no_delivery {
+                return Err(SimError::Livelock(sim.diagnostics()));
+            }
+        }
+        WatchdogMode::DeliveryStarvation => {
+            if no_delivery {
+                return Err(SimError::Livelock(sim.diagnostics()));
+            }
+        }
+        WatchdogMode::ActivityStarvation => {
+            if sim.injections_exhausted() && no_activity {
+                return Err(SimError::Deadlock(sim.diagnostics()));
+            }
+        }
+    }
+    Ok(())
+}

@@ -11,7 +11,13 @@ use std::collections::HashMap;
 /// `u64::MAX` encodes "forever".
 type Intervals = Vec<(u64, u64, u32)>;
 
-fn push_interval(map: &mut HashMap<u32, Intervals>, key: u32, from: u64, until: Option<u64>, load: u32) {
+fn push_interval(
+    map: &mut HashMap<u32, Intervals>,
+    key: u32,
+    from: u64,
+    until: Option<u64>,
+    load: u32,
+) {
     map.entry(key)
         .or_default()
         .push((from, until.unwrap_or(u64::MAX), load));
@@ -136,7 +142,10 @@ impl CompiledFaults {
     #[inline]
     pub fn link_down(&self, step: u64, node: Coord, dir: Dir) -> bool {
         !self.empty
-            && active_load(self.links.get(&(Link::new(node, dir).index(self.n) as u32)), step) > 0
+            && active_load(
+                self.links.get(&(Link::new(node, dir).index(self.n) as u32)),
+                step,
+            ) > 0
     }
 
     /// Is `node` stalled at `step`?
@@ -160,7 +169,11 @@ impl CompiledFaults {
     pub fn link_lossy(&self, step: u64, node: Coord, dir: Dir) -> bool {
         !self.empty
             && !self.losses.is_empty()
-            && active_load(self.losses.get(&(Link::new(node, dir).index(self.n) as u32)), step) > 0
+            && active_load(
+                self.losses
+                    .get(&(Link::new(node, dir).index(self.n) as u32)),
+                step,
+            ) > 0
     }
 
     /// True when the plan contains no lossy links at all — lets the engine
@@ -178,7 +191,10 @@ impl CompiledFaults {
         link_keys.sort_unstable();
         for key in link_keys {
             if active_load(self.links.get(&key), step) > 0 {
-                out.push(ActiveFault::LinkDown(Link::from_index(key as usize, self.n)));
+                out.push(ActiveFault::LinkDown(Link::from_index(
+                    key as usize,
+                    self.n,
+                )));
             }
         }
         let coord = |key: u32| Coord::new(key % self.n, key / self.n);
@@ -204,7 +220,10 @@ impl CompiledFaults {
         loss_keys.sort_unstable();
         for key in loss_keys {
             if active_load(self.losses.get(&key), step) > 0 {
-                out.push(ActiveFault::LinkLossy(Link::from_index(key as usize, self.n)));
+                out.push(ActiveFault::LinkLossy(Link::from_index(
+                    key as usize,
+                    self.n,
+                )));
             }
         }
         out
@@ -230,7 +249,9 @@ mod tests {
 
     #[test]
     fn forever_faults_never_lift() {
-        let c = FaultPlan::none(4).stall(Coord::new(2, 2), 5, None).compile();
+        let c = FaultPlan::none(4)
+            .stall(Coord::new(2, 2), 5, None)
+            .compile();
         assert!(!c.node_stalled(4, Coord::new(2, 2)));
         assert!(c.node_stalled(u64::MAX - 1, Coord::new(2, 2)));
     }
@@ -274,7 +295,10 @@ mod tests {
         assert!(!c.link_down(15, node, Dir::East), "lossy is not down");
         assert_eq!(c.last_transition(), 20);
         let at15 = c.active_at(15);
-        assert_eq!(at15, vec![ActiveFault::LinkLossy(Link::new(node, Dir::East))]);
+        assert_eq!(
+            at15,
+            vec![ActiveFault::LinkLossy(Link::new(node, Dir::East))]
+        );
         assert_eq!(at15[0].to_string(), "link (1,1)-E lossy");
     }
 

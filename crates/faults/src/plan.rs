@@ -265,12 +265,20 @@ impl FaultPlan {
     /// degradations (a no-op that almost certainly meant `slots >= 1`).
     pub fn validate(&self) -> Result<(), FaultPlanError> {
         let check_interval = |what: &'static str, from: u64, until: Option<u64>| match until {
-            Some(u) if u <= from => Err(FaultPlanError::EmptyInterval { what, from, until: u }),
+            Some(u) if u <= from => Err(FaultPlanError::EmptyInterval {
+                what,
+                from,
+                until: u,
+            }),
             _ => Ok(()),
         };
         let check_node = |what: &'static str, node: Coord| {
             if node.x >= self.n || node.y >= self.n {
-                Err(FaultPlanError::OutOfBounds { what, node, n: self.n })
+                Err(FaultPlanError::OutOfBounds {
+                    what,
+                    node,
+                    n: self.n,
+                })
             } else {
                 Ok(())
             }
@@ -408,10 +416,17 @@ mod tests {
         let p = FaultPlan::none(8).link_down(Coord::new(1, 1), Dir::East, 10, Some(10));
         assert!(matches!(
             p.validate(),
-            Err(FaultPlanError::EmptyInterval { what: "link-down", from: 10, until: 10 })
+            Err(FaultPlanError::EmptyInterval {
+                what: "link-down",
+                from: 10,
+                until: 10
+            })
         ));
         let p = FaultPlan::none(8).stall(Coord::new(0, 0), 20, Some(5));
-        assert!(matches!(p.validate(), Err(FaultPlanError::EmptyInterval { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::EmptyInterval { .. })
+        ));
         assert!(p.try_compile().is_err());
     }
 
@@ -438,10 +453,16 @@ mod tests {
     fn validate_rejects_out_of_grid_faults() {
         // Node outside the grid.
         let p = FaultPlan::none(4).stall(Coord::new(7, 0), 0, None);
-        assert!(matches!(p.validate(), Err(FaultPlanError::OutOfBounds { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::OutOfBounds { .. })
+        ));
         // Link pointing off the grid edge can never carry anything.
         let p = FaultPlan::none(4).link_down(Coord::new(3, 0), Dir::East, 0, None);
-        assert!(matches!(p.validate(), Err(FaultPlanError::OutOfBounds { .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(FaultPlanError::OutOfBounds { .. })
+        ));
         // Zero-slot degradation is a silent no-op: reject.
         let p = FaultPlan::none(4).degrade(Coord::new(1, 1), 0, 0, Some(5));
         assert!(matches!(

@@ -117,7 +117,9 @@ mod tests {
         };
         assert_eq!(a, b, "same seed, same schedule");
         for (i, d) in a.iter().enumerate() {
-            let det = p.delay((i as u32) % 7, &mut StdRng::seed_from_u64(0)).min(32);
+            let det = p
+                .delay((i as u32) % 7, &mut StdRng::seed_from_u64(0))
+                .min(32);
             // Jitter only ever adds, and at most `jitter`.
             assert!(*d >= det.min(4) && *d <= 32 + 3, "delay {d} out of range");
         }

@@ -131,8 +131,7 @@ impl Transport {
                 }
             })
             .collect();
-        let mut release_order: Vec<PayloadId> =
-            (0..payloads.len() as u32).map(PayloadId).collect();
+        let mut release_order: Vec<PayloadId> = (0..payloads.len() as u32).map(PayloadId).collect();
         release_order.sort_by_key(|&y| (payloads[y.index()].release, y));
         let meta = (0..payloads.len() as u32)
             .map(|i| PacketMeta::Data(PayloadId(i)))
@@ -391,11 +390,7 @@ mod tests {
     fn transient_lossy_link_is_recovered_by_retransmission() {
         let n = 4;
         let topo = Mesh::new(n);
-        let pb = RoutingProblem::from_pairs(
-            n,
-            "one",
-            [(Coord::new(0, 0), Coord::new(3, 0))],
-        );
+        let pb = RoutingProblem::from_pairs(n, "one", [(Coord::new(0, 0), Coord::new(3, 0))]);
         // The packet's first crossing of (1,0)→E is eaten; the loss window
         // closes before the retransmission (timeout 8) reaches it.
         let faults = FaultPlan::none(n)
@@ -421,11 +416,7 @@ mod tests {
     fn lost_ack_triggers_duplicate_then_suppression_and_reack() {
         let n = 4;
         let topo = Mesh::new(n);
-        let pb = RoutingProblem::from_pairs(
-            n,
-            "one",
-            [(Coord::new(0, 0), Coord::new(3, 0))],
-        );
+        let pb = RoutingProblem::from_pairs(n, "one", [(Coord::new(0, 0), Coord::new(3, 0))]);
         // Data flows east unharmed; the ACK (westbound over the same cable
         // row) is eaten for a while, forcing a data retransmission whose
         // duplicate delivery re-acks.
@@ -446,7 +437,10 @@ mod tests {
         assert!(rep.exactly_once, "{rep:?}");
         assert_eq!(rep.delivered, 1);
         assert!(rep.acks_lost >= 1, "{rep:?}");
-        assert!(rep.duplicate_deliveries >= 1, "duplicate suppressed: {rep:?}");
+        assert!(
+            rep.duplicate_deliveries >= 1,
+            "duplicate suppressed: {rep:?}"
+        );
         assert!(rep.acks_sent >= 2, "re-ack on duplicate: {rep:?}");
         assert_eq!(rep.acked, 1);
         assert!(rep.duplicate_acks + rep.acks_lost >= rep.acks_sent - 1);
@@ -456,11 +450,7 @@ mod tests {
     fn permanently_lossy_path_is_flagged_as_livelock_not_masked() {
         let n = 4;
         let topo = Mesh::new(n);
-        let pb = RoutingProblem::from_pairs(
-            n,
-            "one",
-            [(Coord::new(0, 0), Coord::new(1, 0))],
-        );
+        let pb = RoutingProblem::from_pairs(n, "one", [(Coord::new(0, 0), Coord::new(1, 0))]);
         // The only profitable link out of the source is permanently lossy:
         // retransmission can generate activity forever but never a delivery.
         // The protocol-aware watchdog must call it a livelock.
@@ -499,7 +489,9 @@ mod tests {
                 faults.clone(),
             );
             let mut tp = Transport::new(&pb, BackoffPolicy::exponential(16, 128, 8), seed);
-            let res = sim.run_with_protocol(100_000, &mut tp).map_err(|e| e.kind());
+            let res = sim
+                .run_with_protocol(100_000, &mut tp)
+                .map_err(|e| e.kind());
             (res, serde_json::to_string(&tp.report(sim.steps())).unwrap())
         };
         let (ra, ja) = run(5);
@@ -525,10 +517,7 @@ mod tests {
             ],
         );
         let tp = Transport::new(&pb, BackoffPolicy::fixed(8), 0);
-        assert_eq!(
-            (tp.payloads[0].src_idx, tp.payloads[0].seq),
-            (0, 0)
-        );
+        assert_eq!((tp.payloads[0].src_idx, tp.payloads[0].seq), (0, 0));
         assert_eq!((tp.payloads[1].src_idx, tp.payloads[1].seq), (1, 0));
         assert_eq!(
             (tp.payloads[2].src_idx, tp.payloads[2].seq),

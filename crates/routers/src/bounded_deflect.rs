@@ -36,7 +36,10 @@ impl BoundedDeflect {
     /// Creates the router (grid side `n` is static configuration, needed to
     /// avoid scheduling deflections off the mesh edge).
     pub fn new(n: u32, k: u32, delta: u8) -> BoundedDeflect {
-        assert!(delta < 16, "deviation budget is stored in 4 bits per direction");
+        assert!(
+            delta < 16,
+            "deviation budget is stored in 4 bits per direction"
+        );
         BoundedDeflect { k, delta, n }
     }
 
@@ -65,7 +68,11 @@ mod packstate {
         (s >> (4 + 4 * d.index())) & 0xF
     }
     pub fn prev_profitable(s: u64) -> DirSet {
-        DirSet::from_dirs(ALL_DIRS.into_iter().filter(|d| (s >> (20 + d.index())) & 1 == 1))
+        DirSet::from_dirs(
+            ALL_DIRS
+                .into_iter()
+                .filter(|d| (s >> (20 + d.index())) & 1 == 1),
+        )
     }
     pub fn prev_pos(s: u64) -> Option<Coord> {
         let key = s >> 24;
@@ -75,13 +82,7 @@ mod packstate {
         let k = key - 1;
         Some(Coord::new((k & 0xF_FFFF) as u32, (k >> 20) as u32))
     }
-    pub fn pack(
-        axis: u64,
-        blocked: u64,
-        used: [u64; 4],
-        profitable: DirSet,
-        pos: Coord,
-    ) -> u64 {
+    pub fn pack(axis: u64, blocked: u64, used: [u64; 4], profitable: DirSet, pos: Coord) -> u64 {
         let mut s = axis & 1;
         s |= blocked.min(0b111) << 1;
         for d in ALL_DIRS {

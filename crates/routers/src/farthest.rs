@@ -173,7 +173,11 @@ mod tests {
         let mut sim = Sim::new(&topo, FarthestFirst::unbounded(n), &pb);
         let steps = sim.run(100 * n as u64).unwrap();
         assert!(steps <= (2 * n + 40) as u64, "took {steps}");
-        assert!(sim.report().max_queue <= 8, "queues grew: {}", sim.report().max_queue);
+        assert!(
+            sim.report().max_queue <= 8,
+            "queues grew: {}",
+            sim.report().max_queue
+        );
     }
 
     #[test]

@@ -75,10 +75,7 @@ impl<R> FaultAware<R> {
         arrival: Arrival<FullView>,
     ) -> Arrival<FullView> {
         let (dx, dy) = arrival.travel.delta();
-        let from = Coord::new(
-            (node.x as i64 - dx) as u32,
-            (node.y as i64 - dy) as u32,
-        );
+        let from = Coord::new((node.x as i64 - dx) as u32, (node.y as i64 - dy) as u32);
         Arrival {
             view: self.mask_at(step, from, arrival.view),
             travel: arrival.travel,
@@ -163,8 +160,7 @@ impl<R: Router> Router for FaultAware<R> {
             }
             let kind = arch.arrival_queue(a.travel);
             if let Some(cap) = arch.capacity(kind) {
-                let len =
-                    residents.iter().filter(|r| r.queue == kind).count() + extra[kind.slot()];
+                let len = residents.iter().filter(|r| r.queue == kind).count() + extra[kind.slot()];
                 if len < cap as usize {
                     extra[kind.slot()] += 1;
                 } else {
@@ -264,14 +260,8 @@ mod tests {
         let mut fault_at = None;
         'search: for y in 0..n {
             for x in 0..n - 1 {
-                let crossing = |src: Coord, dst: Coord| {
-                    src.y == y && src.x <= x && x < dst.x
-                };
-                let crossers = pb
-                    .packets
-                    .iter()
-                    .filter(|p| crossing(p.src, p.dst))
-                    .count();
+                let crossing = |src: Coord, dst: Coord| src.y == y && src.x <= x && x < dst.x;
+                let crossers = pb.packets.iter().filter(|p| crossing(p.src, p.dst)).count();
                 let doomed = pb
                     .packets
                     .iter()

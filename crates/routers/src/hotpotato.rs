@@ -91,10 +91,7 @@ impl DxRouter for HotPotato {
         let mut used = [false; 4];
         let mut pending: Vec<usize> = Vec::new();
         for &i in &transit {
-            let choice = pkts[i]
-                .profitable
-                .iter()
-                .find(|d| !used[d.index()]);
+            let choice = pkts[i].profitable.iter().find(|d| !used[d.index()]);
             match choice {
                 Some(d) => {
                     used[d.index()] = true;

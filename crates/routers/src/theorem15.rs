@@ -164,11 +164,7 @@ mod tests {
             let pb = workloads::transpose(n);
             let r = run(n, k, &pb, 1_000_000);
             let bound = 6 * ((n * n / k) + n) as u64;
-            assert!(
-                r.steps <= bound,
-                "n={n} k={k}: {} > {bound}",
-                r.steps
-            );
+            assert!(r.steps <= bound, "n={n} k={k}: {} > {bound}", r.steps);
         }
     }
 

@@ -129,10 +129,7 @@ mod tests {
         assert_eq!(choices(&v).collect::<Vec<_>>(), vec![Dir::West]);
         // Needs east and north: both allowed (adaptive).
         let v = mk(DirSet::from_dirs([Dir::East, Dir::North]));
-        assert_eq!(
-            choices(&v).collect::<Vec<_>>(),
-            vec![Dir::North, Dir::East]
-        );
+        assert_eq!(choices(&v).collect::<Vec<_>>(), vec![Dir::North, Dir::East]);
     }
 
     #[test]

@@ -282,7 +282,10 @@ mod tests {
     fn dirset_union_intersection() {
         let a = DirSet::from_dirs([Dir::North, Dir::East]);
         let b = DirSet::from_dirs([Dir::East, Dir::South]);
-        assert_eq!(a.union(b), DirSet::from_dirs([Dir::North, Dir::East, Dir::South]));
+        assert_eq!(
+            a.union(b),
+            DirSet::from_dirs([Dir::North, Dir::East, Dir::South])
+        );
         assert_eq!(a.intersection(b), DirSet::single(Dir::East));
     }
 

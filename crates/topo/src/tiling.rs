@@ -87,7 +87,10 @@ pub struct TilingSet {
 impl TilingSet {
     /// Builds the three tilings displaced by `0`, `T/3`, and `2T/3`.
     pub fn new(tile: u32) -> TilingSet {
-        assert!(tile.is_multiple_of(3), "Lemma 19 needs the tile side divisible by 3");
+        assert!(
+            tile.is_multiple_of(3),
+            "Lemma 19 needs the tile side divisible by 3"
+        );
         let third = (tile / 3) as i64;
         TilingSet {
             tilings: [
@@ -142,7 +145,10 @@ mod tests {
                     count[(c.y * n + c.x) as usize] += 1;
                 }
             }
-            assert!(count.iter().all(|&c| c == 1), "offset {off} not a partition");
+            assert!(
+                count.iter().all(|&c| c == 1),
+                "offset {off} not a partition"
+            );
         }
     }
 

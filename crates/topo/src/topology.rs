@@ -212,7 +212,10 @@ mod tests {
         assert_eq!(m.neighbor(Coord::new(0, 0), Dir::South), None);
         assert_eq!(m.neighbor(Coord::new(3, 3), Dir::East), None);
         assert_eq!(m.neighbor(Coord::new(3, 3), Dir::North), None);
-        assert_eq!(m.neighbor(Coord::new(1, 1), Dir::North), Some(Coord::new(1, 2)));
+        assert_eq!(
+            m.neighbor(Coord::new(1, 1), Dir::North),
+            Some(Coord::new(1, 2))
+        );
     }
 
     #[test]
@@ -220,7 +223,10 @@ mod tests {
         let m = Mesh::new(6);
         for a in m.coords() {
             for b in Mesh::new(6).coords() {
-                assert!(validate_profitable(&m, a, b), "mesh profitable wrong at {a:?}->{b:?}");
+                assert!(
+                    validate_profitable(&m, a, b),
+                    "mesh profitable wrong at {a:?}->{b:?}"
+                );
             }
         }
     }
@@ -243,10 +249,22 @@ mod tests {
     #[test]
     fn torus_wraps() {
         let t = Torus::new(5);
-        assert_eq!(t.neighbor(Coord::new(0, 0), Dir::West), Some(Coord::new(4, 0)));
-        assert_eq!(t.neighbor(Coord::new(4, 2), Dir::East), Some(Coord::new(0, 2)));
-        assert_eq!(t.neighbor(Coord::new(2, 4), Dir::North), Some(Coord::new(2, 0)));
-        assert_eq!(t.neighbor(Coord::new(2, 0), Dir::South), Some(Coord::new(2, 4)));
+        assert_eq!(
+            t.neighbor(Coord::new(0, 0), Dir::West),
+            Some(Coord::new(4, 0))
+        );
+        assert_eq!(
+            t.neighbor(Coord::new(4, 2), Dir::East),
+            Some(Coord::new(0, 2))
+        );
+        assert_eq!(
+            t.neighbor(Coord::new(2, 4), Dir::North),
+            Some(Coord::new(2, 0))
+        );
+        assert_eq!(
+            t.neighbor(Coord::new(2, 0), Dir::South),
+            Some(Coord::new(2, 4))
+        );
     }
 
     #[test]

@@ -169,9 +169,7 @@ mod tests {
     fn tiny_perm() -> RoutingProblem {
         // 2x2 full permutation: each node sends to its transpose.
         let n = 2;
-        let pairs = (0..n).flat_map(|y| {
-            (0..n).map(move |x| (Coord::new(x, y), Coord::new(y, x)))
-        });
+        let pairs = (0..n).flat_map(|y| (0..n).map(move |x| (Coord::new(x, y), Coord::new(y, x))));
         RoutingProblem::from_pairs(n, "transpose2", pairs)
     }
 
@@ -186,11 +184,7 @@ mod tests {
 
     #[test]
     fn classify_partial_permutation() {
-        let p = RoutingProblem::from_pairs(
-            4,
-            "one packet",
-            [(Coord::new(0, 0), Coord::new(3, 3))],
-        );
+        let p = RoutingProblem::from_pairs(4, "one packet", [(Coord::new(0, 0), Coord::new(3, 3))]);
         assert_eq!(p.classify(), ProblemClass::PartialPermutation);
         assert!(!p.is_permutation());
         assert_eq!(p.diameter_bound(), 6);

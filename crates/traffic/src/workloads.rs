@@ -8,9 +8,9 @@
 use crate::packet::Packet;
 use crate::problem::RoutingProblem;
 use mesh_topo::Coord;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use rand::rngs::StdRng;
 
 fn all_coords(n: u32) -> Vec<Coord> {
     (0..n)
@@ -62,7 +62,10 @@ pub fn transpose(n: u32) -> RoutingProblem {
 /// The bit-reversal permutation (requires `n` to be a power of two):
 /// `(x, y) → (rev(x), rev(y))` where `rev` reverses the `log2 n` bits.
 pub fn bit_reversal(n: u32) -> RoutingProblem {
-    assert!(n.is_power_of_two(), "bit reversal needs n to be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "bit reversal needs n to be a power of two"
+    );
     let bits = n.trailing_zeros();
     let rev = |v: u32| v.reverse_bits() >> (32 - bits);
     RoutingProblem::from_pairs(

@@ -18,7 +18,11 @@ fn run_and_map<R: mesh_routing::engine::Router>(
 ) -> (String, mesh_routing::engine::NodeField, SimReport) {
     let mut sim = Sim::new(topo, router, pb);
     let _ = sim.run(200_000);
-    (sim.report().algorithm.clone(), sim.congestion_map(), sim.report())
+    (
+        sim.report().algorithm.clone(),
+        sim.congestion_map(),
+        sim.report(),
+    )
 }
 
 fn main() {
@@ -33,7 +37,11 @@ fn main() {
     for (name, map, rep) in [
         run_and_map(&topo, Dx::new(DimOrder::new(4)), &pb),
         run_and_map(&topo, Dx::new(AltAdaptive::new(4)), &pb),
-        run_and_map(&topo, Dx::new(mesh_routing::routers::HotPotato::new(n)), &pb),
+        run_and_map(
+            &topo,
+            Dx::new(mesh_routing::routers::HotPotato::new(n)),
+            &pb,
+        ),
     ] {
         println!(
             "--- {name}: steps={}{} max queue={} ---",

@@ -46,7 +46,12 @@ fn main() {
     );
 
     println!("replaying the constructed permutation (no adversary)…");
-    let report = verify_lower_bound(&topo, mesh_routing::routers::dim_order(k), &outcome, Some(200_000));
+    let report = verify_lower_bound(
+        &topo,
+        mesh_routing::routers::dim_order(k),
+        &outcome,
+        Some(200_000),
+    );
     println!(
         "replay at step {}: {} undelivered (Theorem 13 ✓), configuration matches construction: {} (Lemma 12 ✓)",
         report.bound_steps, report.undelivered_at_bound, report.replay_matches_construction

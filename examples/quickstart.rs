@@ -16,7 +16,11 @@ fn main() {
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
     let problem = workloads::random_permutation(n, seed);
 
-    println!("workload: {}  (diameter bound 2n-2 = {})", problem.label, 2 * n - 2);
+    println!(
+        "workload: {}  (diameter bound 2n-2 = {})",
+        problem.label,
+        2 * n - 2
+    );
     println!(
         "{:<24} {:>9} {:>10} {:>10} {:>10}",
         "algorithm", "steps", "steps/n", "max queue", "delivered"

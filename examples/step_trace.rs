@@ -31,8 +31,12 @@ fn render(topo: &Mesh, get: impl Fn(Coord) -> usize) -> String {
 
 fn trace<R: mesh_routing::engine::Router>(topo: &Mesh, router: R, pb: &RoutingProblem) {
     let mut sim = Sim::new(topo, router, pb);
-    println!("algorithm: {}   workload: {}", sim.report().algorithm, pb.label);
-    println!("initial:\n{}", render(topo, |c| sim.packets_at(c).len()));
+    println!(
+        "algorithm: {}   workload: {}",
+        sim.report().algorithm,
+        pb.label
+    );
+    println!("initial:\n{}", render(topo, |c| sim.packets_at(c).count()));
     let mut step = 0u64;
     loop {
         let mut scheduled = 0usize;
@@ -47,7 +51,7 @@ fn trace<R: mesh_routing::engine::Router>(topo: &Mesh, router: R, pb: &RoutingPr
             sim.delivered(),
             sim.num_packets()
         );
-        println!("{}", render(topo, |c| sim.packets_at(c).len()));
+        println!("{}", render(topo, |c| sim.packets_at(c).count()));
         if done || step > 200 {
             break;
         }

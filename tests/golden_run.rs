@@ -1,0 +1,215 @@
+//! Golden-run regression fixtures: the engine's observable behavior is
+//! frozen across refactors.
+//!
+//! Four scenarios on a 16×16 mesh — a partial permutation, a transpose, one
+//! faulty run, and one reliable-transport run — each recorded as a JSON
+//! fixture holding the final [`SimReport`] plus the *complete* per-step
+//! delivery/loss event streams. The test regenerates each scenario and
+//! asserts the serialized document is **byte-identical** to the committed
+//! fixture, so any refactor that perturbs scheduling order, fault
+//! enforcement, acceptance, or protocol timing fails loudly instead of
+//! silently shifting recorded experiment tables.
+//!
+//! Regenerate the fixtures (only when a behavior change is *intended*):
+//!
+//! ```sh
+//! GOLDEN_RECORD=1 cargo test -p mesh-routing --test golden_run
+//! ```
+
+use mesh_routing::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One step's protocol-visible events, by packet id.
+#[derive(Serialize, Deserialize, PartialEq)]
+struct GoldenStep {
+    step: u64,
+    delivered: Vec<u32>,
+    lost: Vec<u32>,
+}
+
+/// The frozen record of one scenario.
+#[derive(Serialize, Deserialize)]
+struct GoldenDoc {
+    scenario: String,
+    /// `completed`, an error kind (`deadlock`/`livelock`/`step-cap`), or
+    /// `capped` for manually-stepped scenarios that hit the step budget.
+    outcome: String,
+    report: SimReport,
+    events: Vec<GoldenStep>,
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(format!("golden_{name}.json"))
+}
+
+fn check(doc: GoldenDoc) {
+    let path = fixture_path(&doc.scenario);
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialize golden doc") + "\n";
+    if std::env::var_os("GOLDEN_RECORD").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create fixtures dir");
+        std::fs::write(&path, &rendered).expect("write fixture");
+        return;
+    }
+    let recorded = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); record with GOLDEN_RECORD=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, recorded,
+        "scenario '{}' diverged from its golden fixture — the engine's \
+         observable behavior changed",
+        doc.scenario
+    );
+}
+
+fn ids(pids: &[PacketId]) -> Vec<u32> {
+    pids.iter().map(|p| p.0).collect()
+}
+
+/// Steps `sim` manually up to `cap` steps, recording every step that
+/// delivered or destroyed a packet.
+fn step_and_record<T: Topology, R: Router>(
+    sim: &mut Sim<'_, T, R>,
+    cap: u64,
+) -> (String, Vec<GoldenStep>) {
+    let mut events = Vec::new();
+    let mut done = sim.done();
+    while !done && sim.steps() < cap {
+        done = sim.step();
+        if !sim.last_step_deliveries().is_empty() || !sim.last_step_losses().is_empty() {
+            events.push(GoldenStep {
+                step: sim.steps(),
+                delivered: ids(sim.last_step_deliveries()),
+                lost: ids(sim.last_step_losses()),
+            });
+        }
+    }
+    let outcome = if done { "completed" } else { "capped" };
+    (outcome.to_string(), events)
+}
+
+#[test]
+fn golden_partial_permutation() {
+    let topo = Mesh::new(16);
+    let pb = workloads::random_partial_permutation(16, 0.5, 2024);
+    let mut sim = Sim::new(&topo, Dx::new(Theorem15::new(2)), &pb);
+    let (outcome, events) = step_and_record(&mut sim, 5_000);
+    check(GoldenDoc {
+        scenario: "partial_perm".into(),
+        outcome,
+        report: sim.report(),
+        events,
+    });
+}
+
+#[test]
+fn golden_transpose() {
+    let topo = Mesh::new(16);
+    let pb = workloads::transpose(16);
+    let mut sim = Sim::new(&topo, Dx::new(Theorem15::new(2)), &pb);
+    let (outcome, events) = step_and_record(&mut sim, 5_000);
+    check(GoldenDoc {
+        scenario: "transpose".into(),
+        outcome,
+        report: sim.report(),
+        events,
+    });
+}
+
+/// The faulty scenario mirrors a chaos-soak cell: seeded random faults, a
+/// fault-aware router, manual stepping so the event stream (not just the
+/// verdict) is part of the frozen record.
+#[test]
+fn golden_faulty() {
+    let n = 16;
+    let topo = Mesh::new(n);
+    let pb = workloads::random_partial_permutation(n, 0.5, 2024);
+    let faults = Arc::new(FaultPlan::random(n, 0.15, 8 * n as u64, 4045).compile());
+    let config = SimConfig {
+        watchdog: Some(8 * n as u64),
+        ..SimConfig::default()
+    };
+    let mut sim = Sim::with_faults(
+        &topo,
+        FaultAware::new(Dx::new(DimOrder::new(4)), Arc::clone(&faults)),
+        &pb,
+        config,
+        faults.as_ref().clone(),
+    );
+    let (outcome, events) = step_and_record(&mut sim, 5_000);
+    check(GoldenDoc {
+        scenario: "faulty".into(),
+        outcome,
+        report: sim.report(),
+        events,
+    });
+}
+
+/// A [`ProtocolHook`] adapter recording each step's events before
+/// forwarding them to the real transport.
+struct Recording<'a, P> {
+    inner: &'a mut P,
+    events: Vec<GoldenStep>,
+}
+
+impl<P: ProtocolHook> ProtocolHook for Recording<'_, P> {
+    fn on_step<T: Topology, R: Router>(
+        &mut self,
+        sim: &mut Sim<'_, T, R>,
+        events: &StepEvents,
+    ) -> ProtocolControl {
+        if !events.delivered.is_empty() || !events.lost.is_empty() {
+            self.events.push(GoldenStep {
+                step: events.step,
+                delivered: ids(&events.delivered),
+                lost: ids(&events.lost),
+            });
+        }
+        self.inner.on_step(sim, events)
+    }
+}
+
+/// The reliable scenario mirrors a `reliable`-experiment cell: dynamic
+/// injection under lossy outages, ACK + retransmission recovering every
+/// payload, driven through `run_with_protocol`.
+#[test]
+fn golden_reliable() {
+    let n = 16;
+    let topo = Mesh::new(n);
+    let pb = workloads::dynamic_bernoulli(n, 0.02, 4 * n as u64, 2024);
+    let faults = Arc::new(FaultPlan::random_outages(n, 0.12, 8 * n as u64, 40).compile());
+    let config = SimConfig {
+        watchdog: Some(1024),
+        ..SimConfig::default()
+    };
+    let mut sim = Sim::with_faults(
+        &topo,
+        FaultAware::new(Dx::new(Theorem15::new(2)), Arc::clone(&faults)),
+        &pb,
+        config,
+        faults.as_ref().clone(),
+    );
+    let mut transport = Transport::new(&pb, BackoffPolicy::exponential(64, 512, 16), 7);
+    let mut recorder = Recording {
+        inner: &mut transport,
+        events: Vec::new(),
+    };
+    let res = sim.run_with_protocol(200_000, &mut recorder);
+    let outcome = match &res {
+        Ok(_) => "completed".to_string(),
+        Err(err) => err.kind().to_string(),
+    };
+    let events = recorder.events;
+    check(GoldenDoc {
+        scenario: "reliable".into(),
+        outcome,
+        report: sim.report(),
+        events,
+    });
+}

@@ -85,7 +85,11 @@ fn queue_bounds_are_respected() {
     for pb in workload_suite(n) {
         for k in [1u32, 2, 4] {
             let out = mesh_routing::route(Algorithm::Theorem15 { k }, &pb);
-            assert!(out.max_queue <= k, "theorem15(k={k}) queue {}", out.max_queue);
+            assert!(
+                out.max_queue <= k,
+                "theorem15(k={k}) queue {}",
+                out.max_queue
+            );
             let out = mesh_routing::route_with_cap(Algorithm::DimOrder { k }, &pb, 50_000);
             assert!(out.max_queue <= k);
             let out = mesh_routing::route_with_cap(Algorithm::AltAdaptive { k }, &pb, 50_000);

@@ -53,7 +53,10 @@ fn theorem_14_growth_shape() {
     let b216 = GeneralParams::new(216, 1).unwrap().bound_steps() as f64;
     let b432 = GeneralParams::new(432, 1).unwrap().bound_steps() as f64;
     let b864 = GeneralParams::new(864, 1).unwrap().bound_steps() as f64;
-    assert!(b432 / b216 > 2.5, "doubling n must much more than double the bound");
+    assert!(
+        b432 / b216 > 2.5,
+        "doubling n must much more than double the bound"
+    );
     assert!(b864 / b432 > 2.5);
     let bk1 = GeneralParams::new(864, 1).unwrap().bound_steps() as f64;
     let bk2 = GeneralParams::new(864, 2).unwrap().bound_steps() as f64;
@@ -128,8 +131,7 @@ fn hh_lower_bound_certified() {
     let outcome = cons.run(&topo, mesh_routing::routers::dim_order(4), false);
     assert!(outcome.constructed.is_hh(2));
     assert!(outcome.undelivered_at_bound > 0);
-    let report =
-        verify_lower_bound(&topo, mesh_routing::routers::dim_order(4), &outcome, None);
+    let report = verify_lower_bound(&topo, mesh_routing::routers::dim_order(4), &outcome, None);
     assert!(report.undelivered_at_bound > 0);
     assert!(report.replay_matches_construction);
 }
@@ -179,7 +181,11 @@ fn theorem_34_upper_bound() {
             workloads::transpose(n),
         ] {
             let r = Section6Router::new().route(&pb);
-            assert!(r.scheduled_steps <= 972 * n as u64, "n={n}: {}", r.scheduled_steps);
+            assert!(
+                r.scheduled_steps <= 972 * n as u64,
+                "n={n}: {}",
+                r.scheduled_steps
+            );
             assert!(r.max_node_load <= 834);
             assert_eq!(r.total_moves, pb.total_work());
             let ri = Section6Router::improved().route(&pb);
@@ -209,13 +215,24 @@ fn section6_linear_scaling() {
 fn greedy_queue_dichotomy() {
     let n = 48;
     let topo = Mesh::new(n);
-    let mut sim = Sim::new(&topo, FarthestFirst::unbounded(n), &workloads::column_funnel(n));
+    let mut sim = Sim::new(
+        &topo,
+        FarthestFirst::unbounded(n),
+        &workloads::column_funnel(n),
+    );
     sim.run(10_000).unwrap();
     let worst = sim.report().max_queue;
     assert!(worst >= n / 4, "funnel queue {worst} too small");
 
-    let mut sim = Sim::new(&topo, FarthestFirst::unbounded(n), &workloads::random_destinations(n, 2));
+    let mut sim = Sim::new(
+        &topo,
+        FarthestFirst::unbounded(n),
+        &workloads::random_destinations(n, 2),
+    );
     sim.run(10_000).unwrap();
     let avg = sim.report().max_queue;
-    assert!(avg <= 8, "random-destination queues should stay tiny, got {avg}");
+    assert!(
+        avg <= 8,
+        "random-destination queues should stay tiny, got {avg}"
+    );
 }

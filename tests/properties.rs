@@ -22,12 +22,10 @@ fn partial_permutation(n: u32) -> impl Strategy<Value = RoutingProblem> {
             dsts.sort_unstable();
             dsts.dedup();
             let m = srcs.len().min(dsts.len());
-            let pairs = srcs[..m].iter().zip(&dsts[..m]).map(|(&s, &d)| {
-                (
-                    Coord::new(s % n, s / n),
-                    Coord::new(d % n, d / n),
-                )
-            });
+            let pairs = srcs[..m]
+                .iter()
+                .zip(&dsts[..m])
+                .map(|(&s, &d)| (Coord::new(s % n, s / n), Coord::new(d % n, d / n)));
             RoutingProblem::from_pairs(n, "prop", pairs)
         })
 }

@@ -167,7 +167,10 @@ impl Deserialize for f64 {
             Value::F64(x) => Ok(x),
             Value::U64(x) => Ok(x as f64),
             Value::I64(x) => Ok(x as f64),
-            ref other => Err(Error::custom(format!("expected number, found {}", other.kind()))),
+            ref other => Err(Error::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -192,7 +195,10 @@ impl Deserialize for bool {
     fn deserialize(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Bool(b) => Ok(*b),
-            other => Err(Error::custom(format!("expected bool, found {}", other.kind()))),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -206,7 +212,10 @@ impl Deserialize for String {
     fn deserialize(v: &Value) -> Result<Self, Error> {
         match v {
             Value::String(s) => Ok(s.clone()),
-            other => Err(Error::custom(format!("expected string, found {}", other.kind()))),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -226,7 +235,10 @@ impl Deserialize for char {
     fn deserialize(v: &Value) -> Result<Self, Error> {
         match v {
             Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(Error::custom(format!("expected char, found {}", other.kind()))),
+            other => Err(Error::custom(format!(
+                "expected char, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -263,7 +275,10 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn deserialize(v: &Value) -> Result<Self, Error> {
         match v {
             Value::Array(items) => items.iter().map(T::deserialize).collect(),
-            other => Err(Error::custom(format!("expected array, found {}", other.kind()))),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
         }
     }
 }

@@ -15,9 +15,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 // ---- item model ----
 
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -81,9 +90,7 @@ fn parse_item(input: TokenStream) -> Item {
                     arity: count_tuple_fields(g.stream()),
                 }
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                Item::TupleStruct { name, arity: 0 }
-            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::TupleStruct { name, arity: 0 },
             other => panic!("serde derive: unsupported struct body {other:?}"),
         },
         "enum" => match toks.next() {
@@ -245,9 +252,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::NamedStruct { name, fields } => {
             let body: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("(\"{f}\".to_string(), serde::Serialize::serialize(&self.{f}))")
-                })
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::serialize(&self.{f}))"))
                 .collect();
             format!(
                 "impl serde::Serialize for {name} {{\n\
@@ -325,7 +330,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    out.parse().expect("serde derive: generated invalid Serialize impl")
+    out.parse()
+        .expect("serde derive: generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -334,9 +340,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::NamedStruct { name, fields } => {
             let body: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!("{f}: serde::Deserialize::deserialize(__v.field(\"{f}\")?)?")
-                })
+                .map(|f| format!("{f}: serde::Deserialize::deserialize(__v.field(\"{f}\")?)?"))
                 .collect();
             format!(
                 "impl serde::Deserialize for {name} {{\n\
@@ -461,5 +465,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    out.parse().expect("serde derive: generated invalid Deserialize impl")
+    out.parse()
+        .expect("serde derive: generated invalid Deserialize impl")
 }

@@ -184,21 +184,30 @@ impl<'a> Parser<'a> {
                 if self.consume_literal("null") {
                     Ok(Value::Null)
                 } else {
-                    Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+                    Err(Error::custom(format!(
+                        "invalid literal at byte {}",
+                        self.pos
+                    )))
                 }
             }
             Some(b't') => {
                 if self.consume_literal("true") {
                     Ok(Value::Bool(true))
                 } else {
-                    Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+                    Err(Error::custom(format!(
+                        "invalid literal at byte {}",
+                        self.pos
+                    )))
                 }
             }
             Some(b'f') => {
                 if self.consume_literal("false") {
                     Ok(Value::Bool(false))
                 } else {
-                    Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+                    Err(Error::custom(format!(
+                        "invalid literal at byte {}",
+                        self.pos
+                    )))
                 }
             }
             Some(b'"') => self.parse_string().map(Value::String),
@@ -342,8 +351,7 @@ impl<'a> Parser<'a> {
         }
         let hex = core::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| Error::custom("invalid \\u escape"))?;
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid \\u escape"))?;
         self.pos += 4;
         Ok(code)
     }
@@ -395,7 +403,10 @@ mod tests {
     fn compact_rendering_is_deterministic() {
         let v = Value::Object(vec![
             ("b".into(), Value::U64(2)),
-            ("a".into(), Value::Array(vec![Value::Null, Value::Bool(true)])),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
         ]);
         assert_eq!(super::to_string(&v).unwrap(), r#"{"b":2,"a":[null,true]}"#);
     }
@@ -411,7 +422,8 @@ mod tests {
 
     #[test]
     fn parse_round_trip() {
-        let text = r#"{"name":"mesh \"5x5\"","n":5,"neg":-3,"rate":0.25,"tags":["a","b"],"opt":null}"#;
+        let text =
+            r#"{"name":"mesh \"5x5\"","n":5,"neg":-3,"rate":0.25,"tags":["a","b"],"opt":null}"#;
         let v: Value = super::from_str(text).unwrap();
         assert_eq!(super::to_string(&v).unwrap(), text);
     }
