@@ -890,6 +890,62 @@ pub fn e13(full: bool) -> Experiment {
     e
 }
 
+/// PERF — engine throughput rows for the tile-sharded executor. Every cell
+/// is a fixed (unseeded) workload routed under a fixed step cap, so the
+/// deterministic document is a pure function of the experiment id — the
+/// tile-thread count changes only *how fast* the rows are produced (see the
+/// timing sidecar), never their contents. The large-n dim-order rows
+/// (`--full`: n = 256 and 512) are the scaling evidence quoted in
+/// EXPERIMENTS.md.
+pub fn perf(full: bool, tile_threads: usize) -> Experiment {
+    let mut e = Experiment::new(
+        "perf",
+        "Engine throughput: fixed routing workloads under tile-sharded execution",
+        "rows are byte-identical for every --tile-threads value (parallelism is an execution strategy, not a semantics change); wall-clock per cell lives in the timing sidecar, where large-n rows speed up with threads",
+        &["n", "router", "workload", "steps", "delivered", "moves", "max queue", "done"],
+    );
+    let mut sizes = vec![16u32, 64];
+    if full {
+        sizes.extend([256, 512]);
+    }
+    let route_cell = move |n: u32, router: &'static str| -> TrialOutput {
+        let topo = Mesh::new(n);
+        let pb = workloads::random_permutation(n, 2024);
+        let config = SimConfig {
+            tile_threads,
+            ..SimConfig::default()
+        };
+        macro_rules! perf_with {
+            ($r:expr) => {{
+                let mut sim = Sim::with_config(&topo, $r, &pb, config);
+                let res = sim.run(16 * n as u64);
+                let rep = sim.report();
+                let row = cells!(
+                    n,
+                    router,
+                    "random-permutation",
+                    rep.steps,
+                    format!("{}/{}", rep.delivered, rep.total_packets),
+                    rep.total_moves,
+                    rep.max_queue,
+                    res.is_ok()
+                );
+                TrialOutput::with_report(row, rep)
+            }};
+        }
+        match router {
+            "dim-order(k=4)" => perf_with!(Dx::new(DimOrder::new(4))),
+            _ => perf_with!(Dx::new(Theorem15::new(2))),
+        }
+    };
+    for n in sizes {
+        for router in ["dim-order(k=4)", "theorem15(k=2)"] {
+            e.fixed(format!("n={n} {router}"), move |_| route_cell(n, router));
+        }
+    }
+    e
+}
+
 /// CHAOS — the robustness soak. Seeded random fault plans (transient cable
 /// cuts, node stalls, queue-slot degradations — see `mesh_faults`) at
 /// increasing density are run against [`FaultAware`]-wrapped routers, with
@@ -899,7 +955,7 @@ pub fn e13(full: bool) -> Experiment {
 /// delivered fraction, and the stretch (link traversals per unit of L1
 /// distance, over delivered packets). Every cell is fully determined by the
 /// trial seed, so the table is byte-identical across `--threads` settings.
-pub fn chaos(full: bool) -> Experiment {
+pub fn chaos(full: bool, tile_threads: usize) -> Experiment {
     let mut e = Experiment::new(
         "chaos",
         "Chaos soak: fault density × router × workload under the livelock watchdog",
@@ -947,6 +1003,7 @@ pub fn chaos(full: bool) -> Experiment {
                         );
                         let config = SimConfig {
                             watchdog: Some(8 * n as u64),
+                            tile_threads,
                             ..SimConfig::default()
                         };
                         macro_rules! soak {
@@ -1033,7 +1090,7 @@ pub fn chaos(full: bool) -> Experiment {
 /// every payload exactly once via ACKs and deterministic retransmission,
 /// sweeping the backoff policy. Every cell is a pure function of the trial
 /// seed, so the table is byte-identical across `--threads` settings.
-pub fn reliable(full: bool) -> Experiment {
+pub fn reliable(full: bool, tile_threads: usize) -> Experiment {
     use mesh_routing::reliable::{BackoffPolicy, Transport};
 
     let mut e = Experiment::new(
@@ -1088,6 +1145,7 @@ pub fn reliable(full: bool) -> Experiment {
                             // gap (cap + jitter), or quiet timer waits would
                             // read as starvation.
                             watchdog: Some(1024.max(8 * n as u64)),
+                            tile_threads,
                             ..SimConfig::default()
                         };
                         let mut sim = Sim::with_faults(
@@ -1156,11 +1214,20 @@ pub fn reliable(full: bool) -> Experiment {
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2",
-    "a3", "chaos", "reliable",
+    "a3", "perf", "chaos", "reliable",
 ];
 
 /// Builds the experiment (its cells) by id, without running anything.
 pub fn build(id: &str, full: bool) -> Option<Experiment> {
+    build_with(id, full, 1)
+}
+
+/// Builds the experiment with an explicit tile-thread count for the
+/// simulation-heavy experiments (`perf`, `chaos`, `reliable`). The
+/// deterministic `BENCH_<id>.json` contents are the same for every value —
+/// that is the tiled engine's contract, re-checked by the determinism tests
+/// and the CI byte-compares.
+pub fn build_with(id: &str, full: bool, tile_threads: usize) -> Option<Experiment> {
     Some(match id {
         "e1" => e1(full),
         "e2" => e2(full),
@@ -1178,8 +1245,9 @@ pub fn build(id: &str, full: bool) -> Option<Experiment> {
         "a1" => a1(full),
         "a2" => a2(full),
         "a3" => a3(full),
-        "chaos" => chaos(full),
-        "reliable" => reliable(full),
+        "perf" => perf(full, tile_threads),
+        "chaos" => chaos(full, tile_threads),
+        "reliable" => reliable(full, tile_threads),
         _ => return None,
     })
 }
@@ -1213,10 +1281,14 @@ mod tests {
         for id in ALL {
             assert!(seen.insert(id), "duplicate experiment id {id}");
             assert!(
-                id.starts_with('e') || id.starts_with('a') || *id == "chaos" || *id == "reliable"
+                id.starts_with('e')
+                    || id.starts_with('a')
+                    || *id == "perf"
+                    || *id == "chaos"
+                    || *id == "reliable"
             );
         }
-        assert_eq!(ALL.len(), 18);
+        assert_eq!(ALL.len(), 19);
     }
 
     #[test]

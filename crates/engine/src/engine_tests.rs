@@ -818,20 +818,34 @@ mod chaos_tests {
     fn engine_invariants_hold_under_arbitrary_policies() {
         for seed in 0..8u64 {
             for k in [1u32, 2, 5] {
-                let topo = Mesh::new(9);
-                let pb = workloads::random_partial_permutation(9, 0.6, seed);
-                let mut sim = Sim::new(&topo, Dx::new(Chaos { seed, k }), &pb);
-                // Chaos may never finish; run a bounded window. The engine's
-                // internal validation (capacity, minimality, one packet per
-                // link) panics on any violation.
-                let _ = sim.run(600);
-                let r = sim.report();
-                assert!(r.max_queue <= k, "seed={seed} k={k}");
-                assert!(r.delivered <= r.total_packets);
-                // Moves of delivered packets are exactly their distances
-                // (minimal moves only) — undelivered ones are en route, so
-                // total moves never exceeds total work.
-                assert!(r.total_moves <= pb.total_work());
+                for tile_threads in [1usize, 4] {
+                    let topo = Mesh::new(9);
+                    let pb = workloads::random_partial_permutation(9, 0.6, seed);
+                    let config = SimConfig {
+                        tile_threads,
+                        ..SimConfig::default()
+                    };
+                    let mut sim = Sim::with_config(&topo, Dx::new(Chaos { seed, k }), &pb, config);
+                    // Chaos may never finish; run a bounded window. The
+                    // engine's internal validation (capacity, minimality, one
+                    // packet per link) panics on any violation — and the
+                    // occupancy-within-capacity audit must hold after *every*
+                    // step, not just at the end.
+                    for _ in 0..600 {
+                        let done = sim.step();
+                        sim.assert_queue_invariants();
+                        if done {
+                            break;
+                        }
+                    }
+                    let r = sim.report();
+                    assert!(r.max_queue <= k, "seed={seed} k={k}");
+                    assert!(r.delivered <= r.total_packets);
+                    // Moves of delivered packets are exactly their distances
+                    // (minimal moves only) — undelivered ones are en route,
+                    // so total moves never exceeds total work.
+                    assert!(r.total_moves <= pb.total_work());
+                }
             }
         }
     }

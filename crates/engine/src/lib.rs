@@ -55,6 +55,7 @@ pub mod router;
 pub mod sim;
 pub mod stats;
 mod storage;
+mod tiles;
 pub mod view;
 mod watchdog;
 

@@ -109,6 +109,12 @@ pub(crate) struct StepBufs {
     pub(crate) snapshot: Vec<u32>,
     /// Scratch for the inject phase's pending-node sweep.
     pub(crate) inject_nodes: Vec<u32>,
+    /// Acceptance groups: `(start, end)` ranges into `order`, one per target
+    /// node, in target-node order. Computed by the accept phase; read by the
+    /// tile workers.
+    pub(crate) groups: Vec<(u32, u32)>,
+    /// Staged end-of-step packet-state writes `(packet, new state)`.
+    pub(crate) state_writes: Vec<(PacketId, u64)>,
 }
 
 /// Everything one step needs, as split borrows of the simulation's parts:
@@ -237,6 +243,86 @@ pub(crate) fn inject<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) ->
     injected
 }
 
+/// §2 (a) for a single node: a loaded, unstalled node's outqueue policy
+/// schedules at most one packet per outlink; moves are emitted in
+/// [`ALL_DIRS`] order. Shared verbatim by the sequential route phase and
+/// the tile workers, so both produce identical per-node schedules.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn route_node<T: Topology, R: Router>(
+    t0: u64,
+    topo: &T,
+    router: &R,
+    validate: bool,
+    faults: Option<&CompiledFaults>,
+    store: &PacketStore,
+    grid: &NodeGrid,
+    ni: usize,
+    state: &mut R::NodeState,
+    views: &mut Vec<FullView>,
+    emit: &mut impl FnMut(ScheduledMove),
+) {
+    if grid.node_load(ni) == 0 {
+        return;
+    }
+    let node = grid.coord_of(ni);
+    // A stalled node sends nothing this step (its packets stay put;
+    // the active-set rebuild in transmit keeps it scheduled for later).
+    if let Some(f) = faults {
+        if f.node_stalled(t0, node) {
+            return;
+        }
+    }
+    build_views(topo, store, grid, ni, node, views);
+    let mut out = [None::<usize>; 4];
+    router.outqueue(t0, node, state, views, &mut out);
+    if validate {
+        #[allow(clippy::needless_range_loop)]
+        for a in 0..4 {
+            if let Some(i) = out[a] {
+                assert!(
+                    i < views.len(),
+                    "{}: outqueue index out of range at {node} step {t0}",
+                    router.name()
+                );
+                for b in (a + 1)..4 {
+                    assert!(
+                        out[b] != Some(i),
+                        "{}: packet scheduled on two outlinks at {node} step {t0}",
+                        router.name()
+                    );
+                }
+            }
+        }
+    }
+    for d in ALL_DIRS {
+        if let Some(i) = out[d.index()] {
+            let v = views[i];
+            let to = topo.neighbor(node, d).unwrap_or_else(|| {
+                panic!(
+                    "{}: scheduled {:?} on missing {d} outlink of {node}",
+                    router.name(),
+                    v.id
+                )
+            });
+            if validate && router.is_minimal() {
+                assert!(
+                    v.profitable.contains(d),
+                    "{}: non-minimal move {:?} {d} from {node} (profitable {:?}) step {t0}",
+                    router.name(),
+                    v.id,
+                    v.profitable
+                );
+            }
+            emit(ScheduledMove {
+                pkt: v.id,
+                from: node,
+                to,
+                travel: d,
+            });
+        }
+    }
+}
+
 /// §2 (a): every loaded, unstalled node's outqueue policy schedules at
 /// most one packet per outlink. Fills `bufs.schedule` in deterministic
 /// node-then-direction order; validation panics on malformed schedules.
@@ -245,69 +331,27 @@ pub(crate) fn route<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
     ctx.bufs.schedule.clear();
     ctx.bufs.lost_moves.clear();
     ctx.grid.drain_active_into(&mut ctx.bufs.snapshot);
-    for idx in 0..ctx.bufs.snapshot.len() {
-        let ni = ctx.bufs.snapshot[idx] as usize;
-        if ctx.grid.node_load(ni) == 0 {
-            continue;
-        }
-        let node = ctx.grid.coord_of(ni);
-        // A stalled node sends nothing this step (its packets stay put;
-        // the active-set rebuild in transmit keeps it scheduled for later).
-        if let Some(f) = ctx.faults {
-            if f.node_stalled(t0, node) {
-                continue;
-            }
-        }
-        build_views(ctx.topo, ctx.store, ctx.grid, ni, node, &mut ctx.bufs.views);
-        let mut out = [None::<usize>; 4];
-        ctx.router
-            .outqueue(t0, node, &mut ctx.node_state[ni], &ctx.bufs.views, &mut out);
-        if ctx.validate {
-            #[allow(clippy::needless_range_loop)]
-            for a in 0..4 {
-                if let Some(i) = out[a] {
-                    assert!(
-                        i < ctx.bufs.views.len(),
-                        "{}: outqueue index out of range at {node} step {t0}",
-                        ctx.router.name()
-                    );
-                    for b in (a + 1)..4 {
-                        assert!(
-                            out[b] != Some(i),
-                            "{}: packet scheduled on two outlinks at {node} step {t0}",
-                            ctx.router.name()
-                        );
-                    }
-                }
-            }
-        }
-        for d in ALL_DIRS {
-            if let Some(i) = out[d.index()] {
-                let v = ctx.bufs.views[i];
-                let to = ctx.topo.neighbor(node, d).unwrap_or_else(|| {
-                    panic!(
-                        "{}: scheduled {:?} on missing {d} outlink of {node}",
-                        ctx.router.name(),
-                        v.id
-                    )
-                });
-                if ctx.validate && ctx.router.is_minimal() {
-                    assert!(
-                        v.profitable.contains(d),
-                        "{}: non-minimal move {:?} {d} from {node} (profitable {:?}) step {t0}",
-                        ctx.router.name(),
-                        v.id,
-                        v.profitable
-                    );
-                }
-                ctx.bufs.schedule.push(ScheduledMove {
-                    pkt: v.id,
-                    from: node,
-                    to,
-                    travel: d,
-                });
-            }
-        }
+    let StepBufs {
+        views,
+        schedule,
+        snapshot,
+        ..
+    } = &mut *ctx.bufs;
+    for &sn in snapshot.iter() {
+        let ni = sn as usize;
+        route_node(
+            t0,
+            ctx.topo,
+            ctx.router,
+            ctx.validate,
+            ctx.faults,
+            ctx.store,
+            ctx.grid,
+            ni,
+            &mut ctx.node_state[ni],
+            views,
+            &mut |m| schedule.push(m),
+        );
     }
 }
 
@@ -351,6 +395,119 @@ pub(crate) fn adversary<T: Topology, R: Router, H: StepHook>(
     hook.on_scheduled(&mut hctx);
 }
 
+/// §2 (c) for one target node: the inqueue policy of the (unstalled)
+/// target of moves `order[start..end]` accepts or rejects each offer;
+/// degraded nodes are clamped to their reduced capacity. Decisions are
+/// emitted as `(schedule index, accepted)`. Shared verbatim by the
+/// sequential accept phase and the tile workers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn accept_group<T: Topology, R: Router>(
+    t0: u64,
+    topo: &T,
+    router: &R,
+    faults: Option<&CompiledFaults>,
+    store: &PacketStore,
+    grid: &NodeGrid,
+    schedule: &[ScheduledMove],
+    order: &[u32],
+    start: usize,
+    end: usize,
+    state: &mut R::NodeState,
+    views: &mut Vec<FullView>,
+    arrivals: &mut Vec<Arrival<FullView>>,
+    accept: &mut Vec<bool>,
+    emit: &mut impl FnMut(u32, bool),
+) {
+    let target = schedule[order[start] as usize].to;
+    let ni = grid.node_index(target);
+    // A stalled node accepts nothing: the whole arrival group stays
+    // rejected and its router never observes the offered packets.
+    if let Some(f) = faults {
+        if f.node_stalled(t0, target) {
+            return;
+        }
+    }
+    build_views(topo, store, grid, ni, target, views);
+    arrivals.clear();
+    for gi in start..end {
+        let m = schedule[order[gi] as usize];
+        let i = m.pkt.index();
+        arrivals.push(Arrival {
+            view: FullView {
+                id: m.pkt,
+                src: store.src[i],
+                dst: store.dst[i],
+                state: store.state[i],
+                // §2: profitable outlinks of scheduled packets are
+                // measured from the node they are coming from.
+                profitable: topo.profitable(m.from, store.dst[i]),
+                queue: grid.arch().arrival_queue(m.travel),
+                pos: u32::MAX,
+            },
+            travel: m.travel,
+        });
+    }
+    accept.clear();
+    accept.resize(arrivals.len(), false);
+    router.inqueue(t0, target, state, views, arrivals, accept);
+    // Queue degradation: clamp what a (degradation-unaware) router
+    // accepted down to the reduced capacity.
+    if let Some(f) = faults {
+        let lost = f.degraded_slots(t0, target);
+        if lost > 0 {
+            let mut room = [usize::MAX; 5];
+            for (s, r) in room.iter_mut().enumerate().take(grid.slots()) {
+                let kind = grid.slot_kind(s);
+                if let Some(cap) = grid.arch().capacity(kind) {
+                    let eff = cap.saturating_sub(lost) as usize;
+                    *r = eff.saturating_sub(grid.queue_len(ni, s));
+                }
+            }
+            for (j, a) in arrivals.iter().enumerate() {
+                if !accept[j] || a.view.dst == target {
+                    continue;
+                }
+                let s = grid.arch().arrival_queue(a.travel).slot();
+                if room[s] > 0 {
+                    room[s] -= 1;
+                } else {
+                    accept[j] = false;
+                }
+            }
+        }
+    }
+    for (j, gi) in (start..end).enumerate() {
+        emit(order[gi], accept[j]);
+    }
+}
+
+/// Sorts the schedule by target node into `bufs.order` and records the
+/// per-target group ranges in `bufs.groups` (stable in schedule order
+/// within a group). Shared by the sequential accept phase and the tiled
+/// step's coordinator.
+pub(crate) fn accept_prep(n: u32, bufs: &mut StepBufs) {
+    bufs.order.clear();
+    bufs.order.extend(0..bufs.schedule.len() as u32);
+    let schedule = &bufs.schedule;
+    bufs.order.sort_by_key(|&i| {
+        let m = &schedule[i as usize];
+        m.to.y * n + m.to.x
+    });
+    bufs.accepted.clear();
+    bufs.accepted.resize(bufs.schedule.len(), false);
+    bufs.groups.clear();
+    let mut g = 0;
+    while g < bufs.order.len() {
+        let target = bufs.schedule[bufs.order[g] as usize].to;
+        let mut end = g + 1;
+        while end < bufs.order.len() && bufs.schedule[bufs.order[end] as usize].to == target {
+            end += 1;
+        }
+        bufs.groups.push((g as u32, end as u32));
+        g = end;
+    }
+}
+
 /// §2 (c): group scheduled moves by target node (stable in schedule
 /// order), let each unstalled target's inqueue policy accept or reject,
 /// then clamp acceptance at degraded nodes down to the reduced capacity.
@@ -359,101 +516,37 @@ pub(crate) fn adversary<T: Topology, R: Router, H: StepHook>(
 /// they drain naturally.
 pub(crate) fn accept<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
     let t0 = ctx.t0;
-    let n = ctx.grid.n();
-    ctx.bufs.order.clear();
-    ctx.bufs.order.extend(0..ctx.bufs.schedule.len() as u32);
-    let schedule = &ctx.bufs.schedule;
-    ctx.bufs.order.sort_by_key(|&i| {
-        let m = &schedule[i as usize];
-        m.to.y * n + m.to.x
-    });
-    ctx.bufs.accepted.clear();
-    ctx.bufs.accepted.resize(ctx.bufs.schedule.len(), false);
-    let mut g = 0;
-    while g < ctx.bufs.order.len() {
-        let target = ctx.bufs.schedule[ctx.bufs.order[g] as usize].to;
-        let mut end = g + 1;
-        while end < ctx.bufs.order.len()
-            && ctx.bufs.schedule[ctx.bufs.order[end] as usize].to == target
-        {
-            end += 1;
-        }
+    accept_prep(ctx.grid.n(), ctx.bufs);
+    let StepBufs {
+        views,
+        arrivals,
+        accept,
+        schedule,
+        order,
+        accepted,
+        groups,
+        ..
+    } = &mut *ctx.bufs;
+    for &(start, end) in groups.iter() {
+        let target = schedule[order[start as usize] as usize].to;
         let ni = ctx.grid.node_index(target);
-        // A stalled node accepts nothing: the whole arrival group stays
-        // rejected and its router never observes the offered packets.
-        if let Some(f) = ctx.faults {
-            if f.node_stalled(t0, target) {
-                g = end;
-                continue;
-            }
-        }
-        build_views(
+        accept_group(
+            t0,
             ctx.topo,
+            ctx.router,
+            ctx.faults,
             ctx.store,
             ctx.grid,
-            ni,
-            target,
-            &mut ctx.bufs.views,
-        );
-        ctx.bufs.arrivals.clear();
-        for gi in g..end {
-            let m = ctx.bufs.schedule[ctx.bufs.order[gi] as usize];
-            let i = m.pkt.index();
-            ctx.bufs.arrivals.push(Arrival {
-                view: FullView {
-                    id: m.pkt,
-                    src: ctx.store.src[i],
-                    dst: ctx.store.dst[i],
-                    state: ctx.store.state[i],
-                    // §2: profitable outlinks of scheduled packets are
-                    // measured from the node they are coming from.
-                    profitable: ctx.topo.profitable(m.from, ctx.store.dst[i]),
-                    queue: ctx.grid.arch().arrival_queue(m.travel),
-                    pos: u32::MAX,
-                },
-                travel: m.travel,
-            });
-        }
-        ctx.bufs.accept.clear();
-        ctx.bufs.accept.resize(ctx.bufs.arrivals.len(), false);
-        ctx.router.inqueue(
-            t0,
-            target,
+            schedule,
+            order,
+            start as usize,
+            end as usize,
             &mut ctx.node_state[ni],
-            &ctx.bufs.views,
-            &ctx.bufs.arrivals,
-            &mut ctx.bufs.accept,
+            views,
+            arrivals,
+            accept,
+            &mut |mi, a| accepted[mi as usize] = a,
         );
-        // Queue degradation: clamp what a (degradation-unaware) router
-        // accepted down to the reduced capacity.
-        if let Some(f) = ctx.faults {
-            let lost = f.degraded_slots(t0, target);
-            if lost > 0 {
-                let mut room = [usize::MAX; 5];
-                for (s, r) in room.iter_mut().enumerate().take(ctx.grid.slots()) {
-                    let kind = ctx.grid.slot_kind(s);
-                    if let Some(cap) = ctx.grid.arch().capacity(kind) {
-                        let eff = cap.saturating_sub(lost) as usize;
-                        *r = eff.saturating_sub(ctx.grid.queue_len(ni, s));
-                    }
-                }
-                for (j, a) in ctx.bufs.arrivals.iter().enumerate() {
-                    if !ctx.bufs.accept[j] || a.view.dst == target {
-                        continue;
-                    }
-                    let s = ctx.grid.arch().arrival_queue(a.travel).slot();
-                    if room[s] > 0 {
-                        room[s] -= 1;
-                    } else {
-                        ctx.bufs.accept[j] = false;
-                    }
-                }
-            }
-        }
-        for (j, gi) in (g..end).enumerate() {
-            ctx.bufs.accepted[ctx.bufs.order[gi] as usize] = ctx.bufs.accept[j];
-        }
-        g = end;
     }
 }
 
@@ -520,61 +613,116 @@ pub(crate) fn transmit<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) 
     }
 }
 
+/// One node's audit result: its total load and its largest bounded-queue
+/// length.
+pub(crate) struct NodeAudit {
+    pub(crate) load: u32,
+    pub(crate) max_bounded: u32,
+}
+
+/// Capacity validation plus occupancy measurement for one node. Shared by
+/// the sequential audit phase and the tile workers; overflow panics here
+/// are router implementation bugs, not runtime conditions.
+pub(crate) fn audit_node<R: Router>(
+    t0: u64,
+    router: &R,
+    validate: bool,
+    grid: &NodeGrid,
+    ni: usize,
+) -> NodeAudit {
+    let mut load = 0u32;
+    let mut max_bounded = 0u32;
+    for slot in 0..grid.slots() {
+        let len = grid.queue_len(ni, slot) as u32;
+        load += len;
+        let kind = grid.slot_kind(slot);
+        if let Some(cap) = grid.arch().capacity(kind) {
+            if validate {
+                assert!(
+                    len <= cap,
+                    "{}: queue {kind:?} of node {:?} overflowed ({len} > {cap}) at step {t0}",
+                    router.name(),
+                    grid.coord_of(ni)
+                );
+            }
+            max_bounded = max_bounded.max(len);
+        } else {
+            // Unbounded (injection) queues count toward node load and
+            // max_queue tracking is skipped.
+        }
+    }
+    debug_assert_eq!(load, grid.node_load(ni), "occupancy index out of sync");
+    NodeAudit { load, max_bounded }
+}
+
 /// Capacity validation plus occupancy metrics over the active nodes.
-/// Overflow panics here are router implementation bugs, not runtime
-/// conditions.
 pub(crate) fn audit<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
     let t0 = ctx.t0;
     for idx in 0..ctx.grid.active_len() {
         let ni = ctx.grid.active_at(idx);
-        let mut load = 0u32;
-        for slot in 0..ctx.grid.slots() {
-            let len = ctx.grid.queue_len(ni, slot) as u32;
-            load += len;
-            let kind = ctx.grid.slot_kind(slot);
-            if let Some(cap) = ctx.grid.arch().capacity(kind) {
-                if ctx.validate {
-                    assert!(
-                        len <= cap,
-                        "{}: queue {kind:?} of node {:?} overflowed ({len} > {cap}) at step {t0}",
-                        ctx.router.name(),
-                        ctx.grid.coord_of(ni)
-                    );
-                }
-                ctx.progress.max_queue = ctx.progress.max_queue.max(len);
-            } else {
-                // Unbounded (injection) queues count toward node load and
-                // max_queue tracking is skipped.
-            }
-        }
-        debug_assert_eq!(load, ctx.grid.node_load(ni), "occupancy index out of sync");
-        ctx.progress.max_node_load = ctx.progress.max_node_load.max(load);
-        ctx.grid.note_peak(ni, load as u16);
+        let a = audit_node(t0, ctx.router, ctx.validate, ctx.grid, ni);
+        ctx.progress.max_queue = ctx.progress.max_queue.max(a.max_bounded);
+        ctx.progress.max_node_load = ctx.progress.max_node_load.max(a.load);
+        ctx.grid.note_peak(ni, a.load as u16);
+    }
+}
+
+/// §2 (e) for one loaded node: runs the router's end-of-step policy and
+/// emits the resulting packet-state rewrites as `(packet, state)` pairs.
+/// A packet resides at exactly one node, so the rewrites of distinct nodes
+/// are disjoint and their application order is immaterial. Shared verbatim
+/// by the sequential update phase and the tile workers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn update_node<T: Topology, R: Router>(
+    t0: u64,
+    topo: &T,
+    router: &R,
+    store: &PacketStore,
+    grid: &NodeGrid,
+    ni: usize,
+    state: &mut R::NodeState,
+    views: &mut Vec<FullView>,
+    states: &mut Vec<u64>,
+    emit: &mut impl FnMut(PacketId, u64),
+) {
+    if grid.node_load(ni) == 0 {
+        return;
+    }
+    let node = grid.coord_of(ni);
+    build_views(topo, store, grid, ni, node, views);
+    states.clear();
+    states.extend(views.iter().map(|v| v.state));
+    router.end_of_step(t0, node, state, views, states);
+    for (v, s) in views.iter().zip(states.iter()) {
+        emit(v.id, *s);
     }
 }
 
 /// §2 (e): the end-of-step state update for every loaded active node.
 pub(crate) fn update_state<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
+    let StepBufs {
+        views,
+        states,
+        state_writes,
+        ..
+    } = &mut *ctx.bufs;
+    state_writes.clear();
     for idx in 0..ctx.grid.active_len() {
         let ni = ctx.grid.active_at(idx);
-        if ctx.grid.node_load(ni) == 0 {
-            continue;
-        }
-        let node = ctx.grid.coord_of(ni);
-        build_views(ctx.topo, ctx.store, ctx.grid, ni, node, &mut ctx.bufs.views);
-        ctx.bufs.states.clear();
-        ctx.bufs
-            .states
-            .extend(ctx.bufs.views.iter().map(|v| v.state));
-        ctx.router.end_of_step(
+        update_node(
             ctx.t0,
-            node,
+            ctx.topo,
+            ctx.router,
+            ctx.store,
+            ctx.grid,
+            ni,
             &mut ctx.node_state[ni],
-            &ctx.bufs.views,
-            &mut ctx.bufs.states,
+            views,
+            states,
+            &mut |p, s| state_writes.push((p, s)),
         );
-        for (v, s) in ctx.bufs.views.iter().zip(ctx.bufs.states.iter()) {
-            ctx.store.state[v.id.index()] = *s;
-        }
+    }
+    for &(p, s) in state_writes.iter() {
+        ctx.store.state[p.index()] = s;
     }
 }

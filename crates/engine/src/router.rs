@@ -4,7 +4,7 @@
 use crate::queue::QueueArch;
 use crate::view::{Arrival, DxView, FullView};
 use mesh_topo::Coord;
-use std::cell::RefCell;
+use std::cell::Cell;
 
 /// A deterministic routing algorithm with **full** information: its policies
 /// may inspect complete destination addresses. Implemented directly only by
@@ -17,9 +17,16 @@ use std::cell::RefCell;
 /// may mutate the node state in place — everything they can observe is
 /// within the information the model grants them, so any state so computed is
 /// expressible in the paper's "state update at end of step" formulation.
-pub trait Router {
+///
+/// Routers are `Sync` (and node states `Send`): the tile-sharded engine
+/// shares one router across its worker threads, each invoking policies on
+/// the node states of its own tiles. Policies already had to be pure
+/// functions of their arguments, so the bound costs implementations nothing
+/// beyond keeping scratch space off `self` (use thread-locals, as
+/// [`Dx`] does).
+pub trait Router: Sync {
     /// Per-node algorithm state (the paper's "state of a node").
-    type NodeState: Clone + Default;
+    type NodeState: Clone + Default + Send;
 
     /// Human-readable algorithm name for reports.
     fn name(&self) -> String;
@@ -81,9 +88,9 @@ pub trait Router {
 /// construction.
 ///
 /// Run a `DxRouter` by wrapping it: `Dx(MyRouter)`.
-pub trait DxRouter {
+pub trait DxRouter: Sync {
     /// Per-node algorithm state.
-    type NodeState: Clone + Default;
+    type NodeState: Clone + Default + Send;
 
     /// Human-readable algorithm name for reports.
     fn name(&self) -> String;
@@ -144,18 +151,22 @@ pub trait DxRouter {
 /// the restriction is purely in what crosses this boundary.
 pub struct Dx<R> {
     pub inner: R,
-    resident_buf: RefCell<Vec<DxView>>,
-    arrival_buf: RefCell<Vec<Arrival<DxView>>>,
+}
+
+// Projection scratch lives per *thread*, not per adapter: the tile-sharded
+// engine shares one `Dx` across workers, and each worker projects views for
+// its own tiles. `Cell` + take/set (instead of `RefCell`) keeps nested
+// adapters reentrant: an inner call simply sees an empty buffer and the
+// outer one wins the put-back.
+thread_local! {
+    static DX_RESIDENTS: Cell<Vec<DxView>> = const { Cell::new(Vec::new()) };
+    static DX_ARRIVALS: Cell<Vec<Arrival<DxView>>> = const { Cell::new(Vec::new()) };
 }
 
 impl<R> Dx<R> {
     /// Wraps a destination-exchangeable router for execution.
     pub fn new(inner: R) -> Dx<R> {
-        Dx {
-            inner,
-            resident_buf: RefCell::new(Vec::new()),
-            arrival_buf: RefCell::new(Vec::new()),
-        }
+        Dx { inner }
     }
 }
 
@@ -182,10 +193,11 @@ impl<R: DxRouter> Router for Dx<R> {
         pkts: &[FullView],
         out: &mut [Option<usize>; 4],
     ) {
-        let mut buf = self.resident_buf.borrow_mut();
+        let mut buf = DX_RESIDENTS.take();
         buf.clear();
         buf.extend(pkts.iter().map(FullView::dx));
         self.inner.outqueue(step, node, state, &buf, out);
+        DX_RESIDENTS.set(buf);
     }
 
     fn inqueue(
@@ -197,16 +209,18 @@ impl<R: DxRouter> Router for Dx<R> {
         arrivals: &[Arrival<FullView>],
         accept: &mut [bool],
     ) {
-        let mut rbuf = self.resident_buf.borrow_mut();
+        let mut rbuf = DX_RESIDENTS.take();
         rbuf.clear();
         rbuf.extend(residents.iter().map(FullView::dx));
-        let mut abuf = self.arrival_buf.borrow_mut();
+        let mut abuf = DX_ARRIVALS.take();
         abuf.clear();
         abuf.extend(arrivals.iter().map(|a| Arrival {
             view: a.view.dx(),
             travel: a.travel,
         }));
         self.inner.inqueue(step, node, state, &rbuf, &abuf, accept);
+        DX_RESIDENTS.set(rbuf);
+        DX_ARRIVALS.set(abuf);
     }
 
     fn end_of_step(
@@ -217,9 +231,10 @@ impl<R: DxRouter> Router for Dx<R> {
         residents: &[FullView],
         states: &mut [u64],
     ) {
-        let mut rbuf = self.resident_buf.borrow_mut();
+        let mut rbuf = DX_RESIDENTS.take();
         rbuf.clear();
         rbuf.extend(residents.iter().map(FullView::dx));
         self.inner.end_of_step(step, node, state, &rbuf, states);
+        DX_RESIDENTS.set(rbuf);
     }
 }

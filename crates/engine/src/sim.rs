@@ -40,6 +40,18 @@ pub struct SimConfig {
     /// disarm it). `None` (the default) disables it: runs are then
     /// bit-for-bit identical to the pre-watchdog engine.
     pub watchdog: Option<u64>,
+    /// Worker threads for tile-sharded intra-step parallelism. `1` (the
+    /// default) runs the plain sequential pipeline. Any value produces
+    /// **bit-identical** results — reports, per-step event streams,
+    /// diagnostics — for any thread count and tile geometry; parallelism
+    /// is purely an execution strategy (see the `tiles` module).
+    pub tile_threads: usize,
+    /// Explicit tile geometry `(tx, ty)`: the mesh splits into `tx`
+    /// columns × `ty` rows of rectangular tiles (values clamp to `[1, n]`).
+    /// `None` derives one horizontal band per thread. Setting this with
+    /// `tile_threads = 1` still exercises the tiled execution path (the
+    /// staging/merge machinery on one worker) — useful for tests.
+    pub tiles: Option<(u32, u32)>,
 }
 
 impl Default for SimConfig {
@@ -47,6 +59,8 @@ impl Default for SimConfig {
         SimConfig {
             validate: true,
             watchdog: None,
+            tile_threads: 1,
+            tiles: None,
         }
     }
 }
@@ -103,20 +117,22 @@ impl std::error::Error for SimError {}
 /// See the crate documentation for the step semantics. The engine is
 /// deterministic: identical problems and routers produce identical runs.
 pub struct Sim<'t, T: Topology, R: Router> {
-    topo: &'t T,
-    router: R,
+    pub(crate) topo: &'t T,
+    pub(crate) router: R,
     workload: String,
     pub(crate) config: SimConfig,
     // Compiled fault state; `None` (no plan, or an empty plan) is the fast
     // path with zero per-move overhead.
-    faults: Option<CompiledFaults>,
+    pub(crate) faults: Option<CompiledFaults>,
     pub(crate) store: PacketStore,
-    grid: NodeGrid,
-    node_state: Vec<R::NodeState>,
-    progress: Progress,
+    pub(crate) grid: NodeGrid,
+    pub(crate) node_state: Vec<R::NodeState>,
+    pub(crate) progress: Progress,
     pub(crate) timers: Timers,
     pub(crate) events: EventLog,
-    bufs: StepBufs,
+    pub(crate) bufs: StepBufs,
+    /// Tile-sharded execution runtime; `None` = sequential dispatch.
+    pub(crate) tile: Option<Box<crate::tiles::TileRt>>,
 }
 
 impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
@@ -183,13 +199,14 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             timers: Timers::default(),
             events: EventLog::default(),
             bufs: StepBufs::default(),
+            tile: crate::tiles::TileRt::new(n, &config).map(Box::new),
         };
         phases::inject(&mut sim.step_ctx(0));
         sim
     }
 
     /// Assembles the split-borrow phase context for step `t0`.
-    fn step_ctx(&mut self, t0: u64) -> StepCtx<'_, 't, T, R> {
+    pub(crate) fn step_ctx(&mut self, t0: u64) -> StepCtx<'_, 't, T, R> {
         StepCtx {
             t0,
             topo: self.topo,
@@ -209,6 +226,9 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     /// [`STEP_PIPELINE`] in order. Returns `true` when every packet has
     /// been delivered (in which case nothing was simulated).
     pub fn step_with_hook<H: StepHook>(&mut self, hook: &mut H) -> bool {
+        if self.tile.is_some() {
+            return self.step_tiled_with_hook(hook);
+        }
         if self.done() {
             return true;
         }
@@ -527,6 +547,51 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 .as_ref()
                 .map(|f| f.active_at(self.progress.steps))
                 .unwrap_or_default(),
+        }
+    }
+
+    /// Asserts the engine's queue invariants *right now*: every bounded
+    /// queue within its capacity, the O(1) occupancy index in sync with
+    /// the actual queue contents, and every queued packet's location and
+    /// queue-kind records pointing back at the queue that holds it.
+    ///
+    /// The audit phase enforces the capacity bound each step when
+    /// [`SimConfig::validate`] is on; this accessor lets tests check the
+    /// full set *between* steps — e.g. a property test stepping manually
+    /// and auditing after every step, rather than only at the end of a run.
+    pub fn assert_queue_invariants(&self) {
+        let t = self.progress.steps;
+        for ni in 0..self.grid.nodes() {
+            let c = self.grid.coord_of(ni);
+            let mut load = 0u32;
+            for slot in 0..self.grid.slots() {
+                let len = self.grid.queue_len(ni, slot) as u32;
+                load += len;
+                let kind = self.grid.slot_kind(slot);
+                if let Some(cap) = self.grid.arch().capacity(kind) {
+                    assert!(
+                        len <= cap,
+                        "queue {kind:?} of node {c} holds {len} > cap {cap} at step {t}"
+                    );
+                }
+                for &pid in self.grid.queue(ni, slot) {
+                    assert_eq!(
+                        self.store.loc[pid.index()],
+                        Loc::At(c),
+                        "packet {pid:?} queued at {c} but its location disagrees (step {t})"
+                    );
+                    assert_eq!(
+                        self.store.queue_of[pid.index()],
+                        kind,
+                        "packet {pid:?} queued in {kind:?} at {c} but its record disagrees (step {t})"
+                    );
+                }
+            }
+            assert_eq!(
+                load,
+                self.grid.node_load(ni),
+                "occupancy index out of sync at {c} (step {t})"
+            );
         }
     }
 

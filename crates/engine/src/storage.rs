@@ -287,4 +287,23 @@ impl NodeGrid {
             self.peak_load[ni] = load;
         }
     }
+
+    /// Raw base pointers into the per-node queue storage for the
+    /// tile-sharded step: workers dequeue packets of their own (disjoint)
+    /// node sets through these while the coordinator is parked at a
+    /// barrier. The outer vectors have fixed length for the grid's
+    /// lifetime, so the bases stay valid as long as the grid does.
+    pub(crate) fn raw(&mut self) -> GridRaw {
+        GridRaw {
+            queues: self.queues.as_mut_ptr(),
+            load: self.load.as_mut_ptr(),
+        }
+    }
+}
+
+/// Raw parts of a [`NodeGrid`] (see [`NodeGrid::raw`]).
+#[derive(Clone, Copy)]
+pub(crate) struct GridRaw {
+    pub(crate) queues: *mut Vec<PacketId>,
+    pub(crate) load: *mut u32,
 }

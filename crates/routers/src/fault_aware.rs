@@ -25,7 +25,7 @@
 use mesh_engine::{Arrival, FullView, QueueArch, Router};
 use mesh_faults::CompiledFaults;
 use mesh_topo::Coord;
-use std::cell::RefCell;
+use std::cell::Cell;
 use std::sync::Arc;
 
 /// A [`Router`] adapter that hides faulted outlinks from the inner router.
@@ -36,19 +36,21 @@ use std::sync::Arc;
 pub struct FaultAware<R> {
     inner: R,
     faults: Arc<CompiledFaults>,
-    resident_buf: RefCell<Vec<FullView>>,
-    arrival_buf: RefCell<Vec<Arrival<FullView>>>,
+}
+
+// Masking scratch is per thread, not per wrapper: `Router` is `Sync` so the
+// tile-sharded engine can share one wrapper across workers. Take/set on a
+// `Cell` (rather than `RefCell` borrows) stays reentrant under nesting — an
+// inner wrapper just sees an empty buffer.
+thread_local! {
+    static FA_RESIDENTS: Cell<Vec<FullView>> = const { Cell::new(Vec::new()) };
+    static FA_ARRIVALS: Cell<Vec<Arrival<FullView>>> = const { Cell::new(Vec::new()) };
 }
 
 impl<R> FaultAware<R> {
     /// Wraps `inner`, masking against `faults`.
     pub fn new(inner: R, faults: Arc<CompiledFaults>) -> FaultAware<R> {
-        FaultAware {
-            inner,
-            faults,
-            resident_buf: RefCell::new(Vec::new()),
-            arrival_buf: RefCell::new(Vec::new()),
-        }
+        FaultAware { inner, faults }
     }
 
     /// The wrapped router.
@@ -110,10 +112,11 @@ impl<R: Router> Router for FaultAware<R> {
             return self.inner.outqueue(step, node, state, pkts, out);
         }
         {
-            let mut buf = self.resident_buf.borrow_mut();
+            let mut buf = FA_RESIDENTS.take();
             buf.clear();
             buf.extend(pkts.iter().map(|&v| self.mask_at(step, node, v)));
             self.inner.outqueue(step, node, state, &buf, out);
+            FA_RESIDENTS.set(buf);
         }
         // Belt and braces: a nonminimal inner router may still have picked a
         // down link (the mask only edits *profitable* sets). Clear it — the
@@ -139,13 +142,15 @@ impl<R: Router> Router for FaultAware<R> {
                 .inner
                 .inqueue(step, node, state, residents, arrivals, accept);
         }
-        let mut rbuf = self.resident_buf.borrow_mut();
+        let mut rbuf = FA_RESIDENTS.take();
         rbuf.clear();
         rbuf.extend(residents.iter().map(|&v| self.mask_at(step, node, v)));
-        let mut abuf = self.arrival_buf.borrow_mut();
+        let mut abuf = FA_ARRIVALS.take();
         abuf.clear();
         abuf.extend(arrivals.iter().map(|&a| self.mask_arrival(step, node, a)));
         self.inner.inqueue(step, node, state, &rbuf, &abuf, accept);
+        FA_RESIDENTS.set(rbuf);
+        FA_ARRIVALS.set(abuf);
         // Capacity guard: some acceptance rules assume fault-free progress
         // invariants (e.g. Theorem 15's vertical queues always accept
         // because a vertical packet always departs next step). Faults void
@@ -181,10 +186,11 @@ impl<R: Router> Router for FaultAware<R> {
         if self.faults.is_empty() {
             return self.inner.end_of_step(step, node, state, residents, states);
         }
-        let mut rbuf = self.resident_buf.borrow_mut();
+        let mut rbuf = FA_RESIDENTS.take();
         rbuf.clear();
         rbuf.extend(residents.iter().map(|&v| self.mask_at(step, node, v)));
         self.inner.end_of_step(step, node, state, &rbuf, states);
+        FA_RESIDENTS.set(rbuf);
     }
 }
 

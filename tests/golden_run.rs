@@ -10,6 +10,11 @@
 //! enforcement, acceptance, or protocol timing fails loudly instead of
 //! silently shifting recorded experiment tables.
 //!
+//! Each scenario is also **replayed under tile-sharded execution**
+//! (`tile_threads` ∈ {2, 4, 8} and an explicit 4×4 tile geometry) and must
+//! reproduce the committed fixture byte-for-byte: parallel execution is an
+//! execution strategy, never a semantics change.
+//!
 //! Regenerate the fixtures (only when a behavior change is *intended*):
 //!
 //! ```sh
@@ -68,6 +73,51 @@ fn check(doc: GoldenDoc) {
     );
 }
 
+/// The tiled execution configs every scenario must replay under,
+/// byte-identically: band tilings at 2/4/8 worker threads plus an explicit
+/// square geometry.
+fn tiled_configs() -> [SimConfig; 4] {
+    let base = SimConfig::default();
+    [
+        SimConfig {
+            tile_threads: 2,
+            ..base
+        },
+        SimConfig {
+            tile_threads: 4,
+            ..base
+        },
+        SimConfig {
+            tile_threads: 8,
+            ..base
+        },
+        SimConfig {
+            tile_threads: 4,
+            tiles: Some((4, 4)),
+            ..base
+        },
+    ]
+}
+
+/// Runs `build` sequentially to check (or record) the fixture, then
+/// replays it under every tiled config, requiring the same bytes the
+/// fixture holds.
+fn check_sequential_and_tiled(build: impl Fn(SimConfig) -> GoldenDoc) {
+    check(build(SimConfig::default()));
+    for config in tiled_configs() {
+        let doc = build(config);
+        let path = fixture_path(&doc.scenario);
+        let rendered = serde_json::to_string_pretty(&doc).expect("serialize golden doc") + "\n";
+        let recorded = std::fs::read_to_string(&path).expect("fixture exists after check()");
+        assert_eq!(
+            rendered, recorded,
+            "scenario '{}' under tile_threads={} tiles={:?} diverged from \
+             the sequential fixture — tiled execution is not bit-identical",
+            doc.scenario, config.tile_threads, config.tiles
+        );
+    }
+}
+
 fn ids(pids: &[PacketId]) -> Vec<u32> {
     pids.iter().map(|p| p.0).collect()
 }
@@ -96,29 +146,53 @@ fn step_and_record<T: Topology, R: Router>(
 
 #[test]
 fn golden_partial_permutation() {
-    let topo = Mesh::new(16);
-    let pb = workloads::random_partial_permutation(16, 0.5, 2024);
-    let mut sim = Sim::new(&topo, Dx::new(Theorem15::new(2)), &pb);
-    let (outcome, events) = step_and_record(&mut sim, 5_000);
-    check(GoldenDoc {
-        scenario: "partial_perm".into(),
-        outcome,
-        report: sim.report(),
-        events,
+    check_sequential_and_tiled(|config| {
+        let topo = Mesh::new(16);
+        let pb = workloads::random_partial_permutation(16, 0.5, 2024);
+        let mut sim = Sim::with_config(&topo, Dx::new(Theorem15::new(2)), &pb, config);
+        let (outcome, events) = step_and_record(&mut sim, 5_000);
+        GoldenDoc {
+            scenario: "partial_perm".into(),
+            outcome,
+            report: sim.report(),
+            events,
+        }
     });
 }
 
 #[test]
 fn golden_transpose() {
-    let topo = Mesh::new(16);
-    let pb = workloads::transpose(16);
-    let mut sim = Sim::new(&topo, Dx::new(Theorem15::new(2)), &pb);
-    let (outcome, events) = step_and_record(&mut sim, 5_000);
-    check(GoldenDoc {
-        scenario: "transpose".into(),
-        outcome,
-        report: sim.report(),
-        events,
+    check_sequential_and_tiled(|config| {
+        let topo = Mesh::new(16);
+        let pb = workloads::transpose(16);
+        let mut sim = Sim::with_config(&topo, Dx::new(Theorem15::new(2)), &pb, config);
+        let (outcome, events) = step_and_record(&mut sim, 5_000);
+        GoldenDoc {
+            scenario: "transpose".into(),
+            outcome,
+            report: sim.report(),
+            events,
+        }
+    });
+}
+
+/// A dense workload on a larger mesh: a full random permutation on 64×64,
+/// so traffic crosses every tile boundary of every geometry the replays
+/// use.
+#[test]
+fn golden_dense64() {
+    check_sequential_and_tiled(|config| {
+        let n = 64;
+        let topo = Mesh::new(n);
+        let pb = workloads::random_permutation(n, 2024);
+        let mut sim = Sim::with_config(&topo, Dx::new(Theorem15::new(2)), &pb, config);
+        let (outcome, events) = step_and_record(&mut sim, 20_000);
+        GoldenDoc {
+            scenario: "dense64".into(),
+            outcome,
+            report: sim.report(),
+            events,
+        }
     });
 }
 
@@ -127,27 +201,29 @@ fn golden_transpose() {
 /// verdict) is part of the frozen record.
 #[test]
 fn golden_faulty() {
-    let n = 16;
-    let topo = Mesh::new(n);
-    let pb = workloads::random_partial_permutation(n, 0.5, 2024);
-    let faults = Arc::new(FaultPlan::random(n, 0.15, 8 * n as u64, 4045).compile());
-    let config = SimConfig {
-        watchdog: Some(8 * n as u64),
-        ..SimConfig::default()
-    };
-    let mut sim = Sim::with_faults(
-        &topo,
-        FaultAware::new(Dx::new(DimOrder::new(4)), Arc::clone(&faults)),
-        &pb,
-        config,
-        faults.as_ref().clone(),
-    );
-    let (outcome, events) = step_and_record(&mut sim, 5_000);
-    check(GoldenDoc {
-        scenario: "faulty".into(),
-        outcome,
-        report: sim.report(),
-        events,
+    check_sequential_and_tiled(|config| {
+        let n = 16;
+        let topo = Mesh::new(n);
+        let pb = workloads::random_partial_permutation(n, 0.5, 2024);
+        let faults = Arc::new(FaultPlan::random(n, 0.15, 8 * n as u64, 4045).compile());
+        let config = SimConfig {
+            watchdog: Some(8 * n as u64),
+            ..config
+        };
+        let mut sim = Sim::with_faults(
+            &topo,
+            FaultAware::new(Dx::new(DimOrder::new(4)), Arc::clone(&faults)),
+            &pb,
+            config,
+            faults.as_ref().clone(),
+        );
+        let (outcome, events) = step_and_record(&mut sim, 5_000);
+        GoldenDoc {
+            scenario: "faulty".into(),
+            outcome,
+            report: sim.report(),
+            events,
+        }
     });
 }
 
@@ -180,36 +256,38 @@ impl<P: ProtocolHook> ProtocolHook for Recording<'_, P> {
 /// payload, driven through `run_with_protocol`.
 #[test]
 fn golden_reliable() {
-    let n = 16;
-    let topo = Mesh::new(n);
-    let pb = workloads::dynamic_bernoulli(n, 0.02, 4 * n as u64, 2024);
-    let faults = Arc::new(FaultPlan::random_outages(n, 0.12, 8 * n as u64, 40).compile());
-    let config = SimConfig {
-        watchdog: Some(1024),
-        ..SimConfig::default()
-    };
-    let mut sim = Sim::with_faults(
-        &topo,
-        FaultAware::new(Dx::new(Theorem15::new(2)), Arc::clone(&faults)),
-        &pb,
-        config,
-        faults.as_ref().clone(),
-    );
-    let mut transport = Transport::new(&pb, BackoffPolicy::exponential(64, 512, 16), 7);
-    let mut recorder = Recording {
-        inner: &mut transport,
-        events: Vec::new(),
-    };
-    let res = sim.run_with_protocol(200_000, &mut recorder);
-    let outcome = match &res {
-        Ok(_) => "completed".to_string(),
-        Err(err) => err.kind().to_string(),
-    };
-    let events = recorder.events;
-    check(GoldenDoc {
-        scenario: "reliable".into(),
-        outcome,
-        report: sim.report(),
-        events,
+    check_sequential_and_tiled(|config| {
+        let n = 16;
+        let topo = Mesh::new(n);
+        let pb = workloads::dynamic_bernoulli(n, 0.02, 4 * n as u64, 2024);
+        let faults = Arc::new(FaultPlan::random_outages(n, 0.12, 8 * n as u64, 40).compile());
+        let config = SimConfig {
+            watchdog: Some(1024),
+            ..config
+        };
+        let mut sim = Sim::with_faults(
+            &topo,
+            FaultAware::new(Dx::new(Theorem15::new(2)), Arc::clone(&faults)),
+            &pb,
+            config,
+            faults.as_ref().clone(),
+        );
+        let mut transport = Transport::new(&pb, BackoffPolicy::exponential(64, 512, 16), 7);
+        let mut recorder = Recording {
+            inner: &mut transport,
+            events: Vec::new(),
+        };
+        let res = sim.run_with_protocol(200_000, &mut recorder);
+        let outcome = match &res {
+            Ok(_) => "completed".to_string(),
+            Err(err) => err.kind().to_string(),
+        };
+        let events = recorder.events;
+        GoldenDoc {
+            scenario: "reliable".into(),
+            outcome,
+            report: sim.report(),
+            events,
+        }
     });
 }

@@ -1,0 +1,238 @@
+//! Differential battery for tile-sharded execution: for arbitrary
+//! problems, routers, fault plans, tile geometries, and thread counts, a
+//! tiled run must be **bit-identical** to the sequential engine — same
+//! per-step delivery/loss streams, same packet trajectories, same report,
+//! same diagnostics, same watchdog verdicts. Parallelism is an execution
+//! strategy, never a semantics change.
+
+use mesh_routing::prelude::*;
+use mesh_routing::routers::HotPotato;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// An arbitrary partial permutation on a side-`n` grid (same construction
+/// as `tests/properties.rs`).
+fn partial_permutation(n: u32) -> impl Strategy<Value = RoutingProblem> {
+    let cells = (n * n) as usize;
+    (
+        proptest::collection::vec(0..cells as u32, 1..cells.min(64)),
+        proptest::collection::vec(0..cells as u32, 1..cells.min(64)),
+    )
+        .prop_map(move |(mut srcs, mut dsts)| {
+            srcs.sort_unstable();
+            srcs.dedup();
+            dsts.sort_unstable();
+            dsts.dedup();
+            let m = srcs.len().min(dsts.len());
+            let pairs = srcs[..m]
+                .iter()
+                .zip(&dsts[..m])
+                .map(|(&s, &d)| (Coord::new(s % n, s / n), Coord::new(d % n, d / n)));
+            RoutingProblem::from_pairs(n, "prop", pairs)
+        })
+}
+
+/// Static partial permutations or dynamic Bernoulli arrivals. (The
+/// vendored proptest shim has no `prop_oneof`; select by index.)
+fn workload(n: u32) -> impl Strategy<Value = RoutingProblem> {
+    (0u32..2, partial_permutation(n), (1u64..=50, 0u64..5_000)).prop_map(
+        move |(which, pp, (rate_permille, seed))| {
+            if which == 0 {
+                pp
+            } else {
+                workloads::dynamic_bernoulli(n, rate_permille as f64 / 1000.0, 4 * n as u64, seed)
+            }
+        },
+    )
+}
+
+/// Tile geometry × worker threads, degenerate cases included: `None`
+/// (bands, one per thread), a single tile covering the mesh, 1×1 tiles,
+/// and arbitrary (non-square, ragged) rectangles. `tile_threads = 1` with
+/// an explicit geometry exercises the staging/merge machinery without
+/// concurrency.
+fn tile_config(n: u32) -> impl Strategy<Value = (Option<(u32, u32)>, usize)> {
+    (0u32..4, 1u32..=n, 1u32..=n, 0usize..4).prop_map(move |(which, tx, ty, ti)| {
+        let geometry = match which {
+            0 => None,           // bands, one per thread
+            1 => Some((1, 1)),   // single tile covering the mesh
+            2 => Some((n, n)),   // 1×1 tiles
+            _ => Some((tx, ty)), // arbitrary (non-square, ragged)
+        };
+        (geometry, [1usize, 2, 4, 8][ti])
+    })
+}
+
+/// Steps `seq` (sequential) and `par` (tiled) in lockstep, checking after
+/// every step that the observable state is identical: done flags, the
+/// per-step delivery and loss event streams, and the full packet
+/// configuration. Optionally audits the tiled sim's queue invariants each
+/// step. Ends by comparing the rendered reports and diagnostics.
+fn assert_lockstep_identical<T: Topology, R: Router>(
+    seq: &mut Sim<'_, T, R>,
+    par: &mut Sim<'_, T, R>,
+    max_steps: u64,
+    audit: bool,
+) -> Result<(), TestCaseError> {
+    for step in 0..max_steps {
+        let a = seq.step();
+        let b = par.step();
+        prop_assert!(a == b, "done flags diverged at step {}", step);
+        prop_assert!(
+            seq.last_step_deliveries() == par.last_step_deliveries(),
+            "delivery stream diverged at step {}",
+            step
+        );
+        prop_assert!(
+            seq.last_step_losses() == par.last_step_losses(),
+            "loss stream diverged at step {}",
+            step
+        );
+        prop_assert!(
+            seq.packet_snapshot() == par.packet_snapshot(),
+            "packet configuration diverged at step {}",
+            step
+        );
+        if audit {
+            par.assert_queue_invariants();
+        }
+        if a {
+            break;
+        }
+    }
+    prop_assert_eq!(
+        serde_json::to_string(&seq.report()).unwrap(),
+        serde_json::to_string(&par.report()).unwrap()
+    );
+    prop_assert_eq!(seq.diagnostics(), par.diagnostics());
+    Ok(())
+}
+
+/// Builds the sequential/tiled pair for a fault-free problem and runs the
+/// lockstep comparison.
+fn check_fault_free<R: Router>(
+    pb: &RoutingProblem,
+    mk: impl Fn() -> R,
+    tiles: Option<(u32, u32)>,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    let topo = Mesh::new(pb.n);
+    let mut seq = Sim::new(&topo, mk(), pb);
+    let config = SimConfig {
+        tile_threads: threads,
+        tiles,
+        ..SimConfig::default()
+    };
+    let mut par = Sim::with_config(&topo, mk(), pb, config);
+    assert_lockstep_identical(&mut seq, &mut par, 3_000, false)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Property 1: fault-free equivalence across the shipped router
+    /// spectrum — minimal deterministic (dim-order), minimal adaptive
+    /// (theorem15), partially adaptive (west-first), and nonminimal
+    /// deflection (hot-potato) — for arbitrary workloads, tile
+    /// geometries, and thread counts.
+    #[test]
+    fn tiled_execution_is_bit_identical_fault_free(
+        pb in workload(16),
+        tc in tile_config(16),
+        k in 1u32..4,
+        router in 0usize..4,
+    ) {
+        prop_assume!(!pb.is_empty());
+        let (tiles, threads) = tc;
+        match router {
+            0 => check_fault_free(&pb, || Dx::new(DimOrder::new(k)), tiles, threads)?,
+            1 => check_fault_free(&pb, || Dx::new(Theorem15::new(k)), tiles, threads)?,
+            2 => check_fault_free(&pb, || Dx::new(WestFirst::new(k)), tiles, threads)?,
+            _ => check_fault_free(&pb, || Dx::new(HotPotato::new(16)), tiles, threads)?,
+        }
+    }
+
+    /// Property 2: equivalence under an arbitrary fault plan with the
+    /// watchdog armed — the whole run outcome (steps-to-completion or the
+    /// exact `SimError` variant with its full diagnostic snapshot) must
+    /// match, not just the happy path.
+    #[test]
+    fn tiled_execution_is_bit_identical_under_faults(
+        pb in partial_permutation(12),
+        tc in tile_config(12),
+        rate_permille in 0u64..=200,
+        fault_seed in 0u64..10_000,
+    ) {
+        prop_assume!(!pb.is_empty());
+        let (tiles, threads) = tc;
+        let n = 12u32;
+        let topo = Mesh::new(n);
+        let rate = rate_permille as f64 / 1000.0;
+        let faults = Arc::new(FaultPlan::random(n, rate, 6 * n as u64, fault_seed).compile());
+        let config = SimConfig {
+            watchdog: Some(8 * n as u64),
+            ..SimConfig::default()
+        };
+        let mk_sim = |cfg: SimConfig| {
+            Sim::with_faults(
+                &topo,
+                FaultAware::new(Dx::new(Theorem15::new(2)), Arc::clone(&faults)),
+                &pb,
+                cfg,
+                faults.as_ref().clone(),
+            )
+        };
+        let mut seq = mk_sim(config);
+        let mut par = mk_sim(SimConfig {
+            tile_threads: threads,
+            tiles,
+            ..config
+        });
+        let res_seq = seq.run(20_000);
+        let res_par = par.run(20_000);
+        prop_assert!(res_seq == res_par, "run outcomes diverged: {:?} vs {:?}", res_seq, res_par);
+        prop_assert_eq!(
+            serde_json::to_string(&seq.report()).unwrap(),
+            serde_json::to_string(&par.report()).unwrap()
+        );
+        prop_assert_eq!(seq.packet_snapshot(), par.packet_snapshot());
+        prop_assert_eq!(seq.diagnostics(), par.diagnostics());
+    }
+
+    /// Property 3: the per-step queue invariants (every bounded queue
+    /// within capacity, occupancy index in sync, packet location records
+    /// consistent) hold after *every* tiled step — not merely at the end
+    /// of the run — while the tiled run tracks the sequential one under
+    /// faults in lockstep.
+    #[test]
+    fn tiled_queue_invariants_hold_every_step(
+        pb in workload(12),
+        tc in tile_config(12),
+        k in 1u32..4,
+        rate_permille in 0u64..=150,
+        fault_seed in 0u64..10_000,
+    ) {
+        prop_assume!(!pb.is_empty());
+        let (tiles, threads) = tc;
+        let n = 12u32;
+        let topo = Mesh::new(n);
+        let rate = rate_permille as f64 / 1000.0;
+        let faults = Arc::new(FaultPlan::random(n, rate, 6 * n as u64, fault_seed).compile());
+        let mk_sim = |cfg: SimConfig| {
+            Sim::with_faults(
+                &topo,
+                FaultAware::new(Dx::new(DimOrder::new(k)), Arc::clone(&faults)),
+                &pb,
+                cfg,
+                faults.as_ref().clone(),
+            )
+        };
+        let mut seq = mk_sim(SimConfig::default());
+        let mut par = mk_sim(SimConfig {
+            tile_threads: threads,
+            tiles,
+            ..SimConfig::default()
+        });
+        assert_lockstep_identical(&mut seq, &mut par, 1_500, true)?;
+    }
+}
