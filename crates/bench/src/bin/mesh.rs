@@ -26,8 +26,9 @@ fn usage() -> ! {
 
 const USAGE: &str = "usage:
   mesh workload  <kind> --n N [--seed S] [--h H] [--load F] [-o FILE]
-  mesh route     <algorithm> (--problem FILE | --workload KIND --n N) \\
-                 [--k K] [--seed S] [--cap STEPS] [--json] [--latency] [--heatmap]
+  mesh route     <algorithm> (--problem FILE | --workload KIND --n N | --resume-from CKPT) \\
+                 [--k K] [--seed S] [--cap STEPS] [--json] [--latency] [--heatmap] \\
+                 [--checkpoint-every N [--checkpoint-dir DIR] [--halt-at S]]
   mesh construct <general|dimorder|farthest> --n N --k K [--victim ALGO] [--h H] [-o FILE] [--check]
 
 workloads:  random partial transpose bit-reversal rotation hotspot funnel random-dst hh
@@ -161,6 +162,24 @@ fn cmd_workload(args: &Args) {
     }
 }
 
+fn print_route(args: &Args, out: &RouteOutcome) {
+    if args.has("json") {
+        println!("{}", serde_json::to_string_pretty(out).unwrap());
+    } else {
+        println!(
+            "{} on {}: steps={}{} max_queue={} moves={} delivered={}/{}",
+            out.algorithm,
+            out.workload,
+            out.steps,
+            if out.completed { "" } else { " (STALLED)" },
+            out.max_queue,
+            out.total_moves,
+            out.delivered,
+            out.total_packets
+        );
+    }
+}
+
 fn cmd_route(args: &Args) {
     let algo_name = args
         .positional
@@ -169,17 +188,62 @@ fn cmd_route(args: &Args) {
         .unwrap_or_else(|| usage());
     let k = args.u32_flag("k").unwrap_or(4);
     let algo = make_algorithm(algo_name, k);
+
+    // Crash recovery: restore a checkpoint and drive it to completion. The
+    // problem is not re-read — the snapshot carries the full run state —
+    // and the result is byte-identical to the uninterrupted run's.
+    if let Some(path) = args.flags.get("resume-from") {
+        let snap = mesh_routing::engine::Snapshot::read_from(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot load snapshot {path}: {e}");
+                exit(1);
+            });
+        let n = snap.n as u64;
+        let cap = args.u64_flag("cap").unwrap_or(64 * n * n + 4096);
+        let out = mesh_routing::resume_route(algo, &snap, cap).unwrap_or_else(|e| {
+            eprintln!("cannot resume: {e}");
+            exit(1);
+        });
+        eprintln!("resumed from {path} at step {}", snap.step);
+        print_route(args, &out);
+        return;
+    }
+
     let pb = if let Some(path) = args.flags.get("problem") {
         load_problem(path)
     } else if let Some(kind) = args.flags.get("workload") {
         make_workload(kind, args)
     } else {
-        eprintln!("route needs --problem FILE or --workload KIND --n N");
+        eprintln!("route needs --problem FILE, --workload KIND --n N, or --resume-from CKPT");
         usage()
     };
     let cap = args
         .u64_flag("cap")
         .unwrap_or(64 * pb.n as u64 * pb.n as u64 + 4096);
+
+    // Checkpointed run: identical outcome, plus a ckpt_<step>.json stream
+    // in --checkpoint-dir. --halt-at simulates the crash by capping the
+    // run at that step; resume later with --resume-from.
+    if let Some(every) = args.u64_flag("checkpoint-every") {
+        let dir = args
+            .flags
+            .get("checkpoint-dir")
+            .map(String::as_str)
+            .unwrap_or("checkpoints");
+        let cap = args.u64_flag("halt-at").unwrap_or(cap);
+        let (out, last) =
+            mesh_routing::route_checkpointed(algo, &pb, cap, every, std::path::Path::new(dir))
+                .unwrap_or_else(|e| {
+                    eprintln!("checkpointed run failed: {e}");
+                    exit(1);
+                });
+        match last {
+            Some(p) => eprintln!("last checkpoint: {}", p.display()),
+            None => eprintln!("no checkpoint written (run ended before the first cadence point)"),
+        }
+        print_route(args, &out);
+        return;
+    }
 
     // For the extra reports we need the live sim, so route manually for
     // engine algorithms; fall back to the API for §6.

@@ -1211,10 +1211,168 @@ pub fn reliable(full: bool, tile_threads: usize) -> Experiment {
     e
 }
 
+/// CRASHREC — crash-recovery soak over the checkpoint/restore subsystem
+/// (DESIGN.md §11). Each trial runs a faulty workload to completion while
+/// writing cadenced checkpoints, then simulates a crash at every recorded
+/// checkpoint: the snapshot is round-tripped through its JSON wire format,
+/// restored into a fresh engine (and, on the reliable layer, a fresh
+/// [`Transport`](mesh_routing::reliable::Transport) rehydrated from the
+/// protocol slot), and run to completion. A row passes only if **every**
+/// resumed run reproduces the uninterrupted run byte-for-byte — same
+/// outcome, same rendered report, same per-packet trajectories.
+pub fn crashrec(full: bool, tile_threads: usize) -> Experiment {
+    use mesh_routing::engine::{MemorySink, Snapshot, SnapshotHook};
+    use mesh_routing::reliable::{BackoffPolicy, Transport};
+
+    let mut e = Experiment::new(
+        "crashrec",
+        "Crash recovery soak: kill at every checkpoint, resume, byte-compare vs the uninterrupted run",
+        "every row reports identical=yes with resumes == ckpts: a run killed at any checkpoint and resumed from the snapshot's JSON wire form replays the remaining steps bit-identically — same outcome, report, and packet trajectories — on both the raw and the ACK+retransmission layer, at every cadence and fault density",
+        &[
+            "n", "density", "layer", "cadence", "outcome", "steps", "ckpts", "resumes",
+            "identical",
+        ],
+    );
+    let n: u32 = if full { 16 } else { 12 };
+    let densities: &[f64] = if full {
+        &[0.0, 0.08, 0.16]
+    } else {
+        &[0.0, 0.12]
+    };
+    let cadences: &[u64] = if full { &[4, 16, 64] } else { &[8, 32] };
+    let horizon = 8 * n as u64;
+    for &density in densities {
+        for layer in ["raw", "reliable"] {
+            for &cadence in cadences {
+                e.seeded(
+                    format!("density={density} {layer} ck={cadence}"),
+                    move |trial| {
+                        let topo = Mesh::new(n);
+                        let pb = workloads::dynamic_bernoulli(
+                            n,
+                            0.02,
+                            4 * n as u64,
+                            derive_seed(3111, trial),
+                        );
+                        let faults = Arc::new(
+                            FaultPlan::random_outages(n, density, horizon, derive_seed(41, trial))
+                                .compile(),
+                        );
+                        let config = SimConfig {
+                            watchdog: Some(1024.max(8 * n as u64)),
+                            tile_threads,
+                            checkpoint_every: Some(cadence),
+                            ..SimConfig::default()
+                        };
+                        let mk_sim = |cfg| {
+                            Sim::with_faults(
+                                &topo,
+                                FaultAware::new(Dx::new(Theorem15::new(2)), Arc::clone(&faults)),
+                                &pb,
+                                cfg,
+                                faults.as_ref().clone(),
+                            )
+                        };
+                        let resume_config = SimConfig {
+                            checkpoint_every: None,
+                            ..config
+                        };
+                        let policy = BackoffPolicy::exponential(64, 512, 16);
+                        let mut sim = mk_sim(config);
+                        let mut sink = MemorySink::default();
+                        let mut resumes = 0u64;
+                        let mut identical = true;
+                        if layer == "raw" {
+                            let res = sim.run_checkpointed(200_000, &mut sink);
+                            let want = serde_json::to_string(&sim.report()).unwrap();
+                            for ckpt in &sink.checkpoints {
+                                let snap = Snapshot::from_json(&ckpt.to_json())
+                                    .expect("engine-written snapshot must round-trip");
+                                let mut sim_b = Sim::restore(
+                                    &topo,
+                                    FaultAware::new(
+                                        Dx::new(Theorem15::new(2)),
+                                        Arc::clone(&faults),
+                                    ),
+                                    resume_config,
+                                    Some(faults.as_ref().clone()),
+                                    &snap,
+                                )
+                                .expect("engine-written snapshot must restore");
+                                let res_b = sim_b.run(200_000);
+                                resumes += 1;
+                                identical &= res_b == res
+                                    && serde_json::to_string(&sim_b.report()).unwrap() == want
+                                    && sim_b.packet_snapshot() == sim.packet_snapshot();
+                            }
+                            let row = cells!(
+                                n,
+                                density,
+                                layer,
+                                cadence,
+                                outcome_tag(&res),
+                                sim.steps(),
+                                sink.checkpoints.len(),
+                                resumes,
+                                if identical { "yes" } else { "NO" }
+                            );
+                            TrialOutput::with_report(row, sim.report())
+                        } else {
+                            let mut tp = Transport::new(&pb, policy, derive_seed(7, trial));
+                            let res =
+                                sim.run_with_protocol_checkpointed(200_000, &mut tp, &mut sink);
+                            let want = serde_json::to_string(&sim.report()).unwrap();
+                            let want_tp = serde_json::to_string(&tp.report(sim.steps())).unwrap();
+                            for ckpt in &sink.checkpoints {
+                                let snap = Snapshot::from_json(&ckpt.to_json())
+                                    .expect("engine-written snapshot must round-trip");
+                                let mut sim_b = Sim::restore(
+                                    &topo,
+                                    FaultAware::new(
+                                        Dx::new(Theorem15::new(2)),
+                                        Arc::clone(&faults),
+                                    ),
+                                    resume_config,
+                                    Some(faults.as_ref().clone()),
+                                    &snap,
+                                )
+                                .expect("engine-written snapshot must restore");
+                                let mut tp_b = Transport::new(&pb, policy, derive_seed(7, trial));
+                                tp_b.restore_state(snap.protocol.as_ref().expect("protocol slot"))
+                                    .expect("transport state must restore");
+                                let res_b = sim_b.run_with_protocol(200_000, &mut tp_b);
+                                resumes += 1;
+                                identical &= res_b == res
+                                    && serde_json::to_string(&sim_b.report()).unwrap() == want
+                                    && serde_json::to_string(&tp_b.report(sim_b.steps())).unwrap()
+                                        == want_tp
+                                    && sim_b.packet_snapshot() == sim.packet_snapshot();
+                            }
+                            let row = cells!(
+                                n,
+                                density,
+                                layer,
+                                cadence,
+                                outcome_tag(&res),
+                                sim.steps(),
+                                sink.checkpoints.len(),
+                                resumes,
+                                if identical { "yes" } else { "NO" }
+                            );
+                            TrialOutput::with_report(row, sim.report())
+                        }
+                    },
+                );
+            }
+        }
+    }
+    e
+}
+
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2",
-    "a3", "perf", "chaos", "reliable",
+    "a3", "perf", "chaos", "reliable", "crashrec",
 ];
 
 /// Builds the experiment (its cells) by id, without running anything.
@@ -1223,7 +1381,7 @@ pub fn build(id: &str, full: bool) -> Option<Experiment> {
 }
 
 /// Builds the experiment with an explicit tile-thread count for the
-/// simulation-heavy experiments (`perf`, `chaos`, `reliable`). The
+/// simulation-heavy experiments (`perf`, `chaos`, `reliable`, `crashrec`). The
 /// deterministic `BENCH_<id>.json` contents are the same for every value —
 /// that is the tiled engine's contract, re-checked by the determinism tests
 /// and the CI byte-compares.
@@ -1248,6 +1406,7 @@ pub fn build_with(id: &str, full: bool, tile_threads: usize) -> Option<Experimen
         "perf" => perf(full, tile_threads),
         "chaos" => chaos(full, tile_threads),
         "reliable" => reliable(full, tile_threads),
+        "crashrec" => crashrec(full, tile_threads),
         _ => return None,
     })
 }
@@ -1286,9 +1445,10 @@ mod tests {
                     || *id == "perf"
                     || *id == "chaos"
                     || *id == "reliable"
+                    || *id == "crashrec"
             );
         }
-        assert_eq!(ALL.len(), 19);
+        assert_eq!(ALL.len(), 20);
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! One-call routing API over every algorithm in the reproduction.
 
 use crate::section6::{Section6Report, Section6Router};
-use mesh_engine::{Dx, Sim};
+use mesh_engine::{DirectorySink, Dx, Sim, SimConfig, Snapshot};
 use mesh_routers::{
     AltAdaptive, BoundedDeflect, DimOrder, FarthestFirst, HotPotato, Theorem15, WestFirst,
 };
 use mesh_topo::Mesh;
 use mesh_traffic::RoutingProblem;
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 
 /// The algorithms of the paper (and this reproduction).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -197,7 +198,10 @@ fn engine_route<R: mesh_engine::Router>(
     cap: u64,
 ) -> RouteOutcome {
     let _ = sim.run(cap);
-    let r = sim.report();
+    engine_outcome(algorithm, sim.report())
+}
+
+fn engine_outcome(algorithm: Algorithm, r: mesh_engine::SimReport) -> RouteOutcome {
     RouteOutcome {
         algorithm: algorithm.name(),
         workload: r.workload.clone(),
@@ -211,6 +215,106 @@ fn engine_route<R: mesh_engine::Router>(
         report: Some(r),
         section6: None,
     }
+}
+
+/// Dispatches an engine algorithm to its concrete router value and runs
+/// `$body` with it bound; the §6 schedulers do not run through the engine
+/// and make the enclosing function return an error.
+macro_rules! with_engine_router {
+    ($algo:expr, $n:expr, |$router:ident| $body:expr) => {
+        match $algo {
+            Algorithm::DimOrder { k } => {
+                let $router = Dx::new(DimOrder::new(k));
+                $body
+            }
+            Algorithm::DimOrderYx { k } => {
+                let $router = Dx::new(DimOrder::yx(k));
+                $body
+            }
+            Algorithm::AltAdaptive { k } => {
+                let $router = Dx::new(AltAdaptive::new(k));
+                $body
+            }
+            Algorithm::Theorem15 { k } => {
+                let $router = Dx::new(Theorem15::new(k));
+                $body
+            }
+            Algorithm::FarthestFirst { k } => {
+                let $router = FarthestFirst::new(k);
+                $body
+            }
+            Algorithm::GreedyUnbounded => {
+                let $router = FarthestFirst::unbounded($n);
+                $body
+            }
+            Algorithm::HotPotato => {
+                let $router = Dx::new(HotPotato::new($n));
+                $body
+            }
+            Algorithm::BoundedDeflect { k, delta } => {
+                let $router = Dx::new(BoundedDeflect::new($n, k, delta));
+                $body
+            }
+            Algorithm::WestFirst { k } => {
+                let $router = Dx::new(WestFirst::new(k));
+                $body
+            }
+            Algorithm::Section6 | Algorithm::Section6Improved => {
+                return Err(format!(
+                    "{} does not run through the engine; checkpoint/resume needs an engine algorithm",
+                    $algo.name()
+                ))
+            }
+        }
+    };
+}
+
+/// [`route_with_cap`] writing a cadenced checkpoint stream (`ckpt_<step>.json`,
+/// plus `diag_<step>.json` on a watchdog trip) to `dir`. Checkpointing is a
+/// pure observer: the outcome is byte-identical to an uncheckpointed run.
+/// Returns the outcome and the path of the last checkpoint written, if any.
+/// Engine algorithms only — the §6 schedulers yield `Err`.
+pub fn route_checkpointed(
+    algorithm: Algorithm,
+    problem: &RoutingProblem,
+    cap: u64,
+    every: u64,
+    dir: &Path,
+) -> Result<(RouteOutcome, Option<PathBuf>), String> {
+    let topo = Mesh::new(problem.n);
+    let config = SimConfig {
+        checkpoint_every: Some(every),
+        ..SimConfig::default()
+    };
+    with_engine_router!(algorithm, problem.n, |router| {
+        let mut sim = Sim::with_config(&topo, router, problem, config);
+        let mut sink = DirectorySink::new(dir).map_err(|e| e.to_string())?;
+        let _ = sim.run_checkpointed(cap, &mut sink);
+        if let Some(err) = sink.error {
+            return Err(err.to_string());
+        }
+        let last = sink.last_checkpoint().map(Path::to_path_buf);
+        Ok((engine_outcome(algorithm, sim.report()), last))
+    })
+}
+
+/// Restores a run from `snap` and drives it to completion (or `cap`),
+/// producing the same [`RouteOutcome`] an uninterrupted [`route_with_cap`]
+/// of the whole problem would — bit-identical, per the engine's
+/// crash-recovery guarantee (DESIGN.md §11). The algorithm must match the
+/// one the snapshot was taken under.
+pub fn resume_route(
+    algorithm: Algorithm,
+    snap: &Snapshot,
+    cap: u64,
+) -> Result<RouteOutcome, String> {
+    let topo = Mesh::new(snap.n);
+    with_engine_router!(algorithm, snap.n, |router| {
+        let mut sim = Sim::restore(&topo, router, SimConfig::default(), None, snap)
+            .map_err(|e| e.to_string())?;
+        let _ = sim.run(cap);
+        Ok(engine_outcome(algorithm, sim.report()))
+    })
 }
 
 #[cfg(test)]

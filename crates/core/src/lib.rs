@@ -23,7 +23,7 @@
 pub mod api;
 pub mod section6;
 
-pub use api::{route, route_with_cap, Algorithm, RouteOutcome};
+pub use api::{resume_route, route, route_checkpointed, route_with_cap, Algorithm, RouteOutcome};
 pub use section6::{Section6Config, Section6Report, Section6Router};
 
 // Re-export the substrate crates under stable names.
@@ -37,7 +37,9 @@ pub use mesh_traffic as traffic;
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::api::{route, route_with_cap, Algorithm, RouteOutcome};
+    pub use crate::api::{
+        resume_route, route, route_checkpointed, route_with_cap, Algorithm, RouteOutcome,
+    };
     pub use crate::section6::{Section6Report, Section6Router};
     pub use mesh_adversary::{
         verify_lower_bound, DimOrderParams, GeneralConstruction, GeneralParams,

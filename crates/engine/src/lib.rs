@@ -53,6 +53,7 @@ pub mod protocol;
 pub mod queue;
 pub mod router;
 pub mod sim;
+pub mod snapshot;
 pub mod stats;
 mod storage;
 mod tiles;
@@ -71,6 +72,10 @@ pub use queue::{QueueArch, QueueKind};
 pub use router::{Dx, DxRouter, Router};
 pub use sim::Loc;
 pub use sim::{Sim, SimConfig, SimError};
+pub use snapshot::{
+    CheckpointSink, DirectorySink, MemorySink, Snapshot, SnapshotError, SnapshotHook,
+    SNAPSHOT_FORMAT_VERSION,
+};
 
 // Fault plans are part of the engine's public vocabulary (constructors take
 // them); re-export the crate so downstream users need not depend on

@@ -69,7 +69,8 @@ pub const STEP_PIPELINE: [Phase; 8] = [
 ];
 
 /// Monotone run counters, updated by phases and read by reports.
-#[derive(Default)]
+/// Serializable as a block: the snapshot subsystem persists it verbatim.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub(crate) struct Progress {
     pub(crate) steps: u64,
     pub(crate) delivered: usize,

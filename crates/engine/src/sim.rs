@@ -52,6 +52,17 @@ pub struct SimConfig {
     /// `tile_threads = 1` still exercises the tiled execution path (the
     /// staging/merge machinery on one worker) — useful for tests.
     pub tiles: Option<(u32, u32)>,
+    /// Checkpoint cadence, in steps. When set, the checkpointing run
+    /// drivers ([`Sim::run_checkpointed`],
+    /// [`Sim::run_with_protocol_checkpointed`]) hand a full
+    /// [`Snapshot`](crate::snapshot::Snapshot) to their
+    /// [`CheckpointSink`](crate::snapshot::CheckpointSink) after every
+    /// `c`-th step. Checkpointing is an *observer*: it never changes what
+    /// the simulation computes, and a run resumed from any checkpoint is
+    /// bit-identical to one that never stopped. `None` (the default)
+    /// disables it; the plain `run`/`run_with_hook`/`run_with_protocol`
+    /// entry points ignore it entirely.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -61,6 +72,7 @@ impl Default for SimConfig {
             watchdog: None,
             tile_threads: 1,
             tiles: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -119,7 +131,7 @@ impl std::error::Error for SimError {}
 pub struct Sim<'t, T: Topology, R: Router> {
     pub(crate) topo: &'t T,
     pub(crate) router: R,
-    workload: String,
+    pub(crate) workload: String,
     pub(crate) config: SimConfig,
     // Compiled fault state; `None` (no plan, or an empty plan) is the fast
     // path with zero per-move overhead.
@@ -303,6 +315,61 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         proto: &mut P,
     ) -> Result<u64, SimError> {
         driver::run_driver(self, max_steps, &mut ProtocolRunner { proto })
+    }
+
+    // ---- checkpointing run drivers (crash-safe runs) ----
+
+    /// [`Sim::run`] with crash-safe checkpointing: every
+    /// [`SimConfig::checkpoint_every`] steps a full
+    /// [`Snapshot`](crate::snapshot::Snapshot) goes to `sink`, and if the
+    /// run fails (step cap or watchdog) the sink receives the failure
+    /// diagnostics too — the hook a [`DirectorySink`](crate::snapshot::DirectorySink)
+    /// uses to persist `diag_<step>.json` next to the active checkpoint.
+    /// With `checkpoint_every` unset this is exactly [`Sim::run`].
+    pub fn run_checkpointed<S: crate::snapshot::CheckpointSink>(
+        &mut self,
+        max_steps: u64,
+        sink: &mut S,
+    ) -> Result<u64, SimError>
+    where
+        R::NodeState: serde::Serialize,
+    {
+        let res = driver::run_driver(
+            self,
+            max_steps,
+            &mut driver::CheckpointHookRunner {
+                hook: &mut NoHook,
+                sink,
+            },
+        );
+        crate::snapshot::report_failure(sink, &res);
+        res
+    }
+
+    /// [`Sim::run_with_protocol`] with crash-safe checkpointing. The
+    /// protocol must implement [`SnapshotHook`](crate::snapshot::SnapshotHook)
+    /// so its state (ARQ sequence numbers, seen-sets, backoff RNG, …)
+    /// rides along in each checkpoint's `protocol` slot; on restore the
+    /// caller rebuilds the protocol and feeds that slot back through
+    /// [`SnapshotHook::restore_state`](crate::snapshot::SnapshotHook::restore_state).
+    pub fn run_with_protocol_checkpointed<P, S>(
+        &mut self,
+        max_steps: u64,
+        proto: &mut P,
+        sink: &mut S,
+    ) -> Result<u64, SimError>
+    where
+        P: ProtocolHook + crate::snapshot::SnapshotHook,
+        S: crate::snapshot::CheckpointSink,
+        R::NodeState: serde::Serialize,
+    {
+        let res = driver::run_driver(
+            self,
+            max_steps,
+            &mut driver::CheckpointProtocolRunner { proto, sink },
+        );
+        crate::snapshot::report_failure(sink, &res);
+        res
     }
 
     // ---- runtime packet spawning (protocol layers) ----

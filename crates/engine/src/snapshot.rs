@@ -1,0 +1,749 @@
+//! Crash-safe checkpoint/restore: the versioned [`Snapshot`] of a full
+//! engine run, [`Sim::snapshot`]/[`Sim::restore`], and the
+//! [`CheckpointSink`] observer the checkpointing run drivers feed.
+//!
+//! A snapshot captures *everything* the step pipeline reads or writes —
+//! the [`PacketStore`] SoA arrays, the [`NodeGrid`] queue slots (with the
+//! active worklist **in order**, because the route phase walks it
+//! verbatim), admission-control staging, the monotone progress counters,
+//! watchdog timers, per-node router state, last-step event buffers, and
+//! an opaque protocol-state slot for [`SnapshotHook`] layers (the ARQ
+//! transport). Restoring a snapshot and continuing produces a run
+//! bit-identical to one that never stopped — sequential or tile-sharded,
+//! fault-free or faulty, raw or under a protocol.
+//!
+//! What a snapshot deliberately does *not* carry, because it is
+//! reconstructible or caller-supplied:
+//!
+//! - the topology, router, and [`SimConfig`] (the caller re-supplies
+//!   them; the snapshot records `n`, the queue architecture, and the
+//!   algorithm name, and restore rejects mismatches);
+//! - the [`CompiledFaults`] plan — a pure function of the step with no
+//!   run-time state; a fingerprint (emptiness, loss-presence, last
+//!   transition) is recorded so a mismatched plan is rejected;
+//! - the tile runtime and the step scratch buffers, which are per-step
+//!   scratch rebuilt from `(n, &SimConfig)`.
+//!
+//! The format is self-describing JSON with a leading
+//! `format_version` field; [`Snapshot::from_json`] checks the version
+//! before touching any other field and every load error is a typed
+//! [`SnapshotError`] — truncated files, occupancy mismatches, permuted
+//! injection orders, and unknown versions all surface as rich errors,
+//! never panics.
+
+use crate::diag::DiagnosticSnapshot;
+use crate::phases::{EventLog, Progress, StepBufs};
+use crate::queue::{QueueArch, QueueKind};
+use crate::router::Router;
+use crate::sim::{Sim, SimConfig, SimError};
+use crate::storage::{Loc, NodeGrid, PacketStore, NOT_DELIVERED};
+use crate::watchdog::Timers;
+use mesh_faults::CompiledFaults;
+use mesh_topo::{Coord, Topology};
+use mesh_traffic::PacketId;
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+
+/// The snapshot format version this build writes and the only one it
+/// reads. Bump on any change to the serialized field set or meaning; old
+/// readers then fail with [`SnapshotError::UnknownVersion`] instead of
+/// misinterpreting state.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to load or validate. Restoring never panics:
+/// every malformed input maps to one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Reading or writing the snapshot file failed.
+    Io(String),
+    /// The file is not syntactically valid JSON (truncation included).
+    Parse(String),
+    /// The file declares a format version this build does not speak.
+    UnknownVersion { found: u64, supported: u32 },
+    /// The snapshot disagrees with the caller-supplied environment
+    /// (topology side, queue architecture, algorithm, fault plan).
+    Mismatch(String),
+    /// The snapshot is internally inconsistent (occupancy/slot-sum
+    /// mismatch, dangling packet references, broken injection order, …).
+    Corrupt(String),
+}
+
+impl core::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SnapshotError::Io(m) => write!(f, "snapshot io error: {m}"),
+            SnapshotError::Parse(m) => write!(f, "snapshot parse error: {m}"),
+            SnapshotError::UnknownVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} not supported (this build reads {supported})"
+            ),
+            SnapshotError::Mismatch(m) => write!(f, "snapshot environment mismatch: {m}"),
+            SnapshotError::Corrupt(m) => write!(f, "snapshot corrupt: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Cheap identity of a fault plan, for mismatch detection at restore.
+/// [`CompiledFaults`] itself carries no run-time state — it is a pure
+/// function of the step — so the plan is re-supplied by the caller and
+/// only fingerprint-checked here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultFingerprint {
+    /// The plan had no faults at all (the engine's fast path).
+    pub empty: bool,
+    /// The plan contains lossy links.
+    pub has_losses: bool,
+    /// Last step at which any finite fault interval lifts.
+    pub last_transition: u64,
+}
+
+impl FaultFingerprint {
+    fn of(faults: Option<&CompiledFaults>) -> FaultFingerprint {
+        match faults {
+            None => FaultFingerprint {
+                empty: true,
+                has_losses: false,
+                last_transition: 0,
+            },
+            Some(f) => FaultFingerprint {
+                empty: f.is_empty(),
+                has_losses: f.has_losses(),
+                last_transition: f.last_transition(),
+            },
+        }
+    }
+}
+
+/// The packet table, exactly as the [`PacketStore`] holds it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PacketsSnap {
+    pub src: Vec<Coord>,
+    pub dst: Vec<Coord>,
+    pub state: Vec<u64>,
+    pub inject_at: Vec<u64>,
+    pub loc: Vec<Loc>,
+    pub queue_of: Vec<QueueKind>,
+    pub delivered_at: Vec<u64>,
+    pub hops: Vec<u32>,
+    pub inject_order: Vec<PacketId>,
+    pub inject_cursor: usize,
+}
+
+/// The queue storage: flat node-major, slot-minor queue contents plus the
+/// staging and bookkeeping state the pipeline resumes from.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GridSnap {
+    /// `queues[ni * slots + slot]`, in queue order.
+    pub queues: Vec<Vec<PacketId>>,
+    /// Admission-deferred injections per node, sorted by node index.
+    pub pending: Vec<(u32, Vec<PacketId>)>,
+    /// The active-node worklist **in order** (route-schedule order next
+    /// step — reordering it would break bit-identical resumption).
+    pub active: Vec<u32>,
+    /// Per-node all-time peak occupancy (congestion map).
+    pub peak_load: Vec<u16>,
+}
+
+/// The most recent step's delivery/loss events (the
+/// [`Sim::last_step_deliveries`] view survives a restore).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EventsSnap {
+    pub delivered: Vec<PacketId>,
+    pub lost: Vec<PacketId>,
+}
+
+/// The complete serialized state of a run, between two steps.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Always first in the rendered JSON, so version checks never depend
+    /// on the rest of the layout.
+    pub format_version: u32,
+    /// Steps executed when the snapshot was taken (duplicate of
+    /// `progress.steps`, hoisted for file naming and quick inspection).
+    pub step: u64,
+    pub n: u32,
+    pub arch: QueueArch,
+    pub algorithm: String,
+    pub workload: String,
+    pub faults: FaultFingerprint,
+    pub(crate) progress: Progress,
+    pub(crate) timers: Timers,
+    pub packets: PacketsSnap,
+    pub grid: GridSnap,
+    pub events: EventsSnap,
+    /// Per-node router state, serialized through the router's own
+    /// `NodeState: Serialize` impl.
+    pub node_state: Vec<Value>,
+    /// Opaque protocol-layer state ([`SnapshotHook::snapshot_state`]),
+    /// present when the checkpoint was taken under a protocol run.
+    pub protocol: Option<Value>,
+}
+
+impl Snapshot {
+    /// Renders the snapshot as pretty JSON (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("snapshot serialization");
+        s.push('\n');
+        s
+    }
+
+    /// Parses a snapshot, checking the format version before any other
+    /// field so truncated or future-format files fail with a typed error.
+    pub fn from_json(text: &str) -> Result<Snapshot, SnapshotError> {
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| SnapshotError::Parse(e.to_string()))?;
+        let ver = v
+            .field("format_version")
+            .map_err(|e| SnapshotError::Parse(e.to_string()))?;
+        let found = match *ver {
+            Value::U64(x) => x,
+            ref other => {
+                return Err(SnapshotError::Parse(format!(
+                    "format_version must be an integer, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        if found != SNAPSHOT_FORMAT_VERSION as u64 {
+            return Err(SnapshotError::UnknownVersion {
+                found,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        Snapshot::deserialize(&v).map_err(|e| SnapshotError::Corrupt(e.to_string()))
+    }
+
+    /// Writes the snapshot to `path` atomically (temp file + rename), so
+    /// a crash mid-write never leaves a truncated checkpoint behind.
+    pub fn write_to(&self, path: &Path) -> Result<(), SnapshotError> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| SnapshotError::Io(format!("write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| SnapshotError::Io(format!("rename to {}: {e}", path.display())))?;
+        Ok(())
+    }
+
+    /// Reads and parses a snapshot file.
+    pub fn read_from(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| SnapshotError::Io(format!("read {}: {e}", path.display())))?;
+        Snapshot::from_json(&text)
+    }
+}
+
+impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
+    /// Captures the complete run state between steps. The protocol slot is
+    /// `None`; checkpointing protocol drivers fill it from their
+    /// [`SnapshotHook`].
+    pub fn snapshot(&self) -> Snapshot
+    where
+        R::NodeState: Serialize,
+    {
+        let mut pending: Vec<(u32, Vec<PacketId>)> = self
+            .grid
+            .pending
+            .iter()
+            .map(|(&ni, q)| (ni, q.iter().copied().collect()))
+            .collect();
+        pending.sort_unstable_by_key(|&(ni, _)| ni);
+        Snapshot {
+            format_version: SNAPSHOT_FORMAT_VERSION,
+            step: self.progress.steps,
+            n: self.grid.n(),
+            arch: self.grid.arch(),
+            algorithm: self.router.name(),
+            workload: self.workload.clone(),
+            faults: FaultFingerprint::of(self.faults.as_ref()),
+            progress: self.progress.clone(),
+            timers: self.timers.clone(),
+            packets: PacketsSnap {
+                src: self.store.src.clone(),
+                dst: self.store.dst.clone(),
+                state: self.store.state.clone(),
+                inject_at: self.store.inject_at.clone(),
+                loc: self.store.loc.clone(),
+                queue_of: self.store.queue_of.clone(),
+                delivered_at: self.store.delivered_at.clone(),
+                hops: self.store.hops.clone(),
+                inject_order: self.store.inject_order.clone(),
+                inject_cursor: self.store.inject_cursor,
+            },
+            grid: GridSnap {
+                queues: self.grid.export_queues(),
+                pending,
+                active: self.grid.export_active(),
+                peak_load: self.grid.peak_load.clone(),
+            },
+            events: EventsSnap {
+                delivered: self.events.delivered.clone(),
+                lost: self.events.lost.clone(),
+            },
+            node_state: self.node_state.iter().map(|s| s.serialize()).collect(),
+            protocol: None,
+        }
+    }
+
+    /// Reconstructs a live simulation from a snapshot and continues where
+    /// it left off. The caller re-supplies the topology, router, config,
+    /// and fault plan — they must match what the snapshot was taken under
+    /// (side, queue architecture, algorithm name, fault fingerprint), or a
+    /// [`SnapshotError::Mismatch`] is returned. Execution-strategy config
+    /// (tile threads, checkpoint cadence, watchdog) may differ freely:
+    /// none of it affects simulated state.
+    ///
+    /// Every restore re-validates the full queue-invariant set; a snapshot
+    /// that passes cannot trip [`Sim::assert_queue_invariants`], which is
+    /// nevertheless run once more as a hard backstop.
+    pub fn restore(
+        topo: &'t T,
+        router: R,
+        config: SimConfig,
+        faults: Option<CompiledFaults>,
+        snap: &Snapshot,
+    ) -> Result<Self, SnapshotError>
+    where
+        R::NodeState: Deserialize,
+    {
+        if snap.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::UnknownVersion {
+                found: snap.format_version as u64,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        let n = snap.n;
+        if topo.side() != n {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot is for side {n}, topology has side {}",
+                topo.side()
+            )));
+        }
+        if router.queue_arch() != snap.arch {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot used queue architecture {:?}, router has {:?}",
+                snap.arch,
+                router.queue_arch()
+            )));
+        }
+        if router.name() != snap.algorithm {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot was taken under algorithm '{}', restoring under '{}'",
+                snap.algorithm,
+                router.name()
+            )));
+        }
+        if let Some(f) = &faults {
+            if f.n() != n {
+                return Err(SnapshotError::Mismatch(format!(
+                    "fault plan is for side {}, snapshot for side {n}",
+                    f.n()
+                )));
+            }
+        }
+        let fp = FaultFingerprint::of(faults.as_ref().filter(|f| !f.is_empty()));
+        if fp != snap.faults {
+            return Err(SnapshotError::Mismatch(format!(
+                "fault plan fingerprint {fp:?} does not match the snapshot's {:?}",
+                snap.faults
+            )));
+        }
+        validate_packets(snap)?;
+        let store = PacketStore {
+            src: snap.packets.src.clone(),
+            dst: snap.packets.dst.clone(),
+            state: snap.packets.state.clone(),
+            inject_at: snap.packets.inject_at.clone(),
+            loc: snap.packets.loc.clone(),
+            queue_of: snap.packets.queue_of.clone(),
+            delivered_at: snap.packets.delivered_at.clone(),
+            hops: snap.packets.hops.clone(),
+            inject_order: snap.packets.inject_order.clone(),
+            inject_cursor: snap.packets.inject_cursor,
+        };
+        let grid = NodeGrid::from_parts(
+            n,
+            snap.arch,
+            snap.grid.queues.clone(),
+            &snap.grid.pending,
+            &snap.grid.active,
+            snap.grid.peak_load.clone(),
+        )
+        .map_err(SnapshotError::Corrupt)?;
+        validate_cross_refs(snap, &store, &grid)?;
+        let nodes = (n * n) as usize;
+        if snap.node_state.len() != nodes {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} node-state entries for {nodes} nodes",
+                snap.node_state.len()
+            )));
+        }
+        let node_state: Vec<R::NodeState> = snap
+            .node_state
+            .iter()
+            .map(R::NodeState::deserialize)
+            .collect::<Result<_, _>>()
+            .map_err(|e| SnapshotError::Corrupt(format!("node state: {e}")))?;
+        let sim = Sim {
+            topo,
+            router,
+            workload: snap.workload.clone(),
+            config,
+            faults: faults.filter(|f| !f.is_empty()),
+            store,
+            grid,
+            node_state,
+            progress: snap.progress.clone(),
+            timers: snap.timers.clone(),
+            events: EventLog {
+                delivered: snap.events.delivered.clone(),
+                lost: snap.events.lost.clone(),
+            },
+            bufs: StepBufs::default(),
+            tile: crate::tiles::TileRt::new(n, &config).map(Box::new),
+        };
+        // Backstop: a snapshot that passed validation cannot trip this,
+        // but a restore must *never* hand back a sim that would fail
+        // 10k steps later on state the load path vouched for.
+        sim.assert_queue_invariants();
+        Ok(sim)
+    }
+}
+
+/// Packet-table-local validation: array-length agreement, injection-order
+/// permutation and cursor sanity, counter/location agreement.
+fn validate_packets(snap: &Snapshot) -> Result<(), SnapshotError> {
+    let p = &snap.packets;
+    let len = p.src.len();
+    let corrupt = |m: String| Err(SnapshotError::Corrupt(m));
+    for (name, l) in [
+        ("dst", p.dst.len()),
+        ("state", p.state.len()),
+        ("inject_at", p.inject_at.len()),
+        ("loc", p.loc.len()),
+        ("queue_of", p.queue_of.len()),
+        ("delivered_at", p.delivered_at.len()),
+        ("hops", p.hops.len()),
+        ("inject_order", p.inject_order.len()),
+    ] {
+        if l != len {
+            return corrupt(format!(
+                "packet array `{name}` has {l} entries, src has {len}"
+            ));
+        }
+    }
+    if snap.step != snap.progress.steps {
+        return corrupt(format!(
+            "step field {} disagrees with progress.steps {}",
+            snap.step, snap.progress.steps
+        ));
+    }
+    for (i, c) in p.src.iter().chain(p.dst.iter()).enumerate() {
+        if c.x >= snap.n || c.y >= snap.n {
+            return corrupt(format!(
+                "endpoint {c} of entry {i} lies off the {0}x{0} grid",
+                snap.n
+            ));
+        }
+    }
+    if p.inject_cursor > len {
+        return corrupt(format!(
+            "inject cursor {} past {len} packets",
+            p.inject_cursor
+        ));
+    }
+    let mut seen = vec![false; len];
+    for pid in &p.inject_order {
+        let Some(slot) = seen.get_mut(pid.index()) else {
+            return corrupt(format!("inject order names unknown packet {:?}", pid));
+        };
+        if *slot {
+            return corrupt(format!("inject order repeats packet {:?}", pid));
+        }
+        *slot = true;
+    }
+    // The uninjected tail stays sorted by due step (the inject phase's
+    // early-exit relies on it).
+    let tail = &p.inject_order[p.inject_cursor..];
+    for w in tail.windows(2) {
+        if p.inject_at[w[0].index()] > p.inject_at[w[1].index()] {
+            return corrupt(format!(
+                "uninjected tail out of order: {:?} (due {}) before {:?} (due {})",
+                w[0],
+                p.inject_at[w[0].index()],
+                w[1],
+                p.inject_at[w[1].index()]
+            ));
+        }
+    }
+    let mut delivered = 0usize;
+    let mut lost = 0usize;
+    for i in 0..len {
+        match p.loc[i] {
+            Loc::Delivered => {
+                delivered += 1;
+                if p.delivered_at[i] == NOT_DELIVERED {
+                    return corrupt(format!("packet {i} delivered without a delivery step"));
+                }
+            }
+            other => {
+                if p.delivered_at[i] != NOT_DELIVERED {
+                    return corrupt(format!("packet {i} has a delivery step but is {other:?}"));
+                }
+                match other {
+                    Loc::Lost => lost += 1,
+                    Loc::At(c) if c.x >= snap.n || c.y >= snap.n => {
+                        return corrupt(format!("packet {i} located off-grid at {c}"));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    if delivered != snap.progress.delivered {
+        return corrupt(format!(
+            "progress says {} delivered, locations say {delivered}",
+            snap.progress.delivered
+        ));
+    }
+    if lost != snap.progress.lost {
+        return corrupt(format!(
+            "progress says {} lost, locations say {lost}",
+            snap.progress.lost
+        ));
+    }
+    Ok(())
+}
+
+/// Cross-structure validation: every queue slot points at a live packet
+/// whose own records point back, capacity bounds hold, pending staging
+/// agrees with locations, and event buffers reference real packets.
+fn validate_cross_refs(
+    snap: &Snapshot,
+    store: &PacketStore,
+    grid: &NodeGrid,
+) -> Result<(), SnapshotError> {
+    let len = store.len();
+    let corrupt = |m: String| Err(SnapshotError::Corrupt(m));
+    let mut queued = vec![false; len];
+    let mut in_network = 0usize;
+    for ni in 0..grid.nodes() {
+        let c = grid.coord_of(ni);
+        for slot in 0..grid.slots() {
+            let kind = grid.slot_kind(slot);
+            let q = grid.queue(ni, slot);
+            if let Some(cap) = grid.arch().capacity(kind) {
+                if q.len() > cap as usize {
+                    return corrupt(format!(
+                        "queue {kind:?} of node {c} holds {} > capacity {cap}",
+                        q.len()
+                    ));
+                }
+            }
+            for &pid in q {
+                let Some(flag) = queued.get_mut(pid.index()) else {
+                    return corrupt(format!(
+                        "queue {kind:?} of {c} holds unknown packet {pid:?}"
+                    ));
+                };
+                if *flag {
+                    return corrupt(format!("packet {pid:?} appears in two queues"));
+                }
+                *flag = true;
+                in_network += 1;
+                if store.loc[pid.index()] != Loc::At(c) {
+                    return corrupt(format!(
+                        "packet {pid:?} queued at {c} but its location says {:?}",
+                        store.loc[pid.index()]
+                    ));
+                }
+                if store.queue_of[pid.index()] != kind {
+                    return corrupt(format!(
+                        "packet {pid:?} queued in {kind:?} at {c} but its record says {:?}",
+                        store.queue_of[pid.index()]
+                    ));
+                }
+            }
+        }
+    }
+    let at_count = store.loc.iter().filter(|l| matches!(l, Loc::At(_))).count();
+    if at_count != in_network {
+        return corrupt(format!(
+            "{at_count} packets locate themselves in the network, queues hold {in_network} \
+             (occupancy/slot-sum mismatch)"
+        ));
+    }
+    for (ni, pids) in &snap.grid.pending {
+        for pid in pids {
+            if pid.index() >= len {
+                return corrupt(format!("pending bucket {ni} holds unknown packet {pid:?}"));
+            }
+            if store.loc[pid.index()] != Loc::Pending {
+                return corrupt(format!(
+                    "packet {pid:?} staged at node {ni} but its location says {:?}",
+                    store.loc[pid.index()]
+                ));
+            }
+            let src = store.src[pid.index()];
+            if grid.node_index(src) as u32 != *ni {
+                return corrupt(format!(
+                    "packet {pid:?} staged at node {ni} but originates at {src}"
+                ));
+            }
+        }
+    }
+    for pid in snap.events.delivered.iter().chain(snap.events.lost.iter()) {
+        if pid.index() >= len {
+            return corrupt(format!("event buffer references unknown packet {pid:?}"));
+        }
+    }
+    Ok(())
+}
+
+// ---- checkpoint observers -------------------------------------------------
+
+/// Where periodic checkpoints (and failure post-mortems) go. The
+/// checkpointing run drivers call [`on_checkpoint`](Self::on_checkpoint)
+/// every [`SimConfig::checkpoint_every`] steps with a fully assembled
+/// snapshot, and [`on_failure`](Self::on_failure) once if the run ends in
+/// a [`SimError`] — the hook that persists watchdog post-mortems next to
+/// the active checkpoint.
+pub trait CheckpointSink {
+    fn on_checkpoint(&mut self, snap: &Snapshot);
+
+    /// The run failed (watchdog trip or step cap) at `step` with the given
+    /// diagnostics. Default: ignore.
+    fn on_failure(&mut self, step: u64, diag: &DiagnosticSnapshot) {
+        let _ = (step, diag);
+    }
+}
+
+/// Protocol layers that can ride along in a checkpoint: the opaque
+/// protocol slot of a [`Snapshot`] round-trips through this pair. The ARQ
+/// transport implements it over its sequence numbers, seen-sets, timers,
+/// and backoff RNG.
+pub trait SnapshotHook {
+    /// Serializes the layer's complete state.
+    fn snapshot_state(&self) -> Value;
+
+    /// Replaces the layer's state with a previously captured value.
+    fn restore_state(&mut self, v: &Value) -> Result<(), serde::Error>;
+}
+
+/// Checkpoints into memory — the differential test battery's sink.
+#[derive(Default)]
+pub struct MemorySink {
+    /// Every checkpoint taken, in order.
+    pub checkpoints: Vec<Snapshot>,
+    /// The failure post-mortem, if the run failed.
+    pub failure: Option<(u64, DiagnosticSnapshot)>,
+}
+
+impl CheckpointSink for MemorySink {
+    fn on_checkpoint(&mut self, snap: &Snapshot) {
+        self.checkpoints.push(snap.clone());
+    }
+
+    fn on_failure(&mut self, step: u64, diag: &DiagnosticSnapshot) {
+        self.failure = Some((step, diag.clone()));
+    }
+}
+
+impl MemorySink {
+    /// The most recent checkpoint at or before `step`, if any.
+    pub fn last_at_or_before(&self, step: u64) -> Option<&Snapshot> {
+        self.checkpoints.iter().rev().find(|s| s.step <= step)
+    }
+}
+
+/// Checkpoints into a directory as `ckpt_<step>.json` (atomic writes),
+/// with failure post-mortems as `diag_<step>.json` beside them. Write
+/// errors are recorded in [`error`](Self::error) rather than panicking —
+/// a full disk must not take the simulation down with it.
+pub struct DirectorySink {
+    dir: PathBuf,
+    last: Option<PathBuf>,
+    /// First write error encountered, if any.
+    pub error: Option<SnapshotError>,
+}
+
+impl DirectorySink {
+    /// Creates the directory (and parents) if needed.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<DirectorySink, SnapshotError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SnapshotError::Io(format!("create {}: {e}", dir.display())))?;
+        Ok(DirectorySink {
+            dir,
+            last: None,
+            error: None,
+        })
+    }
+
+    /// Path of the most recent successfully written checkpoint.
+    pub fn last_checkpoint(&self) -> Option<&Path> {
+        self.last.as_deref()
+    }
+}
+
+impl CheckpointSink for DirectorySink {
+    fn on_checkpoint(&mut self, snap: &Snapshot) {
+        let path = self.dir.join(format!("ckpt_{}.json", snap.step));
+        match snap.write_to(&path) {
+            Ok(()) => self.last = Some(path),
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+            }
+        }
+    }
+
+    fn on_failure(&mut self, step: u64, diag: &DiagnosticSnapshot) {
+        let path = self.dir.join(format!("diag_{step}.json"));
+        let mut text = match serde_json::to_string_pretty(diag) {
+            Ok(t) => t,
+            Err(_) => return,
+        };
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            if self.error.is_none() {
+                self.error = Some(SnapshotError::Io(format!("write {}: {e}", path.display())));
+            }
+        }
+    }
+}
+
+/// Takes a checkpoint if the cadence says this step is a boundary.
+/// `proto` supplies the protocol slot lazily (only evaluated when a
+/// checkpoint is actually taken). In debug builds every checkpoint write
+/// is followed by a full queue-invariant audit, so a corrupt snapshot
+/// fails loudly at the source.
+pub(crate) fn maybe_checkpoint<T: Topology, R: Router, S: CheckpointSink>(
+    sim: &Sim<'_, T, R>,
+    sink: &mut S,
+    proto: impl FnOnce() -> Option<Value>,
+) where
+    R::NodeState: Serialize,
+{
+    let Some(every) = sim.config.checkpoint_every else {
+        return;
+    };
+    let step = sim.steps();
+    if step == 0 || !step.is_multiple_of(every.max(1)) {
+        return;
+    }
+    let mut snap = sim.snapshot();
+    snap.protocol = proto();
+    sink.on_checkpoint(&snap);
+    #[cfg(debug_assertions)]
+    sim.assert_queue_invariants();
+}
+
+/// Reports a failed run to the sink (the `diag_<step>.json` hook).
+pub(crate) fn report_failure<S: CheckpointSink>(sink: &mut S, res: &Result<u64, SimError>) {
+    if let Err(e) = res {
+        sink.on_failure(e.snapshot().step, e.snapshot());
+    }
+}

@@ -12,10 +12,11 @@
 use crate::queue::{QueueArch, QueueKind};
 use mesh_topo::{Coord, Dir};
 use mesh_traffic::{PacketId, RoutingProblem};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Where a packet currently is.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Loc {
     /// Not yet injected (dynamic problems, or waiting for queue space).
     Pending,
@@ -286,6 +287,106 @@ impl NodeGrid {
         if load > self.peak_load[ni] {
             self.peak_load[ni] = load;
         }
+    }
+
+    /// Clones the flat queue table (node-major, slot-minor) for a snapshot.
+    pub(crate) fn export_queues(&self) -> Vec<Vec<PacketId>> {
+        self.queues.clone()
+    }
+
+    /// Clones the active worklist *in order* for a snapshot. The order is
+    /// part of the engine's deterministic state: the route phase walks it
+    /// verbatim, so restoring a permuted list would reorder schedules and
+    /// break bit-identical resumption.
+    pub(crate) fn export_active(&self) -> Vec<u32> {
+        self.active.clone()
+    }
+
+    /// Rebuilds a grid from snapshotted parts, re-deriving the occupancy
+    /// index and active-membership flags and validating the internal
+    /// invariants a live grid maintains. Errors describe the corruption;
+    /// they never panic.
+    pub(crate) fn from_parts(
+        n: u32,
+        arch: QueueArch,
+        queues: Vec<Vec<PacketId>>,
+        pending: &[(u32, Vec<PacketId>)],
+        active: &[u32],
+        peak_load: Vec<u16>,
+    ) -> Result<NodeGrid, String> {
+        let nodes = (n * n) as usize;
+        let slots = arch.num_slots();
+        if queues.len() != nodes * slots {
+            return Err(format!(
+                "queue table has {} slots, expected {} ({} nodes x {} slots)",
+                queues.len(),
+                nodes * slots,
+                nodes,
+                slots
+            ));
+        }
+        if peak_load.len() != nodes {
+            return Err(format!(
+                "peak-load map has {} entries, expected {nodes}",
+                peak_load.len()
+            ));
+        }
+        let mut load = vec![0u32; nodes];
+        for (qi, q) in queues.iter().enumerate() {
+            load[qi / slots] += q.len() as u32;
+        }
+        let mut pending_map: HashMap<u32, VecDeque<PacketId>> = HashMap::new();
+        for (ni, pids) in pending {
+            if *ni as usize >= nodes {
+                return Err(format!("pending bucket for out-of-grid node {ni}"));
+            }
+            if pids.is_empty() {
+                // A live grid drops a node's bucket when it drains.
+                return Err(format!("empty pending bucket at node {ni}"));
+            }
+            if pending_map
+                .insert(*ni, pids.iter().copied().collect())
+                .is_some()
+            {
+                return Err(format!("duplicate pending bucket for node {ni}"));
+            }
+        }
+        let mut in_active = vec![false; nodes];
+        for &ni in active {
+            if ni as usize >= nodes {
+                return Err(format!("active worklist names out-of-grid node {ni}"));
+            }
+            if in_active[ni as usize] {
+                return Err(format!("node {ni} appears twice in the active worklist"));
+            }
+            in_active[ni as usize] = true;
+        }
+        // The worklist's *set* is determined: exactly the nodes holding or
+        // awaiting packets (its order is history-dependent and preserved
+        // verbatim above).
+        for ni in 0..nodes {
+            let expect = load[ni] > 0 || pending_map.contains_key(&(ni as u32));
+            if expect != in_active[ni] {
+                return Err(format!(
+                    "active worklist disagrees with occupancy at node {ni} \
+                     (load {}, pending {}, listed {})",
+                    load[ni],
+                    pending_map.contains_key(&(ni as u32)),
+                    in_active[ni]
+                ));
+            }
+        }
+        Ok(NodeGrid {
+            n,
+            arch,
+            slots,
+            queues,
+            load,
+            pending: pending_map,
+            active: active.to_vec(),
+            in_active,
+            peak_load,
+        })
     }
 
     /// Raw base pointers into the per-node queue storage for the

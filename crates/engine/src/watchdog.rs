@@ -24,7 +24,8 @@ use crate::sim::{Sim, SimError};
 use mesh_topo::Topology;
 
 /// Last-progress stamps (1-based step numbers; 0 = never).
-#[derive(Default)]
+/// Serializable as a block: the snapshot subsystem persists it verbatim.
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub(crate) struct Timers {
     /// Last step with any activity: an accepted move, an injection, or a
     /// delivery.

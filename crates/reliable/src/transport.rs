@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::backoff::BackoffPolicy;
 
 /// What a network packet means to the transport.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 enum PacketMeta {
     /// A (re)transmission of a payload, source → destination.
     Data(PayloadId),
@@ -21,7 +21,7 @@ enum PacketMeta {
     Ack(PayloadId),
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 enum PayloadState {
     /// Injection time still in the future; no timer armed, not counted as
     /// outstanding (the watchdog contract of
@@ -35,7 +35,7 @@ enum PayloadState {
 
 /// One end-to-end payload: the unit the transport promises to deliver
 /// exactly once, however many packets that takes.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 struct Payload {
     src: Coord,
     dst: Coord,
@@ -214,6 +214,107 @@ impl Transport {
             },
             latency: Distribution::of(&latencies),
         }
+    }
+}
+
+/// The transport's complete serialized state — what rides along in a
+/// checkpoint's `protocol` slot. Everything [`Transport::on_step`] reads
+/// or writes is here: the ARQ tables (payload states, sequence numbers,
+/// timers, attempt counts), the per-packet meaning table, the
+/// destination-side seen-set (sorted for deterministic rendering), the
+/// counters, and the raw backoff-RNG state so the retransmission jitter
+/// stream resumes exactly where it stood. The policy is included for
+/// mismatch detection: restoring under a different backoff would silently
+/// change the schedule.
+#[derive(Serialize, Deserialize)]
+struct TransportState {
+    policy: BackoffPolicy,
+    rng: [u64; 4],
+    payloads: Vec<Payload>,
+    release_order: Vec<PayloadId>,
+    release_cursor: usize,
+    meta: Vec<PacketMeta>,
+    seen: Vec<(u32, u32)>,
+    outstanding: usize,
+    acked: usize,
+    delivered: usize,
+    retransmits: u64,
+    duplicate_deliveries: u64,
+    duplicate_acks: u64,
+    acks_sent: u64,
+    data_lost: u64,
+    acks_lost: u64,
+}
+
+impl mesh_engine::SnapshotHook for Transport {
+    fn snapshot_state(&self) -> serde::Value {
+        let mut seen: Vec<(u32, u32)> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        TransportState {
+            policy: self.policy,
+            rng: self.rng.state(),
+            payloads: self.payloads.clone(),
+            release_order: self.release_order.clone(),
+            release_cursor: self.release_cursor,
+            meta: self.meta.clone(),
+            seen,
+            outstanding: self.outstanding,
+            acked: self.acked,
+            delivered: self.delivered,
+            retransmits: self.retransmits,
+            duplicate_deliveries: self.duplicate_deliveries,
+            duplicate_acks: self.duplicate_acks,
+            acks_sent: self.acks_sent,
+            data_lost: self.data_lost,
+            acks_lost: self.acks_lost,
+        }
+        .serialize()
+    }
+
+    fn restore_state(&mut self, v: &serde::Value) -> Result<(), serde::Error> {
+        let st = TransportState::deserialize(v)?;
+        if st.policy != self.policy {
+            return Err(serde::Error::custom(format!(
+                "checkpoint was taken under backoff policy {:?}, restoring under {:?}",
+                st.policy, self.policy
+            )));
+        }
+        if st.payloads.len() != self.payloads.len() {
+            return Err(serde::Error::custom(format!(
+                "checkpoint has {} payloads, this transport was built over {}",
+                st.payloads.len(),
+                self.payloads.len()
+            )));
+        }
+        if st.release_order.len() != st.payloads.len() || st.release_cursor > st.release_order.len()
+        {
+            return Err(serde::Error::custom(
+                "checkpoint release bookkeeping is inconsistent with its payload table",
+            ));
+        }
+        if st.meta.len() < st.payloads.len() {
+            return Err(serde::Error::custom(format!(
+                "checkpoint meta table has {} entries for {} payloads",
+                st.meta.len(),
+                st.payloads.len()
+            )));
+        }
+        self.rng = StdRng::from_state(st.rng);
+        self.payloads = st.payloads;
+        self.release_order = st.release_order;
+        self.release_cursor = st.release_cursor;
+        self.meta = st.meta;
+        self.seen = st.seen.into_iter().collect();
+        self.outstanding = st.outstanding;
+        self.acked = st.acked;
+        self.delivered = st.delivered;
+        self.retransmits = st.retransmits;
+        self.duplicate_deliveries = st.duplicate_deliveries;
+        self.duplicate_acks = st.duplicate_acks;
+        self.acks_sent = st.acks_sent;
+        self.data_lost = st.data_lost;
+        self.acks_lost = st.acks_lost;
+        Ok(())
     }
 }
 

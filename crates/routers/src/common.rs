@@ -39,8 +39,9 @@ pub fn dim_order_dir(profitable: DirSet, first: Axis) -> Option<Dir> {
 }
 
 /// A round-robin arbitration pointer over the four inlink sides: the
-/// "round-robin inqueue policy" example of §2. Stored in node state.
-#[derive(Clone, Copy, Debug, Default)]
+/// "round-robin inqueue policy" example of §2. Stored in node state;
+/// serializable so checkpoints can carry it.
+#[derive(Clone, Copy, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct RoundRobin {
     next: u8,
 }

@@ -133,6 +133,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exposes the raw xoshiro256++ state so callers can checkpoint a
+        /// generator mid-stream and later resume it bit-identically.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state previously captured with
+        /// [`StdRng::state`]. The next draw continues the original stream.
+        pub fn from_state(s: [u64; 4]) -> StdRng {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -208,6 +222,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn state_capture_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(11);
+        for _ in 0..7 {
+            a.gen_range(0..1000u32);
+        }
+        let snap = a.state();
+        let tail: Vec<u32> = (0..32).map(|_| a.gen_range(0..u32::MAX)).collect();
+        let mut b = StdRng::from_state(snap);
+        let resumed: Vec<u32> = (0..32).map(|_| b.gen_range(0..u32::MAX)).collect();
+        assert_eq!(tail, resumed);
     }
 
     #[test]

@@ -243,6 +243,23 @@ impl Deserialize for char {
     }
 }
 
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!(
+                "expected null, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize(&self) -> Value {
         (**self).serialize()
