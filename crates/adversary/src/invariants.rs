@@ -63,9 +63,13 @@ impl InvariantChecker {
                 Loc::At(c) => Some(c),
                 Loc::Delivered => None,
                 Loc::Pending => return Err(format!("packet {p:?} pending mid-construction")),
-                // The adversary constructions run without fault plans, so a
-                // destroyed packet means the harness was miswired.
+                // The adversary constructions run without fault plans or
+                // admission control, so a destroyed/shed/expired packet
+                // means the harness was miswired.
                 Loc::Lost => return Err(format!("packet {p:?} lost mid-construction")),
+                Loc::Shed | Loc::Expired => {
+                    return Err(format!("packet {p:?} shed/expired mid-construction"))
+                }
             };
 
             // Departure counting for Lemmas 1/2: outside the j-box or gone.

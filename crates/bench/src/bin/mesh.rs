@@ -29,11 +29,21 @@ const USAGE: &str = "usage:
   mesh route     <algorithm> (--problem FILE | --workload KIND --n N | --resume-from CKPT) \\
                  [--k K] [--seed S] [--cap STEPS] [--json] [--latency] [--heatmap] \\
                  [--checkpoint-every N [--checkpoint-dir DIR] [--halt-at S]]
+  mesh route     <algorithm> --lambda F --n N [--seed S] [--k K] [--json] \\
+                 [--admission defer|reject-new|drop-oldest|deadline] \\
+                 [--deadline TTL] [--max-deferred M] \\
+                 [--warmup S] [--window S] [--windows W] [--watchdog S] [--tile-threads T] \\
+                 [--checkpoint-every N [--checkpoint-dir DIR] [--halt-at S] | --resume-from CKPT]
   mesh construct <general|dimorder|farthest> --n N --k K [--victim ALGO] [--h H] [-o FILE] [--check]
 
 workloads:  random partial transpose bit-reversal rotation hotspot funnel random-dst hh
 algorithms: dim-order dim-order-yx alt-adaptive theorem15 farthest-first greedy hot-potato
-            west-first bounded-deflect section6 section6-improved";
+            west-first bounded-deflect section6 section6-improved
+
+`--lambda` runs the open-system steady-state harness: a Bernoulli source
+offers F packets per node per step for warmup + windows*window steps, the
+admission policy decides what happens to packets the edge cannot take, and
+each measurement window reports goodput and latency percentiles.";
 
 struct Args {
     positional: Vec<String>,
@@ -180,6 +190,165 @@ fn print_route(args: &Args, out: &RouteOutcome) {
     }
 }
 
+/// The admission policy from `--admission` (with `--deadline TTL` /
+/// `--max-deferred M` refinements). A bare `--deadline` or
+/// `--max-deferred` implies its policy.
+fn parse_admission(args: &Args) -> AdmissionPolicy {
+    match args.flags.get("admission").map(String::as_str) {
+        None | Some("defer") => {
+            if let Some(ttl) = args.u64_flag("deadline") {
+                AdmissionPolicy::DeadlineExpiry { ttl }
+            } else if let Some(m) = args.u32_flag("max-deferred") {
+                AdmissionPolicy::DropOldestDeferred { max_deferred: m }
+            } else {
+                AdmissionPolicy::DeferIndefinitely
+            }
+        }
+        Some("reject-new") => AdmissionPolicy::RejectNew,
+        Some("drop-oldest") => AdmissionPolicy::DropOldestDeferred {
+            max_deferred: args.u32_flag("max-deferred").unwrap_or(16),
+        },
+        Some("deadline") => AdmissionPolicy::DeadlineExpiry {
+            ttl: args.u64_flag("deadline").unwrap_or(64),
+        },
+        Some(other) => {
+            eprintln!("unknown admission policy '{other}'");
+            usage()
+        }
+    }
+}
+
+fn print_steady(args: &Args, out: &mesh_routing::SteadyOutcome) {
+    if args.has("json") {
+        println!("{}", serde_json::to_string_pretty(out).unwrap());
+        return;
+    }
+    println!(
+        "{} at lambda={} on {}: goodput={:.3}/step p50={} p99={} p999={}",
+        out.algorithm,
+        out.lambda,
+        out.workload,
+        out.steady.goodput(),
+        out.steady.latency.p50,
+        out.steady.latency.p99,
+        out.steady.latency.p999,
+    );
+    for f in &out.steady.frames {
+        println!(
+            "  window {} [{}..{}]: offered={} delivered={} shed={} expired={} lost={} goodput={:.3} p99={}",
+            f.index,
+            f.start_step,
+            f.end_step,
+            f.offered,
+            f.delivered,
+            f.shed,
+            f.expired,
+            f.lost,
+            f.goodput,
+            f.latency.p99,
+        );
+    }
+    let r = &out.report;
+    println!(
+        "  totals: offered={} delivered={} shed={} expired={} lost={} in_flight={}",
+        r.total_packets,
+        r.delivered,
+        r.shed,
+        r.expired,
+        r.lost,
+        r.total_packets - r.delivered - r.shed - r.expired - r.lost,
+    );
+}
+
+/// `mesh route <algo> --lambda F`: the open-system steady-state harness.
+fn cmd_steady(args: &Args, algo: Algorithm) {
+    let lambda: f64 = args
+        .flags
+        .get("lambda")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("--lambda must be a number (packets per node per step)");
+            usage()
+        });
+    let schedule = SteadyConfig {
+        warmup: args.u64_flag("warmup").unwrap_or(128),
+        window: args.u64_flag("window").unwrap_or(64),
+        windows: args.u32_flag("windows").unwrap_or(4),
+    };
+    let config = SimConfig {
+        admission: parse_admission(args),
+        watchdog: Some(
+            args.u64_flag("watchdog")
+                .unwrap_or((2 * schedule.window).max(256)),
+        ),
+        tile_threads: args.u32_flag("tile-threads").unwrap_or(1) as usize,
+        checkpoint_every: args.u64_flag("checkpoint-every"),
+        ..SimConfig::default()
+    };
+    let dir = args
+        .flags
+        .get("checkpoint-dir")
+        .map(String::as_str)
+        .unwrap_or("checkpoints");
+    let halt_at = args.u64_flag("halt-at");
+
+    let result = if let Some(path) = args.flags.get("resume-from") {
+        let snap = mesh_routing::engine::Snapshot::read_from(std::path::Path::new(path))
+            .unwrap_or_else(|e| {
+                eprintln!("cannot load snapshot {path}: {e}");
+                exit(1);
+            });
+        eprintln!("resuming from {path} at step {}", snap.step);
+        mesh_routing::resume_steady_route(
+            algo,
+            &snap,
+            lambda,
+            schedule,
+            config,
+            std::path::Path::new(dir),
+            halt_at,
+        )
+    } else {
+        let n = args.u32_flag("n").unwrap_or_else(|| {
+            eprintln!("--n is required with --lambda");
+            usage()
+        });
+        let seed = args.u64_flag("seed").unwrap_or(1);
+        let pb =
+            mesh_routing::traffic::workloads::open_bernoulli(n, lambda, schedule.horizon(), seed);
+        if config.checkpoint_every.is_some() {
+            mesh_routing::steady_route_checkpointed(
+                algo,
+                &pb,
+                lambda,
+                schedule,
+                config,
+                std::path::Path::new(dir),
+                halt_at,
+            )
+        } else {
+            mesh_routing::steady_route(algo, &pb, lambda, schedule, config).map(|o| (Some(o), None))
+        }
+    };
+
+    match result {
+        Ok((Some(out), last)) => {
+            if let Some(p) = last {
+                eprintln!("last checkpoint: {}", p.display());
+            }
+            print_steady(args, &out);
+        }
+        Ok((None, last)) => match last {
+            Some(p) => eprintln!("halted mid-soak; last checkpoint: {}", p.display()),
+            None => eprintln!("halted before the first checkpoint cadence point"),
+        },
+        Err(e) => {
+            eprintln!("steady run failed: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn cmd_route(args: &Args) {
     let algo_name = args
         .positional
@@ -188,6 +357,14 @@ fn cmd_route(args: &Args) {
         .unwrap_or_else(|| usage());
     let k = args.u32_flag("k").unwrap_or(4);
     let algo = make_algorithm(algo_name, k);
+
+    // Open-system steady-state harness: --lambda switches the run shape
+    // entirely (continuous injection, windowed measurement, admission
+    // control at the edge).
+    if args.has("lambda") {
+        cmd_steady(args, algo);
+        return;
+    }
 
     // Crash recovery: restore a checkpoint and drive it to completion. The
     // problem is not re-read — the snapshot carries the full run state —

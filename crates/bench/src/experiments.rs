@@ -1369,10 +1369,262 @@ pub fn crashrec(full: bool, tile_threads: usize) -> Experiment {
     e
 }
 
+/// The admission policy of an `overload` table row.
+fn overload_policy(policy: &str, n: u32) -> AdmissionPolicy {
+    match policy {
+        "reject-new" => AdmissionPolicy::RejectNew,
+        "drop-oldest" => AdmissionPolicy::DropOldestDeferred { max_deferred: 8 },
+        "deadline" => AdmissionPolicy::DeadlineExpiry { ttl: 4 * n as u64 },
+        other => unreachable!("unknown admission policy {other}"),
+    }
+}
+
+/// One open-system steady run for an `overload` router tag. The
+/// `+faults` variant routes around a seeded random fault plan with the
+/// fault-aware wrapper (fixed plan seed: the fault landscape is part of
+/// the cell's identity, only the workload varies per trial).
+fn overload_run(
+    router: &'static str,
+    n: u32,
+    lambda: f64,
+    schedule: SteadyConfig,
+    admission: AdmissionPolicy,
+    tile_threads: usize,
+    seed: u64,
+) -> (Result<SteadyReport, SimError>, SimReport) {
+    let topo = Mesh::new(n);
+    let pb = workloads::open_bernoulli(n, lambda, schedule.horizon(), seed);
+    let config = SimConfig {
+        admission,
+        watchdog: Some((4 * schedule.window).max(8 * n as u64)),
+        tile_threads,
+        ..SimConfig::default()
+    };
+    macro_rules! drive {
+        ($sim:expr) => {{
+            let mut sim = $sim;
+            let res = sim.run_steady(schedule);
+            (res, sim.report())
+        }};
+    }
+    match router {
+        "dim-order" => drive!(Sim::with_config(
+            &topo,
+            Dx::new(DimOrder::new(4)),
+            &pb,
+            config
+        )),
+        "theorem15" => drive!(Sim::with_config(
+            &topo,
+            Dx::new(Theorem15::new(2)),
+            &pb,
+            config
+        )),
+        "theorem15+faults" => {
+            let faults =
+                Arc::new(FaultPlan::random(n, 0.05, 4 * n as u64, derive_seed(8997, 0)).compile());
+            drive!(Sim::with_faults(
+                &topo,
+                FaultAware::new(Dx::new(Theorem15::new(2)), Arc::clone(&faults)),
+                &pb,
+                config,
+                faults.as_ref().clone(),
+            ))
+        }
+        "hot-potato" => drive!(Sim::with_config(
+            &topo,
+            Dx::new(mesh_routing::routers::HotPotato::new(n)),
+            &pb,
+            config
+        )),
+        other => unreachable!("unknown overload router {other}"),
+    }
+}
+
+/// Whether `router` sustains offered load `lambda`: the run stays live
+/// under `DeferIndefinitely` and delivers ≥ 90% of what the measurement
+/// windows offered.
+fn overload_sustained(
+    router: &'static str,
+    n: u32,
+    lambda: f64,
+    schedule: SteadyConfig,
+    tile_threads: usize,
+    seed: u64,
+) -> bool {
+    let (res, _) = overload_run(
+        router,
+        n,
+        lambda,
+        schedule,
+        AdmissionPolicy::DeferIndefinitely,
+        tile_threads,
+        seed,
+    );
+    match res {
+        Ok(rep) => {
+            let offered: u64 = rep.frames.iter().map(|f| f.offered).sum();
+            let delivered: u64 = rep.frames.iter().map(|f| f.delivered).sum();
+            offered == 0 || delivered as f64 >= 0.9 * offered as f64
+        }
+        Err(_) => false,
+    }
+}
+
+/// Binary search for the saturation point λ*: the largest offered load
+/// (packets per node per step) the router sustains. Random traffic on an
+/// n-mesh is bisection-limited near 4/n per node, so `[0, 1]` brackets
+/// every router here; 7 halvings resolve λ* to under 1% of the bracket.
+fn saturation_lambda(
+    router: &'static str,
+    n: u32,
+    schedule: SteadyConfig,
+    tile_threads: usize,
+    seed: u64,
+) -> f64 {
+    if overload_sustained(router, n, 1.0, schedule, tile_threads, seed) {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..7 {
+        let mid = 0.5 * (lo + hi);
+        if overload_sustained(router, n, mid, schedule, tile_threads, seed) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo.max(1.0 / 128.0)
+}
+
+/// OVERLOAD — open-system saturation and graceful degradation (the
+/// robustness layer over the paper's closed-system model). Per router the
+/// cell binary-searches the saturation point λ* (sustained =
+/// delivered/offered ≥ 0.9 under `DeferIndefinitely`), then measures a
+/// throughput–latency point at `x·λ*` under a shedding admission policy;
+/// `vs-l*` is the goodput ratio against the same policy's run at λ*
+/// itself, so degradation past saturation is read directly off the row.
+pub fn overload(full: bool, tile_threads: usize) -> Experiment {
+    let mut e = Experiment::new(
+        "overload",
+        "Open-system overload: saturation point lambda* per router, throughput-latency curves, graceful degradation under admission control",
+        "below lambda* goodput tracks offered load with low p99; past lambda* the response splits by queue architecture — per-inlink routers (theorem15, hot-potato) plateau under every shedding policy (vs-l* ~>= 0.95 at x=2.0) because injection has its own queue, while the shared-central-queue dim-order router buffer-gridlocks under edge-only shedding (reject-new / drop-oldest collapse to vs-l* < 0.01: in-network wait cycles survive any edge decision) and only deadline's in-network TTL expiry keeps it progressing (goodput an order of magnitude above the edge-only policies, p99 capped by the TTL); under faults the same expiry is what holds theorem15's plateau (vs-l* ~1.1 at x=2.0 vs ~0.15 edge-only)",
+        &[
+            "router", "policy", "l*", "x", "lambda", "outcome", "offered", "delivered", "shed",
+            "expired", "goodput", "vs-l*", "p50", "p99", "p999",
+        ],
+    );
+    let n: u32 = if full { 16 } else { 12 };
+    let schedule = if full {
+        SteadyConfig {
+            warmup: 128,
+            window: 64,
+            windows: 4,
+        }
+    } else {
+        SteadyConfig {
+            warmup: 64,
+            window: 48,
+            windows: 3,
+        }
+    };
+    let routers: &[&'static str] = if full {
+        &["dim-order", "theorem15", "theorem15+faults", "hot-potato"]
+    } else {
+        &["dim-order", "theorem15"]
+    };
+    let policies: &[&'static str] = if full {
+        &["reject-new", "drop-oldest", "deadline"]
+    } else {
+        &["reject-new", "deadline"]
+    };
+    let multiples: &[f64] = if full {
+        &[0.5, 0.9, 1.0, 1.5, 2.0]
+    } else {
+        &[0.5, 1.0, 2.0]
+    };
+    for &router in routers {
+        for &policy in policies {
+            for &x in multiples {
+                e.seeded(format!("{router} {policy} x={x}"), move |trial| {
+                    let seed = derive_seed(8001, trial);
+                    let lstar = saturation_lambda(router, n, schedule, tile_threads, seed);
+                    let admission = overload_policy(policy, n);
+                    let lambda = x * lstar;
+                    let (res, rep) =
+                        overload_run(router, n, lambda, schedule, admission, tile_threads, seed);
+                    let base_goodput = if x == 1.0 {
+                        res.as_ref().ok().map(SteadyReport::goodput)
+                    } else {
+                        overload_run(router, n, lstar, schedule, admission, tile_threads, seed)
+                            .0
+                            .ok()
+                            .map(|r| r.goodput())
+                    };
+                    let (offered, delivered, shed, expired, goodput, vs, p50, p99, p999) =
+                        match &res {
+                            Ok(r) => {
+                                let sum = |f: fn(&WindowFrame) -> u64| -> u64 {
+                                    r.frames.iter().map(f).sum()
+                                };
+                                (
+                                    sum(|f| f.offered).to_string(),
+                                    sum(|f| f.delivered).to_string(),
+                                    sum(|f| f.shed).to_string(),
+                                    sum(|f| f.expired).to_string(),
+                                    format!("{:.3}", r.goodput()),
+                                    match base_goodput {
+                                        Some(b) if b > 0.0 => {
+                                            format!("{:.3}", r.goodput() / b)
+                                        }
+                                        _ => "-".to_string(),
+                                    },
+                                    r.latency.p50.to_string(),
+                                    r.latency.p99.to_string(),
+                                    r.latency.p999.to_string(),
+                                )
+                            }
+                            Err(_) => (
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                            ),
+                        };
+                    let row = cells!(
+                        router,
+                        policy,
+                        format!("{lstar:.4}"),
+                        x,
+                        format!("{lambda:.4}"),
+                        outcome_tag(&res),
+                        offered,
+                        delivered,
+                        shed,
+                        expired,
+                        goodput,
+                        vs,
+                        p50,
+                        p99,
+                        p999
+                    );
+                    TrialOutput::with_report(row, rep)
+                });
+            }
+        }
+    }
+    e
+}
+
 /// All experiment ids in order.
 pub const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a2",
-    "a3", "perf", "chaos", "reliable", "crashrec",
+    "a3", "perf", "chaos", "reliable", "crashrec", "overload",
 ];
 
 /// Builds the experiment (its cells) by id, without running anything.
@@ -1381,7 +1633,8 @@ pub fn build(id: &str, full: bool) -> Option<Experiment> {
 }
 
 /// Builds the experiment with an explicit tile-thread count for the
-/// simulation-heavy experiments (`perf`, `chaos`, `reliable`, `crashrec`). The
+/// simulation-heavy experiments (`perf`, `chaos`, `reliable`, `crashrec`,
+/// `overload`). The
 /// deterministic `BENCH_<id>.json` contents are the same for every value —
 /// that is the tiled engine's contract, re-checked by the determinism tests
 /// and the CI byte-compares.
@@ -1407,6 +1660,7 @@ pub fn build_with(id: &str, full: bool, tile_threads: usize) -> Option<Experimen
         "chaos" => chaos(full, tile_threads),
         "reliable" => reliable(full, tile_threads),
         "crashrec" => crashrec(full, tile_threads),
+        "overload" => overload(full, tile_threads),
         _ => return None,
     })
 }
@@ -1446,9 +1700,10 @@ mod tests {
                     || *id == "chaos"
                     || *id == "reliable"
                     || *id == "crashrec"
+                    || *id == "overload"
             );
         }
-        assert_eq!(ALL.len(), 20);
+        assert_eq!(ALL.len(), 21);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! One-call routing API over every algorithm in the reproduction.
 
 use crate::section6::{Section6Report, Section6Router};
-use mesh_engine::{DirectorySink, Dx, Sim, SimConfig, Snapshot};
+use mesh_engine::{
+    DirectorySink, Dx, MemorySink, Sim, SimConfig, SimError, Snapshot, SteadyConfig, SteadyReport,
+};
 use mesh_routers::{
     AltAdaptive, BoundedDeflect, DimOrder, FarthestFirst, HotPotato, Theorem15, WestFirst,
 };
@@ -317,6 +319,150 @@ pub fn resume_route(
     })
 }
 
+/// Outcome of an open-system steady-state run (`mesh route --lambda`):
+/// the windowed measurement frames plus the final engine report, which
+/// carries the shed/expired admission-control totals.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SteadyOutcome {
+    pub algorithm: String,
+    pub workload: String,
+    pub n: u32,
+    /// Offered load, packets per node per step.
+    pub lambda: f64,
+    /// The measurement schedule the run followed.
+    pub schedule: SteadyConfig,
+    pub steady: SteadyReport,
+    pub report: mesh_engine::SimReport,
+}
+
+fn steady_outcome(
+    algorithm: Algorithm,
+    lambda: f64,
+    schedule: SteadyConfig,
+    steady: SteadyReport,
+    report: mesh_engine::SimReport,
+) -> SteadyOutcome {
+    SteadyOutcome {
+        algorithm: algorithm.name(),
+        workload: report.workload.clone(),
+        n: report.n,
+        lambda,
+        schedule,
+        steady,
+        report,
+    }
+}
+
+/// Maps a steady driver result: a step-cap stop is the *expected* outcome
+/// of a `--halt-at` crash simulation (`Ok(None)`), any other failure is a
+/// real error.
+fn finish_steady(
+    res: Result<SteadyReport, SimError>,
+    halted: bool,
+) -> Result<Option<SteadyReport>, String> {
+    match res {
+        Ok(rep) => Ok(Some(rep)),
+        Err(SimError::StepCap(_)) if halted => Ok(None),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Runs `problem` (typically an open Bernoulli source) under `algorithm`
+/// on the steady-state measurement `schedule`. Engine algorithms only.
+pub fn steady_route(
+    algorithm: Algorithm,
+    problem: &RoutingProblem,
+    lambda: f64,
+    schedule: SteadyConfig,
+    config: SimConfig,
+) -> Result<SteadyOutcome, String> {
+    let topo = Mesh::new(problem.n);
+    with_engine_router!(algorithm, problem.n, |router| {
+        let mut sim = Sim::with_config(&topo, router, problem, config);
+        let rep = sim.run_steady(schedule).map_err(|e| e.to_string())?;
+        Ok(steady_outcome(
+            algorithm,
+            lambda,
+            schedule,
+            rep,
+            sim.report(),
+        ))
+    })
+}
+
+/// [`steady_route`] writing a cadenced checkpoint stream to `dir`
+/// (cadence from `config.checkpoint_every`). `halt_at` simulates a crash:
+/// the run stops there with `Ok((None, last_checkpoint))`; resume it with
+/// [`resume_steady_route`] for a byte-identical final outcome.
+pub fn steady_route_checkpointed(
+    algorithm: Algorithm,
+    problem: &RoutingProblem,
+    lambda: f64,
+    schedule: SteadyConfig,
+    config: SimConfig,
+    dir: &Path,
+    halt_at: Option<u64>,
+) -> Result<(Option<SteadyOutcome>, Option<PathBuf>), String> {
+    let topo = Mesh::new(problem.n);
+    with_engine_router!(algorithm, problem.n, |router| {
+        let mut sim = Sim::with_config(&topo, router, problem, config);
+        let mut sink = DirectorySink::new(dir).map_err(|e| e.to_string())?;
+        let res = sim.run_steady_checkpointed(schedule, None, &mut sink, halt_at);
+        if let Some(err) = sink.error {
+            return Err(err.to_string());
+        }
+        let last = sink.last_checkpoint().map(Path::to_path_buf);
+        let rep = finish_steady(res, halt_at.is_some())?;
+        Ok((
+            rep.map(|r| steady_outcome(algorithm, lambda, schedule, r, sim.report())),
+            last,
+        ))
+    })
+}
+
+/// Restores a steady-state run from `snap` and drives the remaining
+/// schedule; the observer's windowed measurement state rides the
+/// snapshot's `protocol` slot, so frames and the final report are
+/// byte-identical to a run that never stopped. `config.admission` must
+/// match the policy the snapshot was taken under (the restore rejects a
+/// mismatch). Checkpointing continues into `dir` when
+/// `config.checkpoint_every` is set.
+pub fn resume_steady_route(
+    algorithm: Algorithm,
+    snap: &Snapshot,
+    lambda: f64,
+    schedule: SteadyConfig,
+    config: SimConfig,
+    dir: &Path,
+    halt_at: Option<u64>,
+) -> Result<(Option<SteadyOutcome>, Option<PathBuf>), String> {
+    let topo = Mesh::new(snap.n);
+    let cadenced = config.checkpoint_every.is_some();
+    with_engine_router!(algorithm, snap.n, |router| {
+        let mut sim = Sim::restore(&topo, router, config, None, snap).map_err(|e| e.to_string())?;
+        let state = snap.protocol.as_ref();
+        let (res, last) = if cadenced {
+            let mut sink = DirectorySink::new(dir).map_err(|e| e.to_string())?;
+            let res = sim.run_steady_checkpointed(schedule, state, &mut sink, halt_at);
+            if let Some(err) = sink.error {
+                return Err(err.to_string());
+            }
+            (res, sink.last_checkpoint().map(Path::to_path_buf))
+        } else {
+            let mut sink = MemorySink::default();
+            (
+                sim.run_steady_checkpointed(schedule, state, &mut sink, halt_at),
+                None,
+            )
+        };
+        let rep = finish_steady(res, halt_at.is_some())?;
+        Ok((
+            rep.map(|r| steady_outcome(algorithm, lambda, schedule, r, sim.report())),
+            last,
+        ))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +495,41 @@ mod tests {
         assert!(out.completed);
         assert!(out.section6.is_some());
         assert!(out.steps <= 972 * 27);
+    }
+
+    #[test]
+    fn steady_route_halt_and_resume_is_byte_identical() {
+        let schedule = SteadyConfig {
+            warmup: 16,
+            window: 16,
+            windows: 3,
+        };
+        let pb = workloads::open_bernoulli(8, 0.4, schedule.horizon(), 5);
+        let config = || SimConfig {
+            admission: mesh_engine::AdmissionPolicy::DeadlineExpiry { ttl: 24 },
+            checkpoint_every: Some(8),
+            watchdog: Some(64),
+            ..SimConfig::default()
+        };
+        let algo = Algorithm::DimOrder { k: 4 };
+        let dir = std::env::temp_dir().join("mesh-api-steady-test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Uninterrupted reference run.
+        let full = steady_route(algo, &pb, 0.4, schedule, config()).unwrap();
+        let full_json = serde_json::to_string(&full).unwrap();
+
+        // Crash mid-soak, then resume from the last checkpoint.
+        let (halted, last) =
+            steady_route_checkpointed(algo, &pb, 0.4, schedule, config(), &dir, Some(30)).unwrap();
+        assert!(halted.is_none(), "halt-at 30 must stop before the horizon");
+        let last = last.expect("cadence 8 must leave a checkpoint behind");
+        let snap = Snapshot::read_from(&last).unwrap();
+        let (resumed, _) =
+            resume_steady_route(algo, &snap, 0.4, schedule, config(), &dir, None).unwrap();
+        let resumed = resumed.expect("resumed run must complete the schedule");
+        assert_eq!(serde_json::to_string(&resumed).unwrap(), full_json);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 pub mod api;
 pub mod section6;
 
-pub use api::{resume_route, route, route_checkpointed, route_with_cap, Algorithm, RouteOutcome};
+pub use api::{
+    resume_route, resume_steady_route, route, route_checkpointed, route_with_cap, steady_route,
+    steady_route_checkpointed, Algorithm, RouteOutcome, SteadyOutcome,
+};
 pub use section6::{Section6Config, Section6Report, Section6Router};
 
 // Re-export the substrate crates under stable names.
@@ -38,7 +41,8 @@ pub use mesh_traffic as traffic;
 /// Everything needed for typical use.
 pub mod prelude {
     pub use crate::api::{
-        resume_route, route, route_checkpointed, route_with_cap, Algorithm, RouteOutcome,
+        resume_route, resume_steady_route, route, route_checkpointed, route_with_cap, steady_route,
+        steady_route_checkpointed, Algorithm, RouteOutcome, SteadyOutcome,
     };
     pub use crate::section6::{Section6Report, Section6Router};
     pub use mesh_adversary::{
@@ -46,8 +50,8 @@ pub mod prelude {
     };
     pub use mesh_engine::faults::{CompiledFaults, FaultPlan, FaultPlanError};
     pub use mesh_engine::{
-        Dx, DxRouter, ProtocolControl, ProtocolHook, Router, Sim, SimConfig, SimError, SimReport,
-        StepEvents,
+        AdmissionPolicy, Dx, DxRouter, ProtocolControl, ProtocolHook, Router, Sim, SimConfig,
+        SimError, SimReport, SteadyConfig, SteadyReport, StepEvents, WindowFrame,
     };
     pub use mesh_reliable::{BackoffPolicy, Transport, TransportReport};
     pub use mesh_routers::{

@@ -44,6 +44,17 @@ pub struct DiagnosticSnapshot {
     /// Packets destroyed by lossy links — undeliverable without a
     /// retransmission layer.
     pub lost: usize,
+    /// Packets rejected at the injection edge by admission control.
+    pub shed: usize,
+    /// Packets whose deadline passed while staged at the injection edge.
+    pub expired: usize,
+    /// Packets currently staged at injection edges — due but not yet
+    /// admitted (the instantaneous backlog, not the cumulative
+    /// packet-step counter).
+    pub deferred: usize,
+    /// Packets whose injection time had been reached when the snapshot
+    /// was taken; `offered / step` is the realized offered rate.
+    pub offered: usize,
     /// Every undelivered in-network packet: id, location, destination, hops.
     pub stuck: Vec<StuckPacket>,
     /// Queue occupancy of every non-empty node.
@@ -80,6 +91,23 @@ impl core::fmt::Display for DiagnosticSnapshot {
         )?;
         if self.lost > 0 {
             write!(f, ", {} lost to faulty links", self.lost)?;
+        }
+        // Overload segment: only open-system runs (admission control
+        // shedding/expiring or an edge backlog) produce it, so closed-system
+        // diagnostics render exactly as before.
+        if self.shed > 0 || self.expired > 0 || self.deferred > 0 {
+            write!(
+                f,
+                "; overload: {} shed, {} expired, {} deferred at edges",
+                self.shed, self.expired, self.deferred
+            )?;
+            if self.step > 0 {
+                write!(
+                    f,
+                    ", offered rate {:.3}/step",
+                    self.offered as f64 / self.step as f64
+                )?;
+            }
         }
         if !self.stuck.is_empty() {
             write!(f, "; stuck:")?;
@@ -132,6 +160,10 @@ mod tests {
             total: 20,
             pending: 2,
             lost: 0,
+            shed: 0,
+            expired: 0,
+            deferred: 0,
+            offered: 20,
             stuck: (0..15)
                 .map(|i| StuckPacket {
                     id: PacketId(i),
@@ -156,6 +188,10 @@ mod tests {
             total: 10,
             pending: 1,
             lost: 2,
+            shed: 0,
+            expired: 0,
+            deferred: 0,
+            offered: 10,
             stuck: vec![],
             occupancy: vec![
                 NodeOccupancy {
@@ -176,6 +212,33 @@ mod tests {
     }
 
     #[test]
+    fn display_renders_overload_segment_only_when_present() {
+        let mut snap = DiagnosticSnapshot {
+            step: 50,
+            delivered: 40,
+            total: 100,
+            pending: 45,
+            lost: 0,
+            shed: 7,
+            expired: 3,
+            deferred: 5,
+            offered: 60,
+            stuck: vec![],
+            occupancy: vec![],
+            active_faults: vec![],
+        };
+        let s = snap.to_string();
+        assert!(
+            s.contains("overload: 7 shed, 3 expired, 5 deferred at edges"),
+            "got: {s}"
+        );
+        assert!(s.contains("offered rate 1.200/step"), "got: {s}");
+        // A closed-system snapshot renders without the segment.
+        (snap.shed, snap.expired, snap.deferred) = (0, 0, 0);
+        assert!(!snap.to_string().contains("overload:"));
+    }
+
+    #[test]
     fn snapshot_roundtrips_through_serde() {
         let snap = DiagnosticSnapshot {
             step: 7,
@@ -183,6 +246,10 @@ mod tests {
             total: 2,
             pending: 0,
             lost: 0,
+            shed: 1,
+            expired: 2,
+            deferred: 3,
+            offered: 2,
             stuck: vec![StuckPacket {
                 id: PacketId(1),
                 at: Coord::new(0, 0),

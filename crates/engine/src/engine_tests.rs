@@ -672,6 +672,9 @@ mod conservation_tests {
                     }
                     Loc::Pending => pending += 1,
                     Loc::Lost => lost += 1,
+                    Loc::Shed | Loc::Expired => {
+                        panic!("packet {i} shed/expired under the closed-system default policy")
+                    }
                 }
             }
             assert_eq!(delivered + in_network + pending + lost, sim.num_packets());
@@ -1112,5 +1115,268 @@ mod loss_and_protocol_tests {
         let err = sim.run_with_protocol(10_000, &mut proto).unwrap_err();
         assert!(matches!(err, SimError::Livelock(_)), "got {err}");
         assert!(err.snapshot().lost >= 1);
+    }
+}
+
+mod steady_tests {
+    use super::*;
+    use crate::router::Dx;
+    use crate::sim::AdmissionPolicy;
+    use crate::snapshot::MemorySink;
+    use crate::steady::SteadyConfig;
+    use mesh_topo::Mesh;
+    use mesh_traffic::workloads;
+
+    fn config(admission: AdmissionPolicy) -> SimConfig {
+        SimConfig {
+            admission,
+            watchdog: Some(64),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn sub_saturation_run_measures_all_windows() {
+        let topo = Mesh::new(8);
+        let cfg = SteadyConfig {
+            warmup: 32,
+            window: 32,
+            windows: 3,
+        };
+        let pb = workloads::open_bernoulli(8, 0.05, cfg.horizon(), 11);
+        let mut sim = Sim::with_config(
+            &topo,
+            Dx::new(tests::Greedy { k: 3 }),
+            &pb,
+            config(AdmissionPolicy::DeferIndefinitely),
+        );
+        let rep = sim.run_steady(cfg).expect("sub-saturation steady run");
+        assert_eq!(rep.frames.len(), 3);
+        assert!(rep.goodput() > 0.0, "λ=0.05 must deliver");
+        for f in &rep.frames {
+            assert_eq!(f.shed + f.expired, 0, "closed-system policy never sheds");
+            assert!(f.end_step > f.start_step);
+        }
+        assert!(rep.latency.count > 0);
+        sim.assert_conservation();
+    }
+
+    #[test]
+    fn overloaded_reject_new_sheds_and_stays_live() {
+        let topo = Mesh::new(6);
+        let cfg = SteadyConfig {
+            warmup: 32,
+            window: 32,
+            windows: 3,
+        };
+        // λ = 2.0: two packets per node per step, far past saturation.
+        let pb = workloads::open_bernoulli(6, 2.0, cfg.horizon(), 7);
+        let mut sim = Sim::with_config(
+            &topo,
+            Dx::new(tests::Greedy { k: 2 }),
+            &pb,
+            config(AdmissionPolicy::RejectNew),
+        );
+        let rep = sim
+            .run_steady(cfg)
+            .expect("overload watchdog must not trip while shedding");
+        assert!(sim.shed() > 0, "2x saturation under RejectNew must shed");
+        assert_eq!(
+            sim.pending_injections(),
+            0,
+            "RejectNew never leaves an edge backlog"
+        );
+        assert!(rep.goodput() > 0.0, "saturated but making progress");
+        sim.assert_conservation();
+        let r = sim.report();
+        assert_eq!(r.shed, sim.shed());
+        assert_eq!(r.expired, 0);
+    }
+
+    #[test]
+    fn deadline_expiry_expires_stale_staged_packets() {
+        let topo = Mesh::new(6);
+        let cfg = SteadyConfig {
+            warmup: 32,
+            window: 32,
+            windows: 3,
+        };
+        let pb = workloads::open_bernoulli(6, 1.5, cfg.horizon(), 9);
+        let mut sim = Sim::with_config(
+            &topo,
+            Dx::new(tests::Greedy { k: 2 }),
+            &pb,
+            config(AdmissionPolicy::DeadlineExpiry { ttl: 4 }),
+        );
+        sim.run_steady(cfg).expect("expiry keeps the run live");
+        assert!(sim.expired() > 0, "stale staged packets must expire");
+        assert_eq!(sim.shed(), 0, "expiry is not shedding");
+        sim.assert_conservation();
+    }
+
+    #[test]
+    fn drop_oldest_bounds_the_edge_backlog_every_step() {
+        let topo = Mesh::new(6);
+        let horizon = 120;
+        let pb = workloads::open_bernoulli(6, 1.5, horizon, 13);
+        let max_deferred = 2u32;
+        let mut sim = Sim::with_config(
+            &topo,
+            Dx::new(tests::Greedy { k: 2 }),
+            &pb,
+            config(AdmissionPolicy::DropOldestDeferred { max_deferred }),
+        );
+        let cap = max_deferred as usize * 36;
+        for _ in 0..horizon {
+            sim.step();
+            assert!(
+                sim.pending_injections() <= cap,
+                "edge backlog {} exceeds bound {cap}",
+                sim.pending_injections()
+            );
+            sim.assert_conservation();
+            sim.assert_queue_invariants();
+        }
+        assert!(sim.shed() > 0, "1.5x saturation must evict oldest");
+    }
+
+    #[test]
+    fn diagnostics_surface_overload_counters() {
+        let topo = Mesh::new(6);
+        let pb = workloads::open_bernoulli(6, 2.0, 64, 3);
+        let mut sim = Sim::with_config(
+            &topo,
+            Dx::new(tests::Greedy { k: 2 }),
+            &pb,
+            config(AdmissionPolicy::RejectNew),
+        );
+        for _ in 0..64 {
+            sim.step();
+        }
+        let d = sim.diagnostics();
+        assert_eq!(d.shed, sim.shed());
+        assert!(d.shed > 0);
+        assert_eq!(d.offered, sim.offered());
+        let text = d.to_string();
+        assert!(text.contains("overload:"), "got: {text}");
+        assert!(text.contains("offered rate"), "got: {text}");
+    }
+
+    #[test]
+    fn steady_resume_mid_soak_is_byte_identical() {
+        let topo = Mesh::new(6);
+        let cfg = SteadyConfig {
+            warmup: 24,
+            window: 24,
+            windows: 4,
+        };
+        let pb = workloads::open_bernoulli(6, 0.4, cfg.horizon(), 21);
+        let mk_config = || SimConfig {
+            admission: AdmissionPolicy::DeadlineExpiry { ttl: 16 },
+            watchdog: Some(64),
+            checkpoint_every: Some(10),
+            ..SimConfig::default()
+        };
+        let mut full_sink = MemorySink::default();
+        let mut sim = Sim::with_config(&topo, Dx::new(tests::Greedy { k: 2 }), &pb, mk_config());
+        let full = sim
+            .run_steady_checkpointed(cfg, None, &mut full_sink, None)
+            .expect("full soak");
+        let full_json = serde_json::to_string(&full).unwrap();
+        let full_report = serde_json::to_string(&sim.report()).unwrap();
+        assert!(
+            !full_sink.checkpoints.is_empty(),
+            "cadence 10 must checkpoint"
+        );
+        // Resume from every checkpoint (warmup, mid-window, boundary) and
+        // demand the identical report each time.
+        for snap in &full_sink.checkpoints {
+            let mut resumed = Sim::restore(
+                &topo,
+                Dx::new(tests::Greedy { k: 2 }),
+                mk_config(),
+                None,
+                snap,
+            )
+            .expect("restore mid-soak checkpoint");
+            let mut sink = MemorySink::default();
+            let rep = resumed
+                .run_steady_checkpointed(cfg, snap.protocol.as_ref(), &mut sink, None)
+                .expect("resumed soak");
+            assert_eq!(
+                serde_json::to_string(&rep).unwrap(),
+                full_json,
+                "resume from step {} diverged",
+                snap.step
+            );
+            assert_eq!(
+                serde_json::to_string(&resumed.report()).unwrap(),
+                full_report,
+                "final report after resume from step {} diverged",
+                snap.step
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_admission_policy_mismatch() {
+        let topo = Mesh::new(6);
+        let pb = workloads::open_bernoulli(6, 0.3, 40, 5);
+        let cfg = SimConfig {
+            admission: AdmissionPolicy::RejectNew,
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::with_config(&topo, Dx::new(tests::Greedy { k: 2 }), &pb, cfg);
+        for _ in 0..10 {
+            sim.step();
+        }
+        let snap = sim.snapshot();
+        let res = Sim::restore(
+            &topo,
+            Dx::new(tests::Greedy { k: 2 }),
+            SimConfig::default(),
+            None,
+            &snap,
+        );
+        match res {
+            Err(crate::snapshot::SnapshotError::Mismatch(_)) => {}
+            Err(other) => panic!("wrong error kind: {other}"),
+            Ok(_) => panic!("restore must reject an admission-policy mismatch"),
+        }
+    }
+
+    #[test]
+    fn tiled_steady_run_is_byte_identical_to_sequential() {
+        let topo = Mesh::new(8);
+        let cfg = SteadyConfig {
+            warmup: 24,
+            window: 24,
+            windows: 3,
+        };
+        let pb = workloads::open_bernoulli(8, 1.2, cfg.horizon(), 17);
+        let mut base: Option<String> = None;
+        for tile_threads in [1usize, 2, 4] {
+            let mut sim = Sim::with_config(
+                &topo,
+                Dx::new(tests::Greedy { k: 2 }),
+                &pb,
+                SimConfig {
+                    admission: AdmissionPolicy::DropOldestDeferred { max_deferred: 3 },
+                    watchdog: Some(64),
+                    tile_threads,
+                    ..SimConfig::default()
+                },
+            );
+            let rep = sim.run_steady(cfg).expect("steady run");
+            let j = format!(
+                "{}|{}",
+                serde_json::to_string(&rep).unwrap(),
+                serde_json::to_string(&sim.report()).unwrap()
+            );
+            match &base {
+                None => base = Some(j),
+                Some(b) => assert_eq!(&j, b, "tile_threads={tile_threads} diverged"),
+            }
+        }
     }
 }

@@ -44,6 +44,12 @@
 //! `k` each (the Theorem 15 model). In both cases queues need not be FIFO —
 //! order is the policies' business; the engine only enforces capacity.
 
+// `SimError` deliberately carries the full `DiagnosticSnapshot` inline:
+// run errors are terminal verdicts built once at the end of a run, never
+// hot-path values, and boxing them would complicate every `match` at the
+// call sites for no measurable win.
+#![allow(clippy::result_large_err)]
+
 pub mod diag;
 mod driver;
 pub mod hook;
@@ -55,6 +61,7 @@ pub mod router;
 pub mod sim;
 pub mod snapshot;
 pub mod stats;
+pub mod steady;
 mod storage;
 mod tiles;
 pub mod view;
@@ -66,6 +73,7 @@ mod engine_tests;
 pub use diag::{DiagnosticSnapshot, NodeOccupancy, StuckPacket};
 pub use hook::{HookCtx, NoHook, ScheduledMove, StepHook};
 pub use metrics::{ReportAggregate, SimReport};
+pub use phases::AdmissionPolicy;
 pub use phases::{Phase, STEP_PIPELINE};
 pub use protocol::{ProtocolControl, ProtocolHook, StepEvents};
 pub use queue::{QueueArch, QueueKind};
@@ -76,6 +84,7 @@ pub use snapshot::{
     CheckpointSink, DirectorySink, MemorySink, Snapshot, SnapshotError, SnapshotHook,
     SNAPSHOT_FORMAT_VERSION,
 };
+pub use steady::{SteadyConfig, SteadyReport, WindowFrame};
 
 // Fault plans are part of the engine's public vocabulary (constructors take
 // them); re-export the crate so downstream users need not depend on

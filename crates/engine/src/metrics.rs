@@ -21,6 +21,13 @@ pub struct SimReport {
     pub delivered: usize,
     /// Packets destroyed by lossy links.
     pub lost: usize,
+    /// Packets rejected at the injection edge by admission control
+    /// (`RejectNew` refusals and `DropOldestDeferred` evictions); always 0
+    /// under the closed-system default policy.
+    pub shed: usize,
+    /// Packets whose deadline passed — staged at the edge or queued
+    /// in-network (`DeadlineExpiry`); always 0 under other policies.
+    pub expired: usize,
     /// Packet-steps spent deferred by injection admission control (a packet
     /// kept out of a full origin queue for five steps counts five).
     pub deferred_injections: u64,
@@ -66,13 +73,15 @@ impl SimReport {
             max_latency: Summary::of_u64(reports.iter().map(|r| r.max_latency)),
             delivered: Summary::of_u64(reports.iter().map(|r| r.delivered as u64)),
             lost: Summary::of_u64(reports.iter().map(|r| r.lost as u64)),
+            shed: Summary::of_u64(reports.iter().map(|r| r.shed as u64)),
+            expired: Summary::of_u64(reports.iter().map(|r| r.expired as u64)),
             deferred_injections: Summary::of_u64(reports.iter().map(|r| r.deferred_injections)),
         }
     }
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} on {} (n={}): steps={}{} maxq={} load={} moves={} delivered={}/{}",
             self.algorithm,
             self.workload,
@@ -84,7 +93,11 @@ impl SimReport {
             self.total_moves,
             self.delivered,
             self.total_packets,
-        )
+        );
+        if self.shed > 0 || self.expired > 0 {
+            s.push_str(&format!(" shed={} expired={}", self.shed, self.expired));
+        }
+        s
     }
 }
 
@@ -105,6 +118,8 @@ pub struct ReportAggregate {
     pub max_latency: Summary,
     pub delivered: Summary,
     pub lost: Summary,
+    pub shed: Summary,
+    pub expired: Summary,
     pub deferred_injections: Summary,
 }
 
@@ -121,6 +136,8 @@ mod tests {
             total_packets: 64,
             delivered: if completed { 64 } else { 32 },
             lost: 0,
+            shed: 0,
+            expired: 0,
             deferred_injections: 0,
             steps,
             completed,

@@ -68,13 +68,99 @@ pub const STEP_PIPELINE: [Phase; 8] = [
     Phase::UpdateState,
 ];
 
+/// Admission-control policy at the injection edge — the open-system
+/// overload seam (DESIGN.md §12).
+///
+/// Shedding policies act on *staged* packets (those whose injection time
+/// has come but which have not yet entered their origin queue): bounded
+/// queues already make in-network memory finite, so backlog control is an
+/// edge decision. [`DeadlineExpiry`](AdmissionPolicy::DeadlineExpiry) goes
+/// one step further and expires stale packets *inside* the network too —
+/// edge-only shedding cannot un-fill internal queues once they gridlock.
+/// The whole seam runs inside the inject phase, which executes on the
+/// coordinator even under tile-sharded execution — every policy is
+/// therefore byte-identical across `--tile-threads` by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Closed-system default: staged packets wait outside the network
+    /// until their origin queue has room, however long that takes.
+    #[default]
+    DeferIndefinitely,
+    /// A packet that cannot enter the network in the very step it becomes
+    /// due is shed immediately; nothing is ever deferred.
+    RejectNew,
+    /// Deferred packets queue at the edge, but each origin keeps at most
+    /// `max_deferred`; beyond that the *oldest* deferred packet is shed to
+    /// bound the edge backlog. `max_deferred = 0` behaves like
+    /// [`RejectNew`](AdmissionPolicy::RejectNew).
+    DropOldestDeferred { max_deferred: u32 },
+    /// Per-packet deadlines: a packet `ttl` or more steps past its
+    /// injection time expires wherever it is — still staged at the edge
+    /// or already queued inside the network. In-network expiry is what
+    /// keeps bounded-queue routers on a goodput plateau past saturation:
+    /// stale packets are evicted from the queues they clog instead of
+    /// gridlocking live traffic behind them.
+    DeadlineExpiry { ttl: u64 },
+}
+
+impl serde::Serialize for AdmissionPolicy {
+    fn serialize(&self) -> serde::Value {
+        match self {
+            AdmissionPolicy::DeferIndefinitely => serde::Value::String("DeferIndefinitely".into()),
+            AdmissionPolicy::RejectNew => serde::Value::String("RejectNew".into()),
+            AdmissionPolicy::DropOldestDeferred { max_deferred } => serde::Value::Object(vec![(
+                "DropOldestDeferred".into(),
+                serde::Value::U64(*max_deferred as u64),
+            )]),
+            AdmissionPolicy::DeadlineExpiry { ttl } => {
+                serde::Value::Object(vec![("DeadlineExpiry".into(), serde::Value::U64(*ttl))])
+            }
+        }
+    }
+}
+
+impl serde::Deserialize for AdmissionPolicy {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            // Snapshots written before the admission seam existed carry no
+            // policy field; those runs were closed-system by definition.
+            serde::Value::Null => Ok(AdmissionPolicy::DeferIndefinitely),
+            serde::Value::String(s) => match s.as_str() {
+                "DeferIndefinitely" => Ok(AdmissionPolicy::DeferIndefinitely),
+                "RejectNew" => Ok(AdmissionPolicy::RejectNew),
+                other => Err(serde::Error::custom(format!(
+                    "unknown admission policy '{other}'"
+                ))),
+            },
+            serde::Value::Object(pairs) if pairs.len() == 1 => match pairs[0].0.as_str() {
+                "DropOldestDeferred" => Ok(AdmissionPolicy::DropOldestDeferred {
+                    max_deferred: serde::Deserialize::deserialize(&pairs[0].1)?,
+                }),
+                "DeadlineExpiry" => Ok(AdmissionPolicy::DeadlineExpiry {
+                    ttl: serde::Deserialize::deserialize(&pairs[0].1)?,
+                }),
+                other => Err(serde::Error::custom(format!(
+                    "unknown admission policy '{other}'"
+                ))),
+            },
+            _ => Err(serde::Error::custom("malformed admission policy")),
+        }
+    }
+}
+
 /// Monotone run counters, updated by phases and read by reports.
 /// Serializable as a block: the snapshot subsystem persists it verbatim.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, serde::Serialize)]
 pub(crate) struct Progress {
     pub(crate) steps: u64,
     pub(crate) delivered: usize,
     pub(crate) lost: usize,
+    /// Packets rejected at the injection edge by admission control
+    /// (`RejectNew` refusals and `DropOldestDeferred` evictions).
+    pub(crate) shed: usize,
+    /// Packets whose deadline passed at the edge or in-network
+    /// (`DeadlineExpiry`).
+    pub(crate) expired: usize,
     pub(crate) total_moves: u64,
     pub(crate) exchanges: u64,
     pub(crate) max_queue: u32,
@@ -83,6 +169,33 @@ pub(crate) struct Progress {
     /// network because the origin queue had no room (or the node was
     /// stalled). One packet deferred for five steps counts five.
     pub(crate) deferred_injections: u64,
+}
+
+impl serde::Deserialize for Progress {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        // Hand-written so that counters added after the v1 snapshot format
+        // (shed, expired) tolerate older snapshots: `Value::field` yields
+        // Null for a missing key, and a closed-system run can never have
+        // shed or expired anything, so Null deserializes to zero.
+        fn counter(v: &serde::Value) -> Result<usize, serde::Error> {
+            match v {
+                serde::Value::Null => Ok(0),
+                other => serde::Deserialize::deserialize(other),
+            }
+        }
+        Ok(Progress {
+            steps: serde::Deserialize::deserialize(v.field("steps")?)?,
+            delivered: serde::Deserialize::deserialize(v.field("delivered")?)?,
+            lost: serde::Deserialize::deserialize(v.field("lost")?)?,
+            shed: counter(v.field("shed")?)?,
+            expired: counter(v.field("expired")?)?,
+            total_moves: serde::Deserialize::deserialize(v.field("total_moves")?)?,
+            exchanges: serde::Deserialize::deserialize(v.field("exchanges")?)?,
+            max_queue: serde::Deserialize::deserialize(v.field("max_queue")?)?,
+            max_node_load: serde::Deserialize::deserialize(v.field("max_node_load")?)?,
+            deferred_injections: serde::Deserialize::deserialize(v.field("deferred_injections")?)?,
+        })
+    }
 }
 
 /// Per-step protocol events: packets delivered / destroyed during the
@@ -126,6 +239,7 @@ pub(crate) struct StepCtx<'a, 't, T: Topology, R: Router> {
     pub(crate) topo: &'t T,
     pub(crate) router: &'a R,
     pub(crate) validate: bool,
+    pub(crate) admission: AdmissionPolicy,
     pub(crate) faults: Option<&'a CompiledFaults>,
     pub(crate) store: &'a mut PacketStore,
     pub(crate) grid: &'a mut NodeGrid,
@@ -189,6 +303,46 @@ pub(crate) fn inject<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) ->
         ctx.grid.pending.entry(ni).or_default().push_back(pid);
         ctx.grid.mark_active(ni as usize);
     }
+    // `DeadlineExpiry` acts before the drain, and inside the network as
+    // well as at the edge: a stale packet clogging a bounded queue is
+    // dropped wherever it sits, freeing capacity for live traffic.
+    // Edge-only shedding cannot un-fill internal queues, so without the
+    // in-network sweep central-queue routers congestion-collapse past
+    // saturation instead of degrading to a goodput plateau. Sorted node
+    // order, like the drain below, keeps HashMap iteration order out of
+    // the engine.
+    if let AdmissionPolicy::DeadlineExpiry { ttl } = ctx.admission {
+        let inject_at = &ctx.store.inject_at;
+        let loc = &mut ctx.store.loc;
+        let expired = &mut ctx.progress.expired;
+        ctx.grid.expire_queued(t, ttl, inject_at, |pid| {
+            loc[pid.index()] = Loc::Expired;
+            *expired += 1;
+        });
+        let nodes = &mut ctx.bufs.inject_nodes;
+        nodes.clear();
+        nodes.extend(ctx.grid.pending.keys().copied());
+        nodes.sort_unstable();
+        for &ni in nodes.iter() {
+            let Some(q) = ctx.grid.pending.get_mut(&ni) else {
+                continue;
+            };
+            // Rotate through the bucket once: each packet is popped
+            // exactly once and survivors are pushed back in order.
+            for _ in 0..q.len() {
+                let pid = q.pop_front().expect("bucket length counted above");
+                if t >= ctx.store.inject_at[pid.index()].saturating_add(ttl) {
+                    ctx.store.loc[pid.index()] = Loc::Expired;
+                    ctx.progress.expired += 1;
+                } else {
+                    q.push_back(pid);
+                }
+            }
+            if q.is_empty() {
+                ctx.grid.pending.remove(&ni);
+            }
+        }
+    }
     if !ctx.grid.has_pending() {
         return injected;
     }
@@ -200,6 +354,21 @@ pub(crate) fn inject<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) ->
     // construction.
     let origin = ctx.grid.arch().origin_queue();
     let cap = ctx.grid.arch().capacity(origin);
+    // Open-system injection throttling: when the origin queue is a
+    // bounded queue *shared with transit* (the Central arch), reserve one
+    // slot for arrivals. The inject phase runs before accept, so without
+    // the reserve sustained injection refills every freed slot first and
+    // transit starves — the whole mesh gridlocks at a trickle no matter
+    // what the edge sheds. The closed-system default keeps the paper's
+    // drain-when-room semantics untouched.
+    let cap = match (cap, ctx.admission) {
+        (Some(cv), AdmissionPolicy::DeferIndefinitely) => Some(cv),
+        (Some(cv), _) => Some(cv.saturating_sub(1)),
+        (None, _) => None,
+    };
+    // Deadline runs drain freshest-first (see `pop_pending_back`); every
+    // other policy drains in injection order.
+    let freshest_first = matches!(ctx.admission, AdmissionPolicy::DeadlineExpiry { .. });
     let nodes = &mut ctx.bufs.inject_nodes;
     nodes.clear();
     nodes.extend(ctx.grid.pending.keys().copied());
@@ -222,7 +391,12 @@ pub(crate) fn inject<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) ->
             if !room {
                 break;
             }
-            let Some(pid) = ctx.grid.pop_pending(ni) else {
+            let popped = if freshest_first {
+                ctx.grid.pop_pending_back(ni)
+            } else {
+                ctx.grid.pop_pending(ni)
+            };
+            let Some(pid) = popped else {
                 break;
             };
             ctx.grid.push(c, origin, pid);
@@ -231,6 +405,42 @@ pub(crate) fn inject<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) ->
             injected = true;
         }
         ctx.grid.mark_active(ni as usize);
+    }
+    // Post-drain shedding: whatever could not enter this step either
+    // waits (DeferIndefinitely / DeadlineExpiry), is refused outright
+    // (RejectNew), or is trimmed oldest-first to the per-origin edge
+    // budget (DropOldestDeferred). The sorted node list from the drain is
+    // reused, so shedding order is deterministic as well; buckets the
+    // drain already emptied come back `None` and are skipped.
+    match ctx.admission {
+        AdmissionPolicy::RejectNew => {
+            for &ni in nodes.iter() {
+                let Some(q) = ctx.grid.pending.get_mut(&ni) else {
+                    continue;
+                };
+                while let Some(pid) = q.pop_front() {
+                    ctx.store.loc[pid.index()] = Loc::Shed;
+                    ctx.progress.shed += 1;
+                }
+                ctx.grid.pending.remove(&ni);
+            }
+        }
+        AdmissionPolicy::DropOldestDeferred { max_deferred } => {
+            for &ni in nodes.iter() {
+                let Some(q) = ctx.grid.pending.get_mut(&ni) else {
+                    continue;
+                };
+                while q.len() > max_deferred as usize {
+                    let pid = q.pop_front().expect("length checked above");
+                    ctx.store.loc[pid.index()] = Loc::Shed;
+                    ctx.progress.shed += 1;
+                }
+                if q.is_empty() {
+                    ctx.grid.pending.remove(&ni);
+                }
+            }
+        }
+        AdmissionPolicy::DeferIndefinitely | AdmissionPolicy::DeadlineExpiry { .. } => {}
     }
     // Whatever is still staged was deferred by admission control this
     // step: the origin queue is full (or the node stalled), so the

@@ -13,6 +13,8 @@ use crate::driver::{self, HookRunner, ProtocolRunner};
 use crate::hook::{NoHook, StepHook};
 use crate::metrics::SimReport;
 use crate::phases::{self, EventLog, Phase, Progress, StepBufs, StepCtx, STEP_PIPELINE};
+
+pub use crate::phases::AdmissionPolicy;
 use crate::protocol::ProtocolHook;
 use crate::queue::QueueArch;
 use crate::router::Router;
@@ -63,6 +65,13 @@ pub struct SimConfig {
     /// disables it; the plain `run`/`run_with_hook`/`run_with_protocol`
     /// entry points ignore it entirely.
     pub checkpoint_every: Option<u64>,
+    /// Admission-control policy at the injection edge (open-system
+    /// overload robustness; see [`AdmissionPolicy`]). The default,
+    /// [`AdmissionPolicy::DeferIndefinitely`], is the closed-system
+    /// behavior every pre-existing experiment assumes: nothing is ever
+    /// shed or expired, and runs are bit-identical to the pre-admission
+    /// engine.
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for SimConfig {
@@ -73,6 +82,7 @@ impl Default for SimConfig {
             tile_threads: 1,
             tiles: None,
             checkpoint_every: None,
+            admission: AdmissionPolicy::DeferIndefinitely,
         }
     }
 }
@@ -224,6 +234,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             topo: self.topo,
             router: &self.router,
             validate: self.config.validate,
+            admission: self.config.admission,
             faults: self.faults.as_ref(),
             store: &mut self.store,
             grid: &mut self.grid,
@@ -246,6 +257,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         }
         let t0 = self.progress.steps;
         let delivered_before = self.progress.delivered;
+        let resolved_before = self.progress.delivered + self.progress.shed + self.progress.expired;
         let moves_before = self.progress.total_moves;
         self.events.delivered.clear();
         self.events.lost.clear();
@@ -266,10 +278,17 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             }
         }
         self.progress.steps += 1;
-        // Watchdog bookkeeping (1-based step stamps; 0 = never).
+        // Watchdog bookkeeping (1-based step stamps; 0 = never). A step
+        // *resolves* work when it delivers, sheds, or expires a packet —
+        // the overload watchdog's notion of staying live.
         let delivered = self.progress.delivered != delivered_before;
+        let resolved =
+            self.progress.delivered + self.progress.shed + self.progress.expired != resolved_before;
         let activity = self.progress.total_moves != moves_before || injected_any || delivered;
-        self.timers.note(self.progress.steps, activity, delivered);
+        self.timers
+            .note(self.progress.steps, activity, delivered, resolved);
+        #[cfg(debug_assertions)]
+        self.assert_conservation();
         self.done()
     }
 
@@ -445,6 +464,37 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         self.progress.deferred_injections
     }
 
+    /// Packets currently staged at injection edges — due but not yet
+    /// admitted into the network. Unlike the cumulative packet-step
+    /// counter [`Sim::deferred_injections`], this is the instantaneous
+    /// backlog, queryable mid-run.
+    pub fn pending_injections(&self) -> usize {
+        self.grid.staged_total()
+    }
+
+    /// Packets rejected at the injection edge by admission control so far
+    /// (`RejectNew` refusals and `DropOldestDeferred` evictions).
+    pub fn shed(&self) -> usize {
+        self.progress.shed
+    }
+
+    /// Packets whose deadline passed so far, at the edge or queued
+    /// in-network (`DeadlineExpiry`).
+    pub fn expired(&self) -> usize {
+        self.progress.expired
+    }
+
+    /// Packets whose injection time has been reached so far — everything
+    /// the open system has *offered* to the network (admitted or not).
+    pub fn offered(&self) -> usize {
+        self.store.offered()
+    }
+
+    /// Step at which a packet is (or was) due for injection.
+    pub fn inject_step(&self, p: PacketId) -> u64 {
+        self.store.inject_at[p.index()]
+    }
+
     /// Total packets.
     pub fn num_packets(&self) -> usize {
         self.store.len()
@@ -524,6 +574,8 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             total_packets: self.store.len(),
             delivered: self.progress.delivered,
             lost: self.progress.lost,
+            shed: self.progress.shed,
+            expired: self.progress.expired,
             deferred_injections: self.progress.deferred_injections,
             steps: self.progress.steps,
             completed: self.done(),
@@ -605,8 +657,17 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             step: self.progress.steps,
             delivered: self.progress.delivered,
             total: self.store.len(),
-            pending: self.store.len() - self.progress.delivered - self.progress.lost - stuck.len(),
+            pending: self.store.len()
+                - self.progress.delivered
+                - self.progress.lost
+                - self.progress.shed
+                - self.progress.expired
+                - stuck.len(),
             lost: self.progress.lost,
+            shed: self.progress.shed,
+            expired: self.progress.expired,
+            deferred: self.pending_injections(),
+            offered: self.store.offered(),
             stuck,
             occupancy,
             active_faults: self
@@ -660,6 +721,63 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 "occupancy index out of sync at {c} (step {t})"
             );
         }
+    }
+
+    /// Asserts the open-system packet-conservation invariant *right now*:
+    /// every packet whose injection time has been reached is in exactly
+    /// one bucket, and the location table agrees with the monotone
+    /// counters:
+    ///
+    /// ```text
+    /// offered == delivered + lost + shed + expired + in_network + staged
+    /// ```
+    ///
+    /// Debug builds check this after every step (both the sequential and
+    /// the tile-sharded tails); tests call it directly under any
+    /// λ/policy/geometry.
+    pub fn assert_conservation(&self) {
+        let t = self.progress.steps;
+        let (mut at, mut delivered, mut lost, mut shed, mut expired, mut pending) =
+            (0usize, 0usize, 0usize, 0usize, 0usize, 0usize);
+        for &loc in &self.store.loc {
+            match loc {
+                Loc::Pending => pending += 1,
+                Loc::At(_) => at += 1,
+                Loc::Delivered => delivered += 1,
+                Loc::Lost => lost += 1,
+                Loc::Shed => shed += 1,
+                Loc::Expired => expired += 1,
+            }
+        }
+        assert_eq!(
+            delivered, self.progress.delivered,
+            "delivered counter out of sync with location table at step {t}"
+        );
+        assert_eq!(
+            lost, self.progress.lost,
+            "lost counter out of sync with location table at step {t}"
+        );
+        assert_eq!(
+            shed, self.progress.shed,
+            "shed counter out of sync with location table at step {t}"
+        );
+        assert_eq!(
+            expired, self.progress.expired,
+            "expired counter out of sync with location table at step {t}"
+        );
+        let staged = self.grid.staged_total();
+        let future = self.store.len() - self.store.offered();
+        assert_eq!(
+            pending,
+            staged + future,
+            "Pending locations must be exactly the staged + not-yet-due packets (step {t})"
+        );
+        assert_eq!(
+            self.store.offered(),
+            delivered + lost + shed + expired + at + staged,
+            "conservation violated at step {t}: offered != \
+             delivered + lost + shed + expired + in_network + staged"
+        );
     }
 
     /// The router's queue architecture.

@@ -32,7 +32,7 @@
 //! never panics.
 
 use crate::diag::DiagnosticSnapshot;
-use crate::phases::{EventLog, Progress, StepBufs};
+use crate::phases::{AdmissionPolicy, EventLog, Progress, StepBufs};
 use crate::queue::{QueueArch, QueueKind};
 use crate::router::Router;
 use crate::sim::{Sim, SimConfig, SimError};
@@ -168,6 +168,11 @@ pub struct Snapshot {
     pub algorithm: String,
     pub workload: String,
     pub faults: FaultFingerprint,
+    /// Admission policy the run executes under. Unlike tile threads or
+    /// checkpoint cadence this *does* affect simulated state, so restore
+    /// rejects a config whose policy disagrees. Absent in pre-admission
+    /// snapshots; those deserialize to the closed-system default.
+    pub admission: AdmissionPolicy,
     pub(crate) progress: Progress,
     pub(crate) timers: Timers,
     pub packets: PacketsSnap,
@@ -257,6 +262,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             algorithm: self.router.name(),
             workload: self.workload.clone(),
             faults: FaultFingerprint::of(self.faults.as_ref()),
+            admission: self.config.admission,
             progress: self.progress.clone(),
             timers: self.timers.clone(),
             packets: PacketsSnap {
@@ -347,6 +353,12 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             return Err(SnapshotError::Mismatch(format!(
                 "fault plan fingerprint {fp:?} does not match the snapshot's {:?}",
                 snap.faults
+            )));
+        }
+        if config.admission != snap.admission {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot was taken under admission policy {:?}, restoring under {:?}",
+                snap.admission, config.admission
             )));
         }
         validate_packets(snap)?;
@@ -479,6 +491,8 @@ fn validate_packets(snap: &Snapshot) -> Result<(), SnapshotError> {
     }
     let mut delivered = 0usize;
     let mut lost = 0usize;
+    let mut shed = 0usize;
+    let mut expired = 0usize;
     for i in 0..len {
         match p.loc[i] {
             Loc::Delivered => {
@@ -493,6 +507,8 @@ fn validate_packets(snap: &Snapshot) -> Result<(), SnapshotError> {
                 }
                 match other {
                     Loc::Lost => lost += 1,
+                    Loc::Shed => shed += 1,
+                    Loc::Expired => expired += 1,
                     Loc::At(c) if c.x >= snap.n || c.y >= snap.n => {
                         return corrupt(format!("packet {i} located off-grid at {c}"));
                     }
@@ -511,6 +527,18 @@ fn validate_packets(snap: &Snapshot) -> Result<(), SnapshotError> {
         return corrupt(format!(
             "progress says {} lost, locations say {lost}",
             snap.progress.lost
+        ));
+    }
+    if shed != snap.progress.shed {
+        return corrupt(format!(
+            "progress says {} shed, locations say {shed}",
+            snap.progress.shed
+        ));
+    }
+    if expired != snap.progress.expired {
+        return corrupt(format!(
+            "progress says {} expired, locations say {expired}",
+            snap.progress.expired
         ));
     }
     Ok(())
@@ -597,6 +625,19 @@ fn validate_cross_refs(
         if pid.index() >= len {
             return corrupt(format!("event buffer references unknown packet {pid:?}"));
         }
+    }
+    // Open-system conservation: every offered packet (past the injection
+    // cursor) is delivered, lost, shed, expired, in a queue, or staged.
+    let staged: usize = snap.grid.pending.iter().map(|(_, q)| q.len()).sum();
+    let resolved =
+        snap.progress.delivered + snap.progress.lost + snap.progress.shed + snap.progress.expired;
+    if store.inject_cursor != resolved + in_network + staged {
+        return corrupt(format!(
+            "conservation violated: cursor offered {} but \
+             delivered+lost+shed+expired ({resolved}) + in-network ({in_network}) \
+             + staged ({staged}) disagree",
+            store.inject_cursor
+        ));
     }
     Ok(())
 }

@@ -11,10 +11,11 @@ pub struct Distribution {
     pub min: u64,
     pub max: u64,
     pub mean: f64,
-    /// Percentiles at 50/90/99 (nearest-rank).
+    /// Percentiles at 50/90/99/99.9 (nearest-rank).
     pub p50: u64,
     pub p90: u64,
     pub p99: u64,
+    pub p999: u64,
 }
 
 impl Distribution {
@@ -29,6 +30,7 @@ impl Distribution {
                 p50: 0,
                 p90: 0,
                 p99: 0,
+                p999: 0,
             };
         }
         let mut v = samples.to_vec();
@@ -46,6 +48,7 @@ impl Distribution {
             p50: pct(50.0),
             p90: pct(90.0),
             p99: pct(99.0),
+            p999: pct(99.9),
         }
     }
 }
@@ -202,7 +205,27 @@ mod tests {
     #[test]
     fn distribution_single() {
         let d = Distribution::of(&[42]);
-        assert_eq!((d.min, d.p50, d.p90, d.p99, d.max), (42, 42, 42, 42, 42));
+        assert_eq!(
+            (d.min, d.p50, d.p90, d.p99, d.p999, d.max),
+            (42, 42, 42, 42, 42, 42)
+        );
+    }
+
+    #[test]
+    fn distribution_p999_tracks_the_tail() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let d = Distribution::of(&v);
+        assert_eq!(d.p99, 990);
+        // p99.9 sits strictly inside the extreme tail.
+        assert!(d.p999 > d.p99 && d.p999 <= d.max, "p999 = {}", d.p999);
+        // A heavy-tailed set: one outlier in 1000 must move p999 (which
+        // reaches the last rank there) but not p50.
+        let mut w = vec![1u64; 999];
+        w.push(1_000_000);
+        let h = Distribution::of(&w);
+        assert_eq!(h.p50, 1);
+        assert_eq!(h.p99, 1);
+        assert_eq!(h.p999, 1_000_000);
     }
 
     #[test]

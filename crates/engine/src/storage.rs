@@ -28,6 +28,13 @@ pub enum Loc {
     /// Only the reliable-transport layer can recover the payload (by
     /// spawning a retransmission as a fresh packet).
     Lost,
+    /// Rejected by admission control before ever entering the network
+    /// (open-system overload: `RejectNew` / `DropOldestDeferred`).
+    Shed,
+    /// Expired: its deadline (TTL) passed while it was staged at the
+    /// edge or queued inside the network, and it was dropped there
+    /// (`DeadlineExpiry`).
+    Expired,
 }
 
 /// Sentinel in `delivered_at` for packets still in flight.
@@ -102,6 +109,12 @@ impl PacketStore {
     /// [`NodeGrid::has_pending`]).
     pub(crate) fn cursor_exhausted(&self) -> bool {
         self.inject_cursor >= self.inject_order.len()
+    }
+
+    /// Packets whose injection time has arrived so far (staged, entered,
+    /// delivered, shed, or expired — everything past the cursor).
+    pub(crate) fn offered(&self) -> usize {
+        self.inject_cursor
     }
 }
 
@@ -215,6 +228,35 @@ impl NodeGrid {
         self.load[ni] -= 1;
     }
 
+    /// Removes every queued packet whose injection step is `ttl` or more
+    /// steps in the past, in deterministic (node, slot, position) order,
+    /// invoking `on_expired` for each. O(total queued packets); only the
+    /// `DeadlineExpiry` admission policy pays it.
+    pub(crate) fn expire_queued(
+        &mut self,
+        t: u64,
+        ttl: u64,
+        inject_at: &[u64],
+        mut on_expired: impl FnMut(PacketId),
+    ) {
+        let slots = self.slots;
+        for ni in 0..self.nodes() {
+            for s in 0..slots {
+                let q = &mut self.queues[ni * slots + s];
+                let before = q.len();
+                q.retain(|&pid| {
+                    if t >= inject_at[pid.index()].saturating_add(ttl) {
+                        on_expired(pid);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                self.load[ni] -= (before - q.len()) as u32;
+            }
+        }
+    }
+
     /// Total packets currently in the node's queues (excluding pending) —
     /// O(1) from the occupancy index.
     #[inline]
@@ -276,9 +318,37 @@ impl NodeGrid {
         }
     }
 
+    /// Pops the *newest* pending packet of a node (freshest-first
+    /// admission, used by `DeadlineExpiry`): under sustained overload a
+    /// FIFO edge admits only packets whose deadline budget is already
+    /// spent waiting, so everything expires mid-flight — admitting the
+    /// freshest packet instead gives it its full TTL to cross the mesh
+    /// while stale backlog expires at the edge.
+    pub(crate) fn pop_pending_back(&mut self, ni: u32) -> Option<PacketId> {
+        let q = self.pending.get_mut(&ni)?;
+        match q.pop_back() {
+            Some(pid) => {
+                if q.is_empty() {
+                    self.pending.remove(&ni);
+                }
+                Some(pid)
+            }
+            None => {
+                self.pending.remove(&ni);
+                None
+            }
+        }
+    }
+
     #[inline]
     pub(crate) fn has_pending(&self) -> bool {
         !self.pending.is_empty()
+    }
+
+    /// Packets currently staged at injection edges (admission-deferred),
+    /// over all nodes.
+    pub(crate) fn staged_total(&self) -> usize {
+        self.pending.values().map(VecDeque::len).sum()
     }
 
     /// Records a node's end-of-step load into the congestion map.

@@ -846,6 +846,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         }
         let t0 = self.progress.steps;
         let delivered_before = self.progress.delivered;
+        let resolved_before = self.progress.delivered + self.progress.shed + self.progress.expired;
         let moves_before = self.progress.total_moves;
         self.events.delivered.clear();
         self.events.lost.clear();
@@ -913,8 +914,13 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
 
         self.progress.steps += 1;
         let delivered = self.progress.delivered != delivered_before;
+        let resolved =
+            self.progress.delivered + self.progress.shed + self.progress.expired != resolved_before;
         let activity = self.progress.total_moves != moves_before || injected_any || delivered;
-        self.timers.note(self.progress.steps, activity, delivered);
+        self.timers
+            .note(self.progress.steps, activity, delivered, resolved);
+        #[cfg(debug_assertions)]
+        self.assert_conservation();
         self.done()
     }
 }

@@ -14,6 +14,11 @@
 //!   runs with nothing outstanding): armed once every injection —
 //!   including admission-deferred ones — is in; a quiet window is a
 //!   deadlock.
+//! - [`Overload`](WatchdogMode::Overload) (open-system steady-state
+//!   runs): always armed — arrivals never stop, so waiting for cursor
+//!   exhaustion would disarm it forever. A quiet window is a deadlock; a
+//!   window with activity but no *resolution* (delivery, shed, or
+//!   expiry) is a livelock. Saturation with shedding never trips it.
 //!
 //! All modes measure windows from `max(timer, settle)` where `settle` is
 //! the last *transient* fault transition: the watchdog never declares a
@@ -25,23 +30,51 @@ use mesh_topo::Topology;
 
 /// Last-progress stamps (1-based step numbers; 0 = never).
 /// Serializable as a block: the snapshot subsystem persists it verbatim.
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, serde::Serialize)]
 pub(crate) struct Timers {
     /// Last step with any activity: an accepted move, an injection, or a
     /// delivery.
     pub(crate) last_activity: u64,
     /// Last step that delivered a packet.
     pub(crate) last_delivery: u64,
+    /// Last step that *resolved* a packet — delivered, shed, or expired
+    /// it. The overload watchdog's notion of staying live: a saturated
+    /// open system that keeps shedding is making progress, not
+    /// livelocked.
+    pub(crate) last_resolution: u64,
+}
+
+impl serde::Deserialize for Timers {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let last_activity = serde::Deserialize::deserialize(v.field("last_activity")?)?;
+        let last_delivery: u64 = serde::Deserialize::deserialize(v.field("last_delivery")?)?;
+        // Hand-written for v1 snapshot tolerance: snapshots written before
+        // the overload watchdog carry no `last_resolution`; in a
+        // closed-system run the only resolutions are deliveries, so the
+        // delivery stamp is the exact historical value.
+        let last_resolution = match v.field("last_resolution")? {
+            serde::Value::Null => last_delivery,
+            other => serde::Deserialize::deserialize(other)?,
+        };
+        Ok(Timers {
+            last_activity,
+            last_delivery,
+            last_resolution,
+        })
+    }
 }
 
 impl Timers {
     /// Records the just-finished step `step`.
-    pub(crate) fn note(&mut self, step: u64, activity: bool, delivery: bool) {
+    pub(crate) fn note(&mut self, step: u64, activity: bool, delivery: bool, resolution: bool) {
         if activity {
             self.last_activity = step;
         }
         if delivery {
             self.last_delivery = step;
+        }
+        if resolution {
+            self.last_resolution = step;
         }
     }
 }
@@ -52,6 +85,13 @@ pub(crate) enum WatchdogMode {
     Standard,
     DeliveryStarvation,
     ActivityStarvation,
+    /// Open-system steady-state runs: arrivals never stop, so the cursor
+    /// gate of `Standard` would keep the watchdog disarmed forever.
+    /// Instead, a quiet window is still a deadlock, and a window in which
+    /// nothing was *resolved* (no delivery, shed, or expiry) despite
+    /// activity is a livelock — "saturated but shedding" counts as
+    /// making progress and never trips.
+    Overload,
 }
 
 /// Applies the configured watchdog (if any) after a step, under `mode`.
@@ -87,6 +127,15 @@ pub(crate) fn check<T: Topology, R: Router>(
         WatchdogMode::ActivityStarvation => {
             if sim.injections_exhausted() && no_activity {
                 return Err(SimError::Deadlock(sim.diagnostics()));
+            }
+        }
+        WatchdogMode::Overload => {
+            let no_resolution = steps.saturating_sub(timers.last_resolution.max(settle)) >= w;
+            if no_activity {
+                return Err(SimError::Deadlock(sim.diagnostics()));
+            }
+            if no_resolution {
+                return Err(SimError::Livelock(sim.diagnostics()));
             }
         }
     }

@@ -221,6 +221,61 @@ pub fn dynamic_bernoulli(n: u32, rate: f64, steps: u64, seed: u64) -> RoutingPro
     )
 }
 
+/// Open-system continuous Bernoulli source over a fixed horizon: every
+/// step `t in 0..horizon`, every node independently offers packets at
+/// rate `lambda` toward uniformly random destinations. Unlike
+/// [`dynamic_bernoulli`] the rate may exceed 1 — `floor(lambda)` packets
+/// are offered per node per step unconditionally and the fractional
+/// remainder by a Bernoulli trial — which is what lets overload sweeps
+/// push λ past the network's saturation point λ*.
+///
+/// The horizon bounds memory, not semantics: a steady-state run measures
+/// windows inside the horizon, and the source keeps offering through the
+/// last step so the system never drains mid-measurement.
+pub fn open_bernoulli(n: u32, lambda: f64, horizon: u64, seed: u64) -> RoutingProblem {
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be finite and non-negative"
+    );
+    let whole = lambda.floor() as u64;
+    let frac = lambda - lambda.floor();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut packets = Vec::new();
+    for t in 0..horizon {
+        for src in all_coords(n) {
+            let count = whole + u64::from(frac > 0.0 && rng.gen_bool(frac));
+            for _ in 0..count {
+                let dst = Coord::new(rng.gen_range(0..n), rng.gen_range(0..n));
+                packets.push(Packet::injected_at(packets.len() as u32, src, dst, t));
+            }
+        }
+    }
+    RoutingProblem::from_packets(
+        n,
+        format!("open-bernoulli(n={n},lambda={lambda},horizon={horizon},seed={seed})"),
+        packets,
+    )
+}
+
+/// Open-system source from an explicit trace of `(src, dst, inject_at)`
+/// triples — recorded arrivals, replayed deterministically. Entries are
+/// sorted by injection step (stable for equal steps), so any recording
+/// order is accepted.
+pub fn from_trace(
+    n: u32,
+    label: impl Into<String>,
+    trace: impl IntoIterator<Item = (Coord, Coord, u64)>,
+) -> RoutingProblem {
+    let mut entries: Vec<(Coord, Coord, u64)> = trace.into_iter().collect();
+    entries.sort_by_key(|&(_, _, t)| t);
+    let packets = entries
+        .into_iter()
+        .enumerate()
+        .map(|(i, (src, dst, t))| Packet::injected_at(i as u32, src, dst, t))
+        .collect();
+    RoutingProblem::from_packets(n, label, packets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,5 +426,44 @@ mod tests {
     #[test]
     fn dynamic_rate_zero_is_empty() {
         assert!(dynamic_bernoulli(6, 0.0, 10, 1).is_empty());
+    }
+
+    #[test]
+    fn open_bernoulli_is_seeded_and_supports_overload_rates() {
+        let p1 = open_bernoulli(6, 0.3, 20, 5);
+        let p2 = open_bernoulli(6, 0.3, 20, 5);
+        assert_eq!(
+            p1.packets
+                .iter()
+                .map(|p| (p.src, p.dst, p.inject_at))
+                .collect::<Vec<_>>(),
+            p2.packets
+                .iter()
+                .map(|p| (p.src, p.dst, p.inject_at))
+                .collect::<Vec<_>>()
+        );
+        // λ > 1: floor(λ) packets per node per step guaranteed.
+        let p = open_bernoulli(4, 1.5, 10, 3);
+        assert!(p.len() >= 16 * 10, "λ=1.5 must offer ≥ 1/node/step");
+        assert!(p.packets.iter().all(|pk| pk.inject_at < 10));
+        assert!(open_bernoulli(4, 0.0, 10, 1).is_empty());
+    }
+
+    #[test]
+    fn from_trace_sorts_by_injection_step() {
+        let p = from_trace(
+            4,
+            "trace-test",
+            vec![
+                (Coord::new(0, 0), Coord::new(3, 3), 7),
+                (Coord::new(1, 1), Coord::new(2, 2), 2),
+                (Coord::new(3, 0), Coord::new(0, 3), 2),
+            ],
+        );
+        assert_eq!(p.len(), 3);
+        let at: Vec<u64> = p.packets.iter().map(|pk| pk.inject_at).collect();
+        assert_eq!(at, vec![2, 2, 7]);
+        // Stable: equal steps keep trace order.
+        assert_eq!(p.packets[0].src, Coord::new(1, 1));
     }
 }

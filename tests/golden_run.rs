@@ -122,6 +122,83 @@ fn ids(pids: &[PacketId]) -> Vec<u32> {
     pids.iter().map(|p| p.0).collect()
 }
 
+/// The frozen record of one steady-state (open-system) scenario: the
+/// windowed measurement frames plus the final report, which carries the
+/// admission-control shed/expired totals.
+#[derive(Serialize, Deserialize)]
+struct GoldenSteadyDoc {
+    scenario: String,
+    steady: SteadyReport,
+    report: SimReport,
+}
+
+/// An overloaded open-system soak on 16×16: Bernoulli injection past the
+/// saturation point under deadline expiry, measured in four windows. The
+/// frozen record pins the whole overload layer — admission accounting,
+/// window framing, latency percentiles — and must replay byte-identically
+/// under every tiled config. Dim-order's bounded central queue makes the
+/// injection edge back-pressure (Theorem 15's per-inlink model has an
+/// unbounded injection queue, which admission control never touches).
+#[test]
+fn golden_steady16() {
+    let schedule = SteadyConfig {
+        warmup: 64,
+        window: 64,
+        windows: 4,
+    };
+    let build = |config: SimConfig| {
+        let n = 16;
+        let topo = Mesh::new(n);
+        let pb = workloads::open_bernoulli(n, 0.35, schedule.horizon(), 2024);
+        let config = SimConfig {
+            admission: AdmissionPolicy::DeadlineExpiry { ttl: 48 },
+            watchdog: Some(256),
+            ..config
+        };
+        let mut sim = Sim::with_config(&topo, Dx::new(DimOrder::new(4)), &pb, config);
+        let steady = sim
+            .run_steady(schedule)
+            .expect("an overloaded-but-shedding soak must stay live");
+        GoldenSteadyDoc {
+            scenario: "steady16".into(),
+            steady,
+            report: sim.report(),
+        }
+    };
+
+    let doc = build(SimConfig::default());
+    assert!(doc.report.expired > 0, "0.35 > saturation must expire");
+    let path = fixture_path(&doc.scenario);
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialize golden doc") + "\n";
+    if std::env::var_os("GOLDEN_RECORD").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create fixtures dir");
+        std::fs::write(&path, &rendered).expect("write fixture");
+    } else {
+        let recorded = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); record with GOLDEN_RECORD=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            rendered, recorded,
+            "scenario 'steady16' diverged from its golden fixture — the \
+             overload layer's observable behavior changed"
+        );
+    }
+    for config in tiled_configs() {
+        let tiled = build(config);
+        let replay = serde_json::to_string_pretty(&tiled).expect("serialize golden doc") + "\n";
+        let recorded = std::fs::read_to_string(&path).expect("fixture exists after check");
+        assert_eq!(
+            replay, recorded,
+            "scenario 'steady16' under tile_threads={} tiles={:?} diverged — \
+             tiled execution is not bit-identical",
+            config.tile_threads, config.tiles
+        );
+    }
+}
+
 /// Steps `sim` manually up to `cap` steps, recording every step that
 /// delivered or destroyed a packet.
 fn step_and_record<T: Topology, R: Router>(

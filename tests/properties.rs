@@ -1,7 +1,9 @@
 //! Property-based tests (proptest) on the core invariants:
 //! delivery + minimality on arbitrary problems, exchange-invariance of
 //! destination-exchangeable routers (Lemma 10), tiling coverage (Lemma 19),
-//! and quadrant/geometry algebra.
+//! quadrant/geometry algebra, and the open-system overload seam
+//! (per-step packet conservation and queue caps under any offered load,
+//! admission policy, and tile geometry; overload watchdog liveness).
 
 use mesh_routing::prelude::*;
 use mesh_routing::Section6Router;
@@ -410,6 +412,98 @@ proptest! {
         let res = sim.run_with_protocol(500_000, &mut tp);
         prop_assert!(res.is_ok(), "protocol watchdog fired fault-free: {:?}", res.err());
         prop_assert!(tp.exactly_once());
+    }
+
+    #[test]
+    fn open_system_conservation_and_caps_hold_every_step(
+        rate_permille in 50u64..2_000,
+        policy_sel in 0u8..4,
+        ttl in 4u64..64,
+        max_deferred in 0u32..8,
+        seed in 0u64..10_000,
+        k in 1u32..4,
+        arch_sel in 0u8..2,
+        tile_sel in 0u8..4,
+    ) {
+        // The overload seam's accounting identity — injected == delivered +
+        // in-flight + shed + expired + lost — and the §2 queue-capacity
+        // contract must hold after *every* step, for any offered load
+        // (including far past saturation), any admission policy, and any
+        // tile geometry, not just at quiescence.
+        let n = 6;
+        let rate = rate_permille as f64 / 1000.0;
+        let pb = workloads::open_bernoulli(n, rate, 6 * n as u64, seed);
+        prop_assume!(!pb.is_empty());
+        let topo = Mesh::new(n);
+        let admission = match policy_sel {
+            0 => AdmissionPolicy::DeferIndefinitely,
+            1 => AdmissionPolicy::RejectNew,
+            2 => AdmissionPolicy::DropOldestDeferred { max_deferred },
+            _ => AdmissionPolicy::DeadlineExpiry { ttl },
+        };
+        let (tile_threads, tiles) = match tile_sel {
+            0 => (1, None),
+            1 => (2, None),
+            2 => (1, Some((2, 2))),
+            _ => (4, Some((3, 2))),
+        };
+        let config = SimConfig {
+            admission,
+            tile_threads,
+            tiles,
+            ..SimConfig::default()
+        };
+        macro_rules! check {
+            ($router:expr, $cap:expr) => {{
+                let mut sim = Sim::with_config(&topo, $router, &pb, config);
+                for _ in 0..(12 * n as u64) {
+                    let done = sim.step();
+                    sim.assert_conservation();
+                    sim.assert_queue_invariants();
+                    prop_assert!(sim.report().max_queue <= $cap);
+                    if done {
+                        break;
+                    }
+                }
+            }};
+        }
+        check!(Dx::new(DimOrder::new(k)), k);
+        check!(Dx::new(Theorem15::new(k)), k);
+    }
+
+    #[test]
+    fn overload_watchdog_never_fires_on_saturated_fault_free_runs(
+        rate_permille in 300u64..3_000,
+        policy_sel in 0u8..3,
+        seed in 0u64..10_000,
+    ) {
+        // The Overload watchdog must distinguish "saturated but resolving
+        // packets" (deliveries, sheds, or expiries every window) from a
+        // genuine wedge: on a fault-free open-system run it never fires,
+        // however far past saturation the offered load sits.
+        let n = 6;
+        let rate = rate_permille as f64 / 1000.0;
+        let schedule = SteadyConfig { warmup: 16, window: 16, windows: 3 };
+        let pb = workloads::open_bernoulli(n, rate, schedule.horizon(), seed);
+        prop_assume!(!pb.is_empty());
+        let topo = Mesh::new(n);
+        let admission = match policy_sel {
+            0 => AdmissionPolicy::RejectNew,
+            1 => AdmissionPolicy::DropOldestDeferred { max_deferred: 4 },
+            _ => AdmissionPolicy::DeadlineExpiry { ttl: 4 * n as u64 },
+        };
+        let config = SimConfig {
+            admission,
+            watchdog: Some(8 * n as u64),
+            ..SimConfig::default()
+        };
+        let mut sim = Sim::with_config(&topo, Dx::new(DimOrder::new(2)), &pb, config);
+        let res = sim.run_steady(schedule);
+        prop_assert!(
+            res.is_ok(),
+            "overload watchdog fired on a fault-free saturated run: {:?}",
+            res.err().map(|e| e.kind()),
+        );
     }
 
     #[test]
