@@ -43,7 +43,12 @@ algorithms: dim-order dim-order-yx alt-adaptive theorem15 farthest-first greedy 
 `--lambda` runs the open-system steady-state harness: a Bernoulli source
 offers F packets per node per step for warmup + windows*window steps, the
 admission policy decides what happens to packets the edge cannot take, and
-each measurement window reports goodput and latency percentiles.";
+each measurement window reports goodput and latency percentiles.
+
+Steady checkpoints record their environment (lambda, schedule, admission),
+so `mesh route <algorithm> --resume-from CKPT` alone resumes a steady soak;
+re-passed steady flags are cross-checked against the snapshot and refused
+on disagreement.";
 
 struct Args {
     positional: Vec<String>,
@@ -235,7 +240,7 @@ fn print_steady(args: &Args, out: &mesh_routing::SteadyOutcome) {
     );
     for f in &out.steady.frames {
         println!(
-            "  window {} [{}..{}]: offered={} delivered={} shed={} expired={} lost={} goodput={:.3} p99={}",
+            "  window {} [{}..{}]: offered={} delivered={} shed={} expired={} lost={} goodput={:.3} p99={} (samples={})",
             f.index,
             f.start_step,
             f.end_step,
@@ -246,6 +251,7 @@ fn print_steady(args: &Args, out: &mesh_routing::SteadyOutcome) {
             f.lost,
             f.goodput,
             f.latency.p99,
+            f.samples,
         );
     }
     let r = &out.report;
@@ -262,6 +268,11 @@ fn print_steady(args: &Args, out: &mesh_routing::SteadyOutcome) {
 
 /// `mesh route <algo> --lambda F`: the open-system steady-state harness.
 fn cmd_steady(args: &Args, algo: Algorithm) {
+    if let Some(path) = args.flags.get("resume-from") {
+        let snap = load_snapshot(path);
+        cmd_steady_resume(args, algo, path, snap);
+        return;
+    }
     let lambda: f64 = args
         .flags
         .get("lambda")
@@ -275,33 +286,20 @@ fn cmd_steady(args: &Args, algo: Algorithm) {
         window: args.u64_flag("window").unwrap_or(64),
         windows: args.u32_flag("windows").unwrap_or(4),
     };
-    let config = SimConfig {
-        admission: parse_admission(args),
-        watchdog: Some(
-            args.u64_flag("watchdog")
-                .unwrap_or((2 * schedule.window).max(256)),
-        ),
-        tile_threads: args.u32_flag("tile-threads").unwrap_or(1) as usize,
-        checkpoint_every: args.u64_flag("checkpoint-every"),
-        ..SimConfig::default()
-    };
-    let dir = args
-        .flags
-        .get("checkpoint-dir")
-        .map(String::as_str)
-        .unwrap_or("checkpoints");
+    let config = steady_sim_config(args, parse_admission(args), schedule.window);
+    let dir = checkpoint_dir(args);
     let halt_at = args.u64_flag("halt-at");
 
-    let result = if let Some(path) = args.flags.get("resume-from") {
-        let snap = mesh_routing::engine::Snapshot::read_from(std::path::Path::new(path))
-            .unwrap_or_else(|e| {
-                eprintln!("cannot load snapshot {path}: {e}");
-                exit(1);
-            });
-        eprintln!("resuming from {path} at step {}", snap.step);
-        mesh_routing::resume_steady_route(
+    let n = args.u32_flag("n").unwrap_or_else(|| {
+        eprintln!("--n is required with --lambda");
+        usage()
+    });
+    let seed = args.u64_flag("seed").unwrap_or(1);
+    let pb = mesh_routing::traffic::workloads::open_bernoulli(n, lambda, schedule.horizon(), seed);
+    let result = if config.checkpoint_every.is_some() {
+        mesh_routing::steady_route_checkpointed(
             algo,
-            &snap,
+            &pb,
             lambda,
             schedule,
             config,
@@ -309,28 +307,107 @@ fn cmd_steady(args: &Args, algo: Algorithm) {
             halt_at,
         )
     } else {
-        let n = args.u32_flag("n").unwrap_or_else(|| {
-            eprintln!("--n is required with --lambda");
-            usage()
-        });
-        let seed = args.u64_flag("seed").unwrap_or(1);
-        let pb =
-            mesh_routing::traffic::workloads::open_bernoulli(n, lambda, schedule.horizon(), seed);
-        if config.checkpoint_every.is_some() {
-            mesh_routing::steady_route_checkpointed(
-                algo,
-                &pb,
-                lambda,
-                schedule,
-                config,
-                std::path::Path::new(dir),
-                halt_at,
-            )
-        } else {
-            mesh_routing::steady_route(algo, &pb, lambda, schedule, config).map(|o| (Some(o), None))
-        }
+        mesh_routing::steady_route(algo, &pb, lambda, schedule, config).map(|o| (Some(o), None))
     };
+    report_steady(args, result);
+}
 
+/// Resume of a steady checkpoint: the schedule, offered-load label, and
+/// admission policy come from the snapshot's own environment block, so
+/// `--resume-from` alone suffices. Any steady flag the user re-passes
+/// anyway is cross-checked against the recorded environment; a
+/// disagreement is refused up front instead of silently diverging.
+fn cmd_steady_resume(
+    args: &Args,
+    algo: Algorithm,
+    path: &str,
+    snap: mesh_routing::engine::Snapshot,
+) {
+    let Some(env) = snap.steady else {
+        eprintln!(
+            "snapshot {path} records no steady-state environment (a closed-system run, or a \
+             checkpoint older than format v2); re-run with the original steady flags or resume \
+             it as a plain route"
+        );
+        exit(1);
+    };
+    let schedule = env.config;
+    let mut clashes = Vec::new();
+    if let Some(l) = args.flags.get("lambda") {
+        if l.parse::<f64>().ok() != Some(env.lambda) {
+            clashes.push(format!("lambda {l} (snapshot: {})", env.lambda));
+        }
+    }
+    for (flag, recorded) in [
+        ("warmup", schedule.warmup),
+        ("window", schedule.window),
+        ("windows", schedule.windows as u64),
+    ] {
+        if let Some(v) = args.u64_flag(flag) {
+            if v != recorded {
+                clashes.push(format!("{flag} {v} (snapshot: {recorded})"));
+            }
+        }
+    }
+    if !clashes.is_empty() {
+        eprintln!(
+            "steady flags disagree with the environment recorded in {path}: {}",
+            clashes.join(", ")
+        );
+        exit(1);
+    }
+    // The admission policy defaults to the snapshot's; an explicitly
+    // re-passed policy goes through as-is, and a mismatch is rejected by
+    // the restore with a typed error.
+    let admission = if args.has("admission") || args.has("deadline") || args.has("max-deferred") {
+        parse_admission(args)
+    } else {
+        snap.admission
+    };
+    let config = steady_sim_config(args, admission, schedule.window);
+    let dir = checkpoint_dir(args);
+    let halt_at = args.u64_flag("halt-at");
+    eprintln!("resuming from {path} at step {}", snap.step);
+    let result =
+        mesh_routing::resume_steady_route(algo, &snap, config, std::path::Path::new(dir), halt_at);
+    report_steady(args, result);
+}
+
+/// The engine config of a steady run (fresh or resumed), from flags.
+fn steady_sim_config(args: &Args, admission: AdmissionPolicy, window: u64) -> SimConfig {
+    SimConfig {
+        admission,
+        watchdog: Some(args.u64_flag("watchdog").unwrap_or((2 * window).max(256))),
+        tile_threads: args.u32_flag("tile-threads").unwrap_or(1) as usize,
+        checkpoint_every: args.u64_flag("checkpoint-every"),
+        ..SimConfig::default()
+    }
+}
+
+fn checkpoint_dir(args: &Args) -> &str {
+    args.flags
+        .get("checkpoint-dir")
+        .map(String::as_str)
+        .unwrap_or("checkpoints")
+}
+
+fn load_snapshot(path: &str) -> mesh_routing::engine::Snapshot {
+    mesh_routing::engine::Snapshot::read_from(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot load snapshot {path}: {e}");
+        exit(1);
+    })
+}
+
+fn report_steady(
+    args: &Args,
+    result: Result<
+        (
+            Option<mesh_routing::SteadyOutcome>,
+            Option<std::path::PathBuf>,
+        ),
+        String,
+    >,
+) {
     match result {
         Ok((Some(out), last)) => {
             if let Some(p) = last {
@@ -368,13 +445,16 @@ fn cmd_route(args: &Args) {
 
     // Crash recovery: restore a checkpoint and drive it to completion. The
     // problem is not re-read — the snapshot carries the full run state —
-    // and the result is byte-identical to the uninterrupted run's.
+    // and the result is byte-identical to the uninterrupted run's. A
+    // steady-state checkpoint carries its own environment block (format
+    // v2), so `--resume-from` alone routes back into the steady harness
+    // without re-passing --lambda or the window schedule.
     if let Some(path) = args.flags.get("resume-from") {
-        let snap = mesh_routing::engine::Snapshot::read_from(std::path::Path::new(path))
-            .unwrap_or_else(|e| {
-                eprintln!("cannot load snapshot {path}: {e}");
-                exit(1);
-            });
+        let snap = load_snapshot(path);
+        if snap.steady.is_some() {
+            cmd_steady_resume(args, algo, path, snap);
+            return;
+        }
         let n = snap.n as u64;
         let cap = args.u64_flag("cap").unwrap_or(64 * n * n + 4096);
         let out = mesh_routing::resume_route(algo, &snap, cap).unwrap_or_else(|e| {

@@ -894,9 +894,9 @@ pub fn e13(full: bool) -> Experiment {
 /// is a fixed (unseeded) workload routed under a fixed step cap, so the
 /// deterministic document is a pure function of the experiment id — the
 /// tile-thread count changes only *how fast* the rows are produced (see the
-/// timing sidecar), never their contents. The large-n dim-order rows
-/// (`--full`: n = 256 and 512) are the scaling evidence quoted in
-/// EXPERIMENTS.md.
+/// timing sidecar), never their contents. The quick tier ends at n = 256
+/// (the row CI's perf-ratchet job gates on); `--full` adds the n = 512 and
+/// 1024 scaling rows quoted in EXPERIMENTS.md.
 pub fn perf(full: bool, tile_threads: usize) -> Experiment {
     let mut e = Experiment::new(
         "perf",
@@ -904,9 +904,9 @@ pub fn perf(full: bool, tile_threads: usize) -> Experiment {
         "rows are byte-identical for every --tile-threads value (parallelism is an execution strategy, not a semantics change); wall-clock per cell lives in the timing sidecar, where large-n rows speed up with threads",
         &["n", "router", "workload", "steps", "delivered", "moves", "max queue", "done"],
     );
-    let mut sizes = vec![16u32, 64];
+    let mut sizes = vec![16u32, 64, 256];
     if full {
-        sizes.extend([256, 512]);
+        sizes.extend([512, 1024]);
     }
     let route_cell = move |n: u32, router: &'static str| -> TrialOutput {
         let topo = Mesh::new(n);

@@ -407,7 +407,7 @@ pub fn steady_route_checkpointed(
     with_engine_router!(algorithm, problem.n, |router| {
         let mut sim = Sim::with_config(&topo, router, problem, config);
         let mut sink = DirectorySink::new(dir).map_err(|e| e.to_string())?;
-        let res = sim.run_steady_checkpointed(schedule, None, &mut sink, halt_at);
+        let res = sim.run_steady_checkpointed(schedule, lambda, None, &mut sink, halt_at);
         if let Some(err) = sink.error {
             return Err(err.to_string());
         }
@@ -421,21 +421,31 @@ pub fn steady_route_checkpointed(
 }
 
 /// Restores a steady-state run from `snap` and drives the remaining
-/// schedule; the observer's windowed measurement state rides the
-/// snapshot's `protocol` slot, so frames and the final report are
-/// byte-identical to a run that never stopped. `config.admission` must
-/// match the policy the snapshot was taken under (the restore rejects a
-/// mismatch). Checkpointing continues into `dir` when
-/// `config.checkpoint_every` is set.
+/// schedule. The measurement schedule and offered-load label come from
+/// the snapshot's own `steady` environment block (recorded since
+/// snapshot format v2), so a resume re-passes nothing; a snapshot without
+/// one (a v1 file, or a closed-system checkpoint) is rejected. The
+/// observer's windowed measurement state rides the snapshot's `protocol`
+/// slot, so frames and the final report are byte-identical to a run that
+/// never stopped. `config.admission` must match the policy the snapshot
+/// was taken under (the restore rejects a mismatch with a typed error).
+/// Checkpointing continues into `dir` when `config.checkpoint_every` is
+/// set.
 pub fn resume_steady_route(
     algorithm: Algorithm,
     snap: &Snapshot,
-    lambda: f64,
-    schedule: SteadyConfig,
     config: SimConfig,
     dir: &Path,
     halt_at: Option<u64>,
 ) -> Result<(Option<SteadyOutcome>, Option<PathBuf>), String> {
+    let Some(env) = snap.steady else {
+        return Err(
+            "snapshot records no steady-state environment (a closed-system run, or a \
+             pre-v2 checkpoint); resume it as a plain route or re-pass the steady flags"
+                .to_string(),
+        );
+    };
+    let (lambda, schedule) = (env.lambda, env.config);
     let topo = Mesh::new(snap.n);
     let cadenced = config.checkpoint_every.is_some();
     with_engine_router!(algorithm, snap.n, |router| {
@@ -443,7 +453,7 @@ pub fn resume_steady_route(
         let state = snap.protocol.as_ref();
         let (res, last) = if cadenced {
             let mut sink = DirectorySink::new(dir).map_err(|e| e.to_string())?;
-            let res = sim.run_steady_checkpointed(schedule, state, &mut sink, halt_at);
+            let res = sim.run_steady_checkpointed(schedule, lambda, state, &mut sink, halt_at);
             if let Some(err) = sink.error {
                 return Err(err.to_string());
             }
@@ -451,7 +461,7 @@ pub fn resume_steady_route(
         } else {
             let mut sink = MemorySink::default();
             (
-                sim.run_steady_checkpointed(schedule, state, &mut sink, halt_at),
+                sim.run_steady_checkpointed(schedule, lambda, state, &mut sink, halt_at),
                 None,
             )
         };
@@ -525,10 +535,25 @@ mod tests {
         assert!(halted.is_none(), "halt-at 30 must stop before the horizon");
         let last = last.expect("cadence 8 must leave a checkpoint behind");
         let snap = Snapshot::read_from(&last).unwrap();
-        let (resumed, _) =
-            resume_steady_route(algo, &snap, 0.4, schedule, config(), &dir, None).unwrap();
+        // The snapshot itself carries the steady environment (format v2):
+        // the resume re-passes neither lambda nor the schedule.
+        let env = snap.steady.expect("steady checkpoints record their env");
+        assert_eq!(env.lambda, 0.4);
+        assert_eq!(env.config, schedule);
+        let (resumed, _) = resume_steady_route(algo, &snap, config(), &dir, None).unwrap();
         let resumed = resumed.expect("resumed run must complete the schedule");
         assert_eq!(serde_json::to_string(&resumed).unwrap(), full_json);
+
+        // A mismatched admission policy is a typed refusal, not divergence.
+        let bad = SimConfig {
+            admission: mesh_engine::AdmissionPolicy::RejectNew,
+            ..config()
+        };
+        let err = resume_steady_route(algo, &snap, bad, &dir, None).unwrap_err();
+        assert!(
+            err.contains("admission policy"),
+            "expected a typed admission mismatch, got: {err}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

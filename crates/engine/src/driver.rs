@@ -71,14 +71,14 @@ pub(crate) fn run_driver<T: Topology, R: Router, O: RunObserver<T, R>>(
             return if sim.done() {
                 Ok(sim.steps())
             } else {
-                Err(SimError::StepCap(sim.diagnostics()))
+                Err(SimError::StepCap(Box::new(sim.diagnostics())))
             };
         }
         let packets_before = sim.num_packets();
         let done = obs.step(sim);
         match obs.observe(sim, done, packets_before) {
             Verdict::Finished => return Ok(sim.steps()),
-            Verdict::Wedged => return Err(SimError::Deadlock(sim.diagnostics())),
+            Verdict::Wedged => return Err(SimError::Deadlock(Box::new(sim.diagnostics()))),
             Verdict::Watch(mode) => {
                 watchdog::check(sim, mode, settle)?;
                 obs.survived(sim);
@@ -227,7 +227,7 @@ where
     }
 
     fn survived(&mut self, sim: &mut Sim<'_, T, R>) {
-        snapshot::maybe_checkpoint(sim, self.sink, || None);
+        snapshot::maybe_checkpoint(sim, self.sink, None, || None);
     }
 }
 
@@ -263,6 +263,6 @@ where
 
     fn survived(&mut self, sim: &mut Sim<'_, T, R>) {
         let proto = &*self.proto;
-        snapshot::maybe_checkpoint(sim, self.sink, || Some(proto.snapshot_state()));
+        snapshot::maybe_checkpoint(sim, self.sink, None, || Some(proto.snapshot_state()));
     }
 }

@@ -1280,7 +1280,7 @@ mod steady_tests {
         let mut full_sink = MemorySink::default();
         let mut sim = Sim::with_config(&topo, Dx::new(tests::Greedy { k: 2 }), &pb, mk_config());
         let full = sim
-            .run_steady_checkpointed(cfg, None, &mut full_sink, None)
+            .run_steady_checkpointed(cfg, 0.4, None, &mut full_sink, None)
             .expect("full soak");
         let full_json = serde_json::to_string(&full).unwrap();
         let full_report = serde_json::to_string(&sim.report()).unwrap();
@@ -1288,6 +1288,12 @@ mod steady_tests {
             !full_sink.checkpoints.is_empty(),
             "cadence 10 must checkpoint"
         );
+        // Every steady checkpoint carries its environment block (v2).
+        for snap in &full_sink.checkpoints {
+            let env = snap.steady.expect("steady checkpoint must stamp env");
+            assert_eq!(env.lambda, 0.4);
+            assert_eq!(env.config, cfg);
+        }
         // Resume from every checkpoint (warmup, mid-window, boundary) and
         // demand the identical report each time.
         for snap in &full_sink.checkpoints {
@@ -1301,7 +1307,7 @@ mod steady_tests {
             .expect("restore mid-soak checkpoint");
             let mut sink = MemorySink::default();
             let rep = resumed
-                .run_steady_checkpointed(cfg, snap.protocol.as_ref(), &mut sink, None)
+                .run_steady_checkpointed(cfg, 0.4, snap.protocol.as_ref(), &mut sink, None)
                 .expect("resumed soak");
             assert_eq!(
                 serde_json::to_string(&rep).unwrap(),

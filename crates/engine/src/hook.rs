@@ -33,6 +33,10 @@ pub struct HookCtx<'a> {
     pub(crate) loc: &'a [Loc],
     pub(crate) src: &'a [Coord],
     pub(crate) exchanges: &'a mut u64,
+    /// Packets whose destination changed this step: the engine refreshes
+    /// their cached profitable masks after the hook returns (it has the
+    /// topology; this context deliberately does not).
+    pub(crate) dirty: &'a mut Vec<PacketId>,
 }
 
 impl<'a> HookCtx<'a> {
@@ -77,6 +81,8 @@ impl<'a> HookCtx<'a> {
         assert_ne!(a, b, "cannot exchange a packet with itself");
         self.dst.swap(a.index(), b.index());
         *self.exchanges += 1;
+        self.dirty.push(a);
+        self.dirty.push(b);
     }
 }
 

@@ -44,12 +44,6 @@
 //! `k` each (the Theorem 15 model). In both cases queues need not be FIFO —
 //! order is the policies' business; the engine only enforces capacity.
 
-// `SimError` deliberately carries the full `DiagnosticSnapshot` inline:
-// run errors are terminal verdicts built once at the end of a run, never
-// hot-path values, and boxing them would complicate every `match` at the
-// call sites for no measurable win.
-#![allow(clippy::result_large_err)]
-
 pub mod diag;
 mod driver;
 pub mod hook;
@@ -81,8 +75,8 @@ pub use router::{Dx, DxRouter, Router};
 pub use sim::Loc;
 pub use sim::{Sim, SimConfig, SimError};
 pub use snapshot::{
-    CheckpointSink, DirectorySink, MemorySink, Snapshot, SnapshotError, SnapshotHook,
-    SNAPSHOT_FORMAT_VERSION,
+    CheckpointSink, DirectorySink, MemorySink, Snapshot, SnapshotError, SnapshotHook, SteadySnap,
+    SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MIN_READ_VERSION,
 };
 pub use steady::{SteadyConfig, SteadyReport, WindowFrame};
 
@@ -91,4 +85,4 @@ pub use steady::{SteadyConfig, SteadyReport, WindowFrame};
 // `mesh-faults` directly.
 pub use mesh_faults as faults;
 pub use stats::{DeliveryCurve, Distribution, NodeField, Summary};
-pub use view::{Arrival, DxView, FullView};
+pub use view::{Arrival, DxView, FullView, PackedArrival, PackedView};

@@ -24,9 +24,9 @@
 use crate::hook::{HookCtx, ScheduledMove, StepHook};
 use crate::router::Router;
 use crate::storage::{Loc, NodeGrid, PacketStore};
-use crate::view::{Arrival, FullView};
+use crate::view::{Arrival, FullView, PackedArrival, PackedView};
 use mesh_faults::CompiledFaults;
-use mesh_topo::{Coord, Topology, ALL_DIRS};
+use mesh_topo::{Coord, DirSet, Topology, ALL_DIRS};
 use mesh_traffic::PacketId;
 
 /// One named phase of the step pipeline.
@@ -229,6 +229,20 @@ pub(crate) struct StepBufs {
     pub(crate) groups: Vec<(u32, u32)>,
     /// Staged end-of-step packet-state writes `(packet, new state)`.
     pub(crate) state_writes: Vec<(PacketId, u64)>,
+    /// Bit-packed resident descriptors for mask-capable routers (the fast
+    /// path's replacement for `views`).
+    pub(crate) masks: Vec<PackedView>,
+    /// Bit-packed arrival descriptors for mask-capable routers.
+    pub(crate) arr_packed: Vec<PackedArrival>,
+    /// Per-target move counts for the counting group-by in `accept_prep`.
+    /// Sized `n²` on first use and kept all-zero between steps (only the
+    /// `touched` entries are ever dirtied, and they are re-zeroed on exit).
+    pub(crate) counts: Vec<u32>,
+    /// The distinct target-node ids dirtied in `counts` this step.
+    pub(crate) touched: Vec<u32>,
+    /// Packets whose destinations the adversary exchanged this step — the
+    /// engine refreshes their cached profitable masks after the hook runs.
+    pub(crate) exchanged: Vec<PacketId>,
 }
 
 /// Everything one step needs, as split borrows of the simulation's parts:
@@ -247,6 +261,33 @@ pub(crate) struct StepCtx<'a, 't, T: Topology, R: Router> {
     pub(crate) progress: &'a mut Progress,
     pub(crate) events: &'a mut EventLog,
     pub(crate) bufs: &'a mut StepBufs,
+}
+
+/// Builds the bit-packed descriptors of all packets queued at node `ni`,
+/// in the same flattened slot order as [`build_views`] — one `u32` per
+/// packet instead of a 40-byte view struct. The grid's slot index is the
+/// packed slot index by construction (Central: 0; PerInlink: `0..4` =
+/// inlinks, 4 = injection).
+pub(crate) fn build_packed<T: Topology>(
+    topo: &T,
+    store: &PacketStore,
+    grid: &NodeGrid,
+    ni: usize,
+    node: Coord,
+    out: &mut Vec<PackedView>,
+) {
+    out.clear();
+    for slot in 0..grid.slots() {
+        for (pos, pid) in grid.queue(ni, slot).iter().enumerate() {
+            let mask = DirSet::from_bits(store.mask[pid.index()]);
+            debug_assert_eq!(
+                mask,
+                topo.profitable(node, store.dst[pid.index()]),
+                "cached profitable mask out of sync at {node:?}"
+            );
+            out.push(PackedView::new(mask, slot, pos as u32));
+        }
+    }
 }
 
 /// Builds the views of all packets queued at node `ni`, reading straight
@@ -283,6 +324,17 @@ pub(crate) fn build_views<T: Topology>(
 pub(crate) fn inject<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) -> bool {
     let t = ctx.t0;
     let mut injected = false;
+    // Closed-system fast path: under `DeferIndefinitely` with no fault
+    // plan, a due packet whose origin queue has room enters it directly —
+    // the stage-into-bucket/drain-in-sorted-order dance below would admit
+    // exactly these packets into exactly these (per-node independent)
+    // queues in exactly this order, so skipping the bucket is free of
+    // observable effect and saves a HashMap + VecDeque round trip per
+    // packet. Anything that cannot enter falls back to the bucket.
+    let direct_entry =
+        ctx.faults.is_none() && matches!(ctx.admission, AdmissionPolicy::DeferIndefinitely);
+    let origin_kind = ctx.grid.arch().origin_queue();
+    let origin_cap = ctx.grid.arch().capacity(origin_kind);
     // Stage newly due packets into per-node pending queues.
     while ctx.store.inject_cursor < ctx.store.inject_order.len() {
         let pid = ctx.store.inject_order[ctx.store.inject_cursor];
@@ -299,9 +351,25 @@ pub(crate) fn inject<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) ->
             ctx.events.delivered.push(pid);
             continue;
         }
-        let ni = ctx.grid.node_index(src) as u32;
-        ctx.grid.pending.entry(ni).or_default().push_back(pid);
-        ctx.grid.mark_active(ni as usize);
+        let ni = ctx.grid.node_index(src);
+        if direct_entry
+            && origin_cap.is_none_or(|cv| ctx.grid.queue_len(ni, origin_kind.slot()) < cv as usize)
+        {
+            ctx.grid.push(src, origin_kind, pid);
+            ctx.store.loc[pid.index()] = Loc::At(src);
+            ctx.store.queue_of[pid.index()] = origin_kind;
+            ctx.store.mask[pid.index()] =
+                ctx.topo.profitable(src, ctx.store.dst[pid.index()]).bits();
+            injected = true;
+            ctx.grid.mark_active(ni);
+            continue;
+        }
+        ctx.grid
+            .pending
+            .entry(ni as u32)
+            .or_default()
+            .push_back(pid);
+        ctx.grid.mark_active(ni);
     }
     // `DeadlineExpiry` acts before the drain, and inside the network as
     // well as at the edge: a stale packet clogging a bounded queue is
@@ -402,6 +470,7 @@ pub(crate) fn inject<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) ->
             ctx.grid.push(c, origin, pid);
             ctx.store.loc[pid.index()] = Loc::At(c);
             ctx.store.queue_of[pid.index()] = origin;
+            ctx.store.mask[pid.index()] = ctx.topo.profitable(c, ctx.store.dst[pid.index()]).bits();
             injected = true;
         }
         ctx.grid.mark_active(ni as usize);
@@ -470,6 +539,7 @@ pub(crate) fn route_node<T: Topology, R: Router>(
     ni: usize,
     state: &mut R::NodeState,
     views: &mut Vec<FullView>,
+    masks: &mut Vec<PackedView>,
     emit: &mut impl FnMut(ScheduledMove),
 ) {
     if grid.node_load(ni) == 0 {
@@ -483,15 +553,27 @@ pub(crate) fn route_node<T: Topology, R: Router>(
             return;
         }
     }
-    build_views(topo, store, grid, ni, node, views);
     let mut out = [None::<usize>; 4];
-    router.outqueue(t0, node, state, views, &mut out);
+    let packed = router.mask_capable();
+    let len = if packed {
+        // Fast path: one u32 per resident, no per-packet view structs. The
+        // packed policy is contractually decision-identical to the view
+        // policy (cross-checked by the differential battery), so the moves
+        // emitted below are byte-identical either way.
+        build_packed(topo, store, grid, ni, node, masks);
+        router.outqueue_packed(t0, node, state, masks, &mut out);
+        masks.len()
+    } else {
+        build_views(topo, store, grid, ni, node, views);
+        router.outqueue(t0, node, state, views, &mut out);
+        views.len()
+    };
     if validate {
         #[allow(clippy::needless_range_loop)]
         for a in 0..4 {
             if let Some(i) = out[a] {
                 assert!(
-                    i < views.len(),
+                    i < len,
                     "{}: outqueue index out of range at {node} step {t0}",
                     router.name()
                 );
@@ -507,25 +589,26 @@ pub(crate) fn route_node<T: Topology, R: Router>(
     }
     for d in ALL_DIRS {
         if let Some(i) = out[d.index()] {
-            let v = views[i];
+            let (pkt, profitable) = if packed {
+                (grid.nth_packet(ni, i), masks[i].profitable())
+            } else {
+                (views[i].id, views[i].profitable)
+            };
             let to = topo.neighbor(node, d).unwrap_or_else(|| {
                 panic!(
-                    "{}: scheduled {:?} on missing {d} outlink of {node}",
-                    router.name(),
-                    v.id
+                    "{}: scheduled {pkt:?} on missing {d} outlink of {node}",
+                    router.name()
                 )
             });
             if validate && router.is_minimal() {
                 assert!(
-                    v.profitable.contains(d),
-                    "{}: non-minimal move {:?} {d} from {node} (profitable {:?}) step {t0}",
-                    router.name(),
-                    v.id,
-                    v.profitable
+                    profitable.contains(d),
+                    "{}: non-minimal move {pkt:?} {d} from {node} (profitable {profitable:?}) step {t0}",
+                    router.name()
                 );
             }
             emit(ScheduledMove {
-                pkt: v.id,
+                pkt,
                 from: node,
                 to,
                 travel: d,
@@ -546,6 +629,7 @@ pub(crate) fn route<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
         views,
         schedule,
         snapshot,
+        masks,
         ..
     } = &mut *ctx.bufs;
     for &sn in snapshot.iter() {
@@ -561,6 +645,7 @@ pub(crate) fn route<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
             ni,
             &mut ctx.node_state[ni],
             views,
+            masks,
             &mut |m| schedule.push(m),
         );
     }
@@ -594,6 +679,7 @@ pub(crate) fn adversary<T: Topology, R: Router, H: StepHook>(
     ctx: &mut StepCtx<'_, '_, T, R>,
     hook: &mut H,
 ) {
+    ctx.bufs.exchanged.clear();
     let mut hctx = HookCtx {
         t: ctx.t0 + 1,
         n: ctx.grid.n(),
@@ -602,8 +688,21 @@ pub(crate) fn adversary<T: Topology, R: Router, H: StepHook>(
         loc: &ctx.store.loc,
         src: &ctx.store.src,
         exchanges: &mut ctx.progress.exchanges,
+        dirty: &mut ctx.bufs.exchanged,
     };
     hook.on_scheduled(&mut hctx);
+    refresh_masks(ctx.topo, ctx.store, &ctx.bufs.exchanged);
+}
+
+/// Refreshes the cached profitable masks of packets whose destinations the
+/// adversary exchanged. A packet outside the network keeps mask 0 — it is
+/// recomputed at injection anyway.
+pub(crate) fn refresh_masks<T: Topology>(topo: &T, store: &mut PacketStore, dirty: &[PacketId]) {
+    for &pid in dirty {
+        if let Loc::At(c) = store.loc[pid.index()] {
+            store.mask[pid.index()] = topo.profitable(c, store.dst[pid.index()]).bits();
+        }
+    }
 }
 
 /// §2 (c) for one target node: the inqueue policy of the (unstalled)
@@ -626,6 +725,7 @@ pub(crate) fn accept_group<T: Topology, R: Router>(
     state: &mut R::NodeState,
     views: &mut Vec<FullView>,
     arrivals: &mut Vec<Arrival<FullView>>,
+    arr_packed: &mut Vec<PackedArrival>,
     accept: &mut Vec<bool>,
     emit: &mut impl FnMut(u32, bool),
 ) {
@@ -638,31 +738,66 @@ pub(crate) fn accept_group<T: Topology, R: Router>(
             return;
         }
     }
-    build_views(topo, store, grid, ni, target, views);
-    arrivals.clear();
-    for gi in start..end {
-        let m = schedule[order[gi] as usize];
-        let i = m.pkt.index();
-        arrivals.push(Arrival {
-            view: FullView {
-                id: m.pkt,
-                src: store.src[i],
-                dst: store.dst[i],
-                state: store.state[i],
-                // §2: profitable outlinks of scheduled packets are
-                // measured from the node they are coming from.
-                profitable: topo.profitable(m.from, store.dst[i]),
-                queue: grid.arch().arrival_queue(m.travel),
-                pos: u32::MAX,
-            },
-            travel: m.travel,
-        });
-    }
     accept.clear();
-    accept.resize(arrivals.len(), false);
-    router.inqueue(t0, target, state, views, arrivals, accept);
+    accept.resize(end - start, false);
+    if router.mask_capable() {
+        // Fast path: residents collapse to per-slot occupancy counts (no
+        // resident scan, no view structs) and each arrival to one byte.
+        let mut queue_lens = [0u32; 5];
+        for (s, q) in queue_lens.iter_mut().enumerate().take(grid.slots()) {
+            *q = grid.queue_len(ni, s) as u32;
+        }
+        arr_packed.clear();
+        for gi in start..end {
+            let m = schedule[order[gi] as usize];
+            // §2: profitable outlinks of scheduled packets are measured
+            // from the node they are coming from — which is exactly where
+            // the packet still sits, so its cached mask is that set.
+            let mask = DirSet::from_bits(store.mask[m.pkt.index()]);
+            debug_assert_eq!(
+                mask,
+                topo.profitable(m.from, store.dst[m.pkt.index()]),
+                "cached profitable mask out of sync at {:?}",
+                m.from
+            );
+            arr_packed.push(PackedArrival::new(mask, m.travel));
+        }
+        router.inqueue_packed(
+            t0,
+            target,
+            state,
+            &queue_lens[..grid.slots()],
+            arr_packed,
+            accept,
+        );
+    } else {
+        build_views(topo, store, grid, ni, target, views);
+        arrivals.clear();
+        for gi in start..end {
+            let m = schedule[order[gi] as usize];
+            let i = m.pkt.index();
+            arrivals.push(Arrival {
+                view: FullView {
+                    id: m.pkt,
+                    src: store.src[i],
+                    dst: store.dst[i],
+                    state: store.state[i],
+                    // §2: profitable outlinks of scheduled packets are
+                    // measured from the node they are coming from.
+                    profitable: topo.profitable(m.from, store.dst[i]),
+                    queue: grid.arch().arrival_queue(m.travel),
+                    pos: u32::MAX,
+                },
+                travel: m.travel,
+            });
+        }
+        router.inqueue(t0, target, state, views, arrivals, accept);
+    }
     // Queue degradation: clamp what a (degradation-unaware) router
-    // accepted down to the reduced capacity.
+    // accepted down to the reduced capacity. Written against the schedule
+    // and the packet store (not the arrival views), so both policy paths
+    // share one clamp: the exemption `dst == target` and the arrival slot
+    // are exactly what the view-based arrivals used to carry.
     if let Some(f) = faults {
         let lost = f.degraded_slots(t0, target);
         if lost > 0 {
@@ -674,11 +809,12 @@ pub(crate) fn accept_group<T: Topology, R: Router>(
                     *r = eff.saturating_sub(grid.queue_len(ni, s));
                 }
             }
-            for (j, a) in arrivals.iter().enumerate() {
-                if !accept[j] || a.view.dst == target {
+            for (j, gi) in (start..end).enumerate() {
+                let m = schedule[order[gi] as usize];
+                if !accept[j] || store.dst[m.pkt.index()] == target {
                     continue;
                 }
-                let s = grid.arch().arrival_queue(a.travel).slot();
+                let s = grid.arch().arrival_queue(m.travel).slot();
                 if room[s] > 0 {
                     room[s] -= 1;
                 } else {
@@ -692,31 +828,68 @@ pub(crate) fn accept_group<T: Topology, R: Router>(
     }
 }
 
-/// Sorts the schedule by target node into `bufs.order` and records the
-/// per-target group ranges in `bufs.groups` (stable in schedule order
-/// within a group). Shared by the sequential accept phase and the tiled
-/// step's coordinator.
+/// Groups the schedule by target node into `bufs.order` and records the
+/// per-target group ranges in `bufs.groups` (ascending target id, stable
+/// in schedule order within a group — provably the same permutation the
+/// old stable sort-by-target produced). Shared by the sequential accept
+/// phase and the tiled step's coordinator.
+///
+/// This is a counting group-by over the persistent `counts` arena instead
+/// of a comparison sort: two linear passes over the schedule plus a sort
+/// of the *distinct* targets only (at most one comparison-sorted element
+/// per loaded node instead of one per move).
 pub(crate) fn accept_prep(n: u32, bufs: &mut StepBufs) {
+    let nn = (n as usize) * (n as usize);
+    if bufs.counts.len() < nn {
+        bufs.counts.resize(nn, 0);
+    }
+    let counts = &mut bufs.counts;
+    let touched = &mut bufs.touched;
+    touched.clear();
+    for m in bufs.schedule.iter() {
+        let t = (m.to.y * n + m.to.x) as usize;
+        if counts[t] == 0 {
+            touched.push(t as u32);
+        }
+        counts[t] += 1;
+    }
+    // Ascending-target order, two ways to get it: sort the distinct
+    // targets, or — when most nodes were hit anyway — rescan the counts
+    // arena in index order. Both produce the identical touched list, so
+    // the choice is purely a cost model (dense steps are the common case
+    // on loaded meshes and the scan is branch-predictable and sort-free).
+    if touched.len() * 8 >= nn {
+        touched.clear();
+        for (t, &c) in counts.iter().enumerate().take(nn) {
+            if c > 0 {
+                touched.push(t as u32);
+            }
+        }
+    } else {
+        touched.sort_unstable();
+    }
+    bufs.groups.clear();
+    let mut off = 0u32;
+    for &t in touched.iter() {
+        let c = counts[t as usize];
+        bufs.groups.push((off, off + c));
+        // Reuse the count cell as the group's placement cursor.
+        counts[t as usize] = off;
+        off += c;
+    }
     bufs.order.clear();
-    bufs.order.extend(0..bufs.schedule.len() as u32);
-    let schedule = &bufs.schedule;
-    bufs.order.sort_by_key(|&i| {
-        let m = &schedule[i as usize];
-        m.to.y * n + m.to.x
-    });
+    bufs.order.resize(bufs.schedule.len(), 0);
+    for (i, m) in bufs.schedule.iter().enumerate() {
+        let t = (m.to.y * n + m.to.x) as usize;
+        bufs.order[counts[t] as usize] = i as u32;
+        counts[t] += 1;
+    }
+    // Re-zero the dirtied cells so the arena is clean for the next step.
+    for &t in touched.iter() {
+        counts[t as usize] = 0;
+    }
     bufs.accepted.clear();
     bufs.accepted.resize(bufs.schedule.len(), false);
-    bufs.groups.clear();
-    let mut g = 0;
-    while g < bufs.order.len() {
-        let target = bufs.schedule[bufs.order[g] as usize].to;
-        let mut end = g + 1;
-        while end < bufs.order.len() && bufs.schedule[bufs.order[end] as usize].to == target {
-            end += 1;
-        }
-        bufs.groups.push((g as u32, end as u32));
-        g = end;
-    }
 }
 
 /// §2 (c): group scheduled moves by target node (stable in schedule
@@ -731,6 +904,7 @@ pub(crate) fn accept<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
     let StepBufs {
         views,
         arrivals,
+        arr_packed,
         accept,
         schedule,
         order,
@@ -755,6 +929,7 @@ pub(crate) fn accept<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
             &mut ctx.node_state[ni],
             views,
             arrivals,
+            arr_packed,
             accept,
             &mut |mi, a| accepted[mi as usize] = a,
         );
@@ -794,6 +969,7 @@ pub(crate) fn transmit<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) 
             ctx.grid.push(m.to, akind, m.pkt);
             ctx.store.loc[pi] = Loc::At(m.to);
             ctx.store.queue_of[pi] = akind;
+            ctx.store.mask[pi] = ctx.topo.profitable(m.to, ctx.store.dst[pi]).bits();
             let tni = ctx.grid.node_index(m.to);
             ctx.grid.mark_active(tni);
         }
@@ -910,6 +1086,9 @@ pub(crate) fn update_node<T: Topology, R: Router>(
 }
 
 /// §2 (e): the end-of-step state update for every loaded active node.
+/// Routers whose `end_of_step` is the inherited no-op declare so via
+/// `uses_end_of_step`, and the whole pass — view building included — is
+/// skipped: every write it would stage is an identity write.
 pub(crate) fn update_state<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) {
     let StepBufs {
         views,
@@ -918,6 +1097,9 @@ pub(crate) fn update_state<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, 
         ..
     } = &mut *ctx.bufs;
     state_writes.clear();
+    if !ctx.router.uses_end_of_step() {
+        return;
+    }
     for idx in 0..ctx.grid.active_len() {
         let ni = ctx.grid.active_at(idx);
         update_node(

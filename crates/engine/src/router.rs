@@ -2,7 +2,7 @@
 //! destination-exchangeable [`DxRouter`], plus the [`Dx`] adapter.
 
 use crate::queue::QueueArch;
-use crate::view::{Arrival, DxView, FullView};
+use crate::view::{Arrival, DxView, FullView, PackedArrival, PackedView};
 use mesh_topo::Coord;
 use std::cell::Cell;
 
@@ -79,6 +79,60 @@ pub trait Router: Sync {
     ) {
         let _ = (step, node, state, residents, states);
     }
+
+    /// True when this router implements the bit-packed fast-path policies
+    /// ([`Router::outqueue_packed`] and [`Router::inqueue_packed`]) and
+    /// guarantees they make exactly the same decisions, packet for packet,
+    /// as the view-based methods. The engine then skips building per-packet
+    /// view vectors on the hot path; the differential battery cross-checks
+    /// the promise against the view-based oracle.
+    fn mask_capable(&self) -> bool {
+        false
+    }
+
+    /// Fast-path step (a): like [`Router::outqueue`], but over bit-packed
+    /// resident descriptors (`pkts[i]` describes the same packet, in the
+    /// same order, as the `pkts[i]` the view-based method would see). Only
+    /// called when [`Router::mask_capable`] returns `true`.
+    fn outqueue_packed(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        pkts: &[PackedView],
+        out: &mut [Option<usize>; 4],
+    ) {
+        let _ = (step, node, state, pkts, out);
+        unreachable!("outqueue_packed called on a router that is not mask_capable");
+    }
+
+    /// Fast-path step (c): like [`Router::inqueue`], but residents are
+    /// summarized as per-slot occupancy counts (`queue_lens[s]` = packets
+    /// currently in slot `s` of this node, indexed per the router's declared
+    /// arch) and arrivals as [`PackedArrival`]s in the same order the
+    /// view-based method would see them. Only called when
+    /// [`Router::mask_capable`] returns `true`.
+    fn inqueue_packed(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        queue_lens: &[u32],
+        arrivals: &[PackedArrival],
+        accept: &mut [bool],
+    ) {
+        let _ = (step, node, state, queue_lens, arrivals, accept);
+        unreachable!("inqueue_packed called on a router that is not mask_capable");
+    }
+
+    /// Whether step (e) can do anything. Routers whose `end_of_step` is the
+    /// inherited no-op return `false`, letting the engine skip the
+    /// UpdateState view-building pass entirely (the skipped writes are
+    /// identity writes, so skipping is byte-identical). Conservative default:
+    /// `true`.
+    fn uses_end_of_step(&self) -> bool {
+        true
+    }
 }
 
 /// A deterministic **destination-exchangeable** routing algorithm (§2): its
@@ -143,6 +197,45 @@ pub trait DxRouter: Sync {
         states: &mut [u64],
     ) {
         let _ = (step, node, state, residents, states);
+    }
+
+    /// See [`Router::mask_capable`]. A [`PackedView`] carries strictly less
+    /// than a [`DxView`] (no id, source, or state word), so a packed policy
+    /// is destination-exchangeable by construction.
+    fn mask_capable(&self) -> bool {
+        false
+    }
+
+    /// See [`Router::outqueue_packed`].
+    fn outqueue_packed(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        pkts: &[PackedView],
+        out: &mut [Option<usize>; 4],
+    ) {
+        let _ = (step, node, state, pkts, out);
+        unreachable!("outqueue_packed called on a router that is not mask_capable");
+    }
+
+    /// See [`Router::inqueue_packed`].
+    fn inqueue_packed(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        queue_lens: &[u32],
+        arrivals: &[PackedArrival],
+        accept: &mut [bool],
+    ) {
+        let _ = (step, node, state, queue_lens, arrivals, accept);
+        unreachable!("inqueue_packed called on a router that is not mask_capable");
+    }
+
+    /// See [`Router::uses_end_of_step`].
+    fn uses_end_of_step(&self) -> bool {
+        true
     }
 }
 
@@ -236,5 +329,41 @@ impl<R: DxRouter> Router for Dx<R> {
         rbuf.extend(residents.iter().map(FullView::dx));
         self.inner.end_of_step(step, node, state, &rbuf, states);
         DX_RESIDENTS.set(rbuf);
+    }
+
+    // The packed fast path forwards without any projection: a PackedView is
+    // already destination-free, so there is nothing to strip and no
+    // thread-local copy to pay for.
+
+    fn mask_capable(&self) -> bool {
+        self.inner.mask_capable()
+    }
+
+    fn outqueue_packed(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        pkts: &[PackedView],
+        out: &mut [Option<usize>; 4],
+    ) {
+        self.inner.outqueue_packed(step, node, state, pkts, out);
+    }
+
+    fn inqueue_packed(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        queue_lens: &[u32],
+        arrivals: &[PackedArrival],
+        accept: &mut [bool],
+    ) {
+        self.inner
+            .inqueue_packed(step, node, state, queue_lens, arrivals, accept);
+    }
+
+    fn uses_end_of_step(&self) -> bool {
+        self.inner.uses_end_of_step()
     }
 }

@@ -91,16 +91,19 @@ impl Default for SimConfig {
 ///
 /// Every variant carries a [`DiagnosticSnapshot`]: stuck packet ids,
 /// locations, destinations, per-node queue occupancy, and active faults.
+/// The snapshot is boxed so a `Result<_, SimError>` on the step loop's
+/// return path stays pointer-sized instead of carrying the multi-hundred-
+/// byte diagnostic payload inline.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
     /// The step cap was reached with packets undelivered.
-    StepCap(DiagnosticSnapshot),
+    StepCap(Box<DiagnosticSnapshot>),
     /// Watchdog: a full window with no accepted move, no delivery, and no
     /// injection — nothing can ever change again (under a static fault set).
-    Deadlock(DiagnosticSnapshot),
+    Deadlock(Box<DiagnosticSnapshot>),
     /// Watchdog: a full window in which packets moved but none was
     /// delivered.
-    Livelock(DiagnosticSnapshot),
+    Livelock(Box<DiagnosticSnapshot>),
 }
 
 impl SimError {

@@ -36,6 +36,7 @@ use crate::phases::{AdmissionPolicy, EventLog, Progress, StepBufs};
 use crate::queue::{QueueArch, QueueKind};
 use crate::router::Router;
 use crate::sim::{Sim, SimConfig, SimError};
+use crate::steady::SteadyConfig;
 use crate::storage::{Loc, NodeGrid, PacketStore, NOT_DELIVERED};
 use crate::watchdog::Timers;
 use mesh_faults::CompiledFaults;
@@ -44,11 +45,19 @@ use mesh_traffic::PacketId;
 use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 
-/// The snapshot format version this build writes and the only one it
-/// reads. Bump on any change to the serialized field set or meaning; old
-/// readers then fail with [`SnapshotError::UnknownVersion`] instead of
-/// misinterpreting state.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+/// The snapshot format version this build writes. Bump on any change to
+/// the serialized field set or meaning; old readers then fail with
+/// [`SnapshotError::UnknownVersion`] instead of misinterpreting state.
+///
+/// v2 added the optional `steady` environment block (the open-system
+/// measurement schedule and offered-load label), so a steady-state run
+/// resumes from `--resume-from` alone.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads. v1 snapshots carry
+/// no `steady` block; they restore with [`Snapshot::steady`] = `None`
+/// (closed-system semantics, exactly what v1 writers ran).
+pub const SNAPSHOT_MIN_READ_VERSION: u32 = 1;
 
 /// Why a snapshot failed to load or validate. Restoring never panics:
 /// every malformed input maps to one of these.
@@ -116,6 +125,20 @@ impl FaultFingerprint {
     }
 }
 
+/// The steady-state environment of an open-system (`run_steady`) run:
+/// everything a flag-free resume needs beyond the packet/grid state. The
+/// admission policy is fingerprinted separately ([`Snapshot::admission`]);
+/// this block carries the measurement schedule and the offered-load label.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SteadySnap {
+    /// Offered load (packets per node per step) the open workload was
+    /// built with. A label for reports — the arrivals themselves are
+    /// already materialized in the packet table.
+    pub lambda: f64,
+    /// The measurement schedule the run follows.
+    pub config: SteadyConfig,
+}
+
 /// The packet table, exactly as the [`PacketStore`] holds it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PacketsSnap {
@@ -173,6 +196,11 @@ pub struct Snapshot {
     /// rejects a config whose policy disagrees. Absent in pre-admission
     /// snapshots; those deserialize to the closed-system default.
     pub admission: AdmissionPolicy,
+    /// Steady-state environment, present iff the checkpoint was taken by
+    /// a steady driver (format v2+; v1 snapshots deserialize to `None`).
+    /// Carrying it here is what lets `--resume-from` alone resume a
+    /// steady run without re-passing the schedule flags.
+    pub steady: Option<SteadySnap>,
     pub(crate) progress: Progress,
     pub(crate) timers: Timers,
     pub packets: PacketsSnap,
@@ -211,7 +239,7 @@ impl Snapshot {
                 )))
             }
         };
-        if found != SNAPSHOT_FORMAT_VERSION as u64 {
+        if !(SNAPSHOT_MIN_READ_VERSION as u64..=SNAPSHOT_FORMAT_VERSION as u64).contains(&found) {
             return Err(SnapshotError::UnknownVersion {
                 found,
                 supported: SNAPSHOT_FORMAT_VERSION,
@@ -263,6 +291,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             workload: self.workload.clone(),
             faults: FaultFingerprint::of(self.faults.as_ref()),
             admission: self.config.admission,
+            steady: None,
             progress: self.progress.clone(),
             timers: self.timers.clone(),
             packets: PacketsSnap {
@@ -313,7 +342,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     where
         R::NodeState: Deserialize,
     {
-        if snap.format_version != SNAPSHOT_FORMAT_VERSION {
+        if !(SNAPSHOT_MIN_READ_VERSION..=SNAPSHOT_FORMAT_VERSION).contains(&snap.format_version) {
             return Err(SnapshotError::UnknownVersion {
                 found: snap.format_version as u64,
                 supported: SNAPSHOT_FORMAT_VERSION,
@@ -371,6 +400,18 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             queue_of: snap.packets.queue_of.clone(),
             delivered_at: snap.packets.delivered_at.clone(),
             hops: snap.packets.hops.clone(),
+            // Derived state, not serialized: rebuild the cached profitable
+            // masks of every in-network packet from its restored location.
+            mask: snap
+                .packets
+                .loc
+                .iter()
+                .zip(snap.packets.dst.iter())
+                .map(|(l, d)| match l {
+                    Loc::At(c) => topo.profitable(*c, *d).bits(),
+                    _ => 0,
+                })
+                .collect(),
             inject_order: snap.packets.inject_order.clone(),
             inject_cursor: snap.packets.inject_cursor,
         };
@@ -758,12 +799,14 @@ impl CheckpointSink for DirectorySink {
 
 /// Takes a checkpoint if the cadence says this step is a boundary.
 /// `proto` supplies the protocol slot lazily (only evaluated when a
-/// checkpoint is actually taken). In debug builds every checkpoint write
-/// is followed by a full queue-invariant audit, so a corrupt snapshot
-/// fails loudly at the source.
+/// checkpoint is actually taken); `steady` is the open-system environment
+/// block steady drivers stamp into every checkpoint. In debug builds
+/// every checkpoint write is followed by a full queue-invariant audit, so
+/// a corrupt snapshot fails loudly at the source.
 pub(crate) fn maybe_checkpoint<T: Topology, R: Router, S: CheckpointSink>(
     sim: &Sim<'_, T, R>,
     sink: &mut S,
+    steady: Option<SteadySnap>,
     proto: impl FnOnce() -> Option<Value>,
 ) where
     R::NodeState: Serialize,
@@ -776,6 +819,7 @@ pub(crate) fn maybe_checkpoint<T: Topology, R: Router, S: CheckpointSink>(
         return;
     }
     let mut snap = sim.snapshot();
+    snap.steady = steady;
     snap.protocol = proto();
     sink.on_checkpoint(&snap);
     #[cfg(debug_assertions)]

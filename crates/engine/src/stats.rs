@@ -229,6 +229,24 @@ mod tests {
     }
 
     #[test]
+    fn sub_percentile_sample_counts_clamp_to_max() {
+        // Nearest-rank with rank = ceil(p/100 * len): when the sample count
+        // is below the percentile's resolution the rank saturates at the
+        // last element, so the reported percentile IS the max — consumers
+        // must check the sample count before trusting the tail.
+        let d = Distribution::of(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(d.count, 10);
+        assert_eq!(d.p90, 9); // rank ceil(0.9*10)=9 still resolves
+        assert_eq!(d.p99, 10); // rank ceil(0.99*10)=10 → max
+        assert_eq!(d.p999, 10); // rank ceil(0.999*10)=10 → max
+                                // 999 samples: p999 rank ceil(0.999*999)=999 → still the max.
+        let v: Vec<u64> = (1..=999).collect();
+        let d = Distribution::of(&v);
+        assert_eq!(d.p999, 999);
+        assert_eq!(d.p999, d.max);
+    }
+
+    #[test]
     fn summary_basics() {
         let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
         assert_eq!(s.count, 8);

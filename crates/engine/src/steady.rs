@@ -28,14 +28,14 @@ use crate::driver::{run_driver, RunObserver, Verdict};
 use crate::hook::NoHook;
 use crate::router::Router;
 use crate::sim::{Sim, SimError};
-use crate::snapshot::{self, CheckpointSink};
+use crate::snapshot::{self, CheckpointSink, SteadySnap};
 use crate::stats::Distribution;
 use crate::watchdog::WatchdogMode;
 use mesh_topo::Topology;
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Measurement schedule of a steady-state run.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SteadyConfig {
     /// Steps to run before measurement starts (transients discarded).
     pub warmup: u64,
@@ -64,7 +64,7 @@ impl SteadyConfig {
 }
 
 /// One measurement window's worth of steady-state observations.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize)]
 pub struct WindowFrame {
     /// 0-based window index.
     pub index: u32,
@@ -88,6 +88,37 @@ pub struct WindowFrame {
     /// Latency distribution (p50/p90/p99/p99.9) of the deliveries that
     /// completed inside the window.
     pub latency: Distribution,
+    /// Number of latency samples behind the window's percentiles. Nearest-
+    /// rank percentiles whose rank exceeds the sample count clamp to the
+    /// max (a p999 from fewer than 1000 samples is really the window max),
+    /// so consumers must treat sub-percentile windows as low-confidence.
+    pub samples: usize,
+}
+
+impl Deserialize for WindowFrame {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let latency: Distribution = Deserialize::deserialize(v.field("latency")?)?;
+        // Hand-written for v1 snapshot tolerance: frames checkpointed
+        // before the `samples` field existed carry none; the latency
+        // distribution's own count is the exact historical value.
+        let samples = match v.field("samples")? {
+            Value::Null => latency.count,
+            other => Deserialize::deserialize(other)?,
+        };
+        Ok(WindowFrame {
+            index: Deserialize::deserialize(v.field("index")?)?,
+            start_step: Deserialize::deserialize(v.field("start_step")?)?,
+            end_step: Deserialize::deserialize(v.field("end_step")?)?,
+            offered: Deserialize::deserialize(v.field("offered")?)?,
+            delivered: Deserialize::deserialize(v.field("delivered")?)?,
+            shed: Deserialize::deserialize(v.field("shed")?)?,
+            expired: Deserialize::deserialize(v.field("expired")?)?,
+            lost: Deserialize::deserialize(v.field("lost")?)?,
+            goodput: Deserialize::deserialize(v.field("goodput")?)?,
+            latency,
+            samples,
+        })
+    }
 }
 
 /// The outcome of a steady-state run: per-window frames plus the pooled
@@ -184,6 +215,7 @@ impl SteadyObserver {
             lost: now.lost - base.lost,
             goodput: (now.delivered - base.delivered) as f64 / span as f64,
             latency: Distribution::of(&lat),
+            samples: lat.len(),
         });
         self.st.pooled.extend(lat);
         self.st.base = Some(now);
@@ -262,6 +294,9 @@ impl<T: Topology, R: Router> RunObserver<T, R> for SteadyRunner<'_> {
 struct SteadyCheckpointRunner<'o, 's, S> {
     obs: &'o mut SteadyObserver,
     sink: &'s mut S,
+    /// Environment block stamped into every checkpoint so a resume needs
+    /// nothing beyond the snapshot itself.
+    env: SteadySnap,
 }
 
 impl<T, R, S> RunObserver<T, R> for SteadyCheckpointRunner<'_, '_, S>
@@ -285,7 +320,7 @@ where
 
     fn survived(&mut self, sim: &mut Sim<'_, T, R>) {
         let st = &self.obs.st;
-        snapshot::maybe_checkpoint(sim, self.sink, || Some(st.serialize()));
+        snapshot::maybe_checkpoint(sim, self.sink, Some(self.env), || Some(st.serialize()));
     }
 }
 
@@ -318,6 +353,10 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
 
     /// [`Sim::run_steady`] with crash-safe checkpointing (and resume).
     ///
+    /// `lambda` is the offered-load label of the open workload; together
+    /// with `cfg` it is stamped into every checkpoint's `steady` block,
+    /// so `--resume-from` needs no re-passed schedule flags.
+    ///
     /// `state` is `None` for a fresh run, or the `protocol` slot of the
     /// snapshot this sim was [restored](Sim::restore) from — the
     /// observer's windowed measurement state rides there, so a run killed
@@ -331,6 +370,7 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     pub fn run_steady_checkpointed<S: CheckpointSink>(
         &mut self,
         cfg: SteadyConfig,
+        lambda: f64,
         state: Option<&Value>,
         sink: &mut S,
         halt_at: Option<u64>,
@@ -348,10 +388,66 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
             &mut SteadyCheckpointRunner {
                 obs: &mut obs,
                 sink,
+                env: SteadySnap {
+                    lambda,
+                    config: cfg,
+                },
             },
         );
         snapshot::report_failure(sink, &res);
         res?;
         Ok(obs.into_report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(samples: usize) -> WindowFrame {
+        let lat: Vec<u64> = (1..=samples as u64).collect();
+        WindowFrame {
+            index: 0,
+            start_step: 1,
+            end_step: 64,
+            offered: samples as u64,
+            delivered: samples as u64,
+            shed: 0,
+            expired: 0,
+            lost: 0,
+            goodput: samples as f64 / 64.0,
+            latency: Distribution::of(&lat),
+            samples,
+        }
+    }
+
+    #[test]
+    fn window_frame_samples_matches_latency_count() {
+        // A 40-delivery window: p99/p999 clamp to the max, and `samples`
+        // is the field that flags it.
+        let f = frame(40);
+        assert_eq!(f.samples, 40);
+        assert_eq!(f.samples, f.latency.count);
+        assert_eq!(f.latency.p99, f.latency.max);
+        assert_eq!(f.latency.p999, f.latency.max);
+    }
+
+    #[test]
+    fn window_frame_roundtrips_and_tolerates_v1_frames() {
+        let f = frame(7);
+        let v = f.serialize();
+        let back = WindowFrame::deserialize(&v).expect("roundtrip");
+        assert_eq!(back.samples, 7);
+        assert_eq!(back.latency, f.latency);
+
+        // A v1 frame (checkpointed before `samples` existed): the field is
+        // absent, and deserialization backfills it from the latency count.
+        let Value::Object(mut pairs) = v else {
+            panic!("frames serialize as objects")
+        };
+        pairs.retain(|(k, _)| k != "samples");
+        let old = WindowFrame::deserialize(&Value::Object(pairs)).expect("v1 frame");
+        assert_eq!(old.samples, old.latency.count);
+        assert_eq!(old.samples, 7);
     }
 }

@@ -52,6 +52,13 @@ pub(crate) struct PacketStore {
     pub(crate) queue_of: Vec<QueueKind>,
     pub(crate) delivered_at: Vec<u64>,
     pub(crate) hops: Vec<u32>,
+    /// Cached profitable mask (`DirSet` bits) of the packet at its current
+    /// location — the byte the bit-packed fast path reads instead of
+    /// recomputing `topo.profitable(loc, dst)` per packet per step. Derived
+    /// state, never serialized: maintained at injection, on every accepted
+    /// move, after adversary exchanges, and rebuilt on snapshot restore.
+    /// Meaningless (zero) while a packet is outside the network.
+    pub(crate) mask: Vec<u8>,
     /// Injection cursor: packet ids sorted by `inject_at` (stable in id for
     /// ties); `inject_order[inject_cursor..]` is the uninjected tail.
     pub(crate) inject_order: Vec<PacketId>,
@@ -70,6 +77,7 @@ impl PacketStore {
             queue_of: vec![QueueKind::Central; np],
             delivered_at: vec![NOT_DELIVERED; np],
             hops: vec![0; np],
+            mask: vec![0; np],
             inject_order: (0..np as u32).map(PacketId).collect(),
             inject_cursor: 0,
         };
@@ -96,6 +104,7 @@ impl PacketStore {
         self.queue_of.push(QueueKind::Central);
         self.delivered_at.push(NOT_DELIVERED);
         self.hops.push(0);
+        self.mask.push(0);
         let inject_at_of = &self.inject_at;
         let tail = &self.inject_order[self.inject_cursor..];
         let at =
@@ -270,6 +279,22 @@ impl NodeGrid {
     pub(crate) fn packets_at(&self, c: Coord) -> impl Iterator<Item = PacketId> + '_ {
         let ni = self.node_index(c);
         (0..self.slots).flat_map(move |s| self.queues[ni * self.slots + s].iter().copied())
+    }
+
+    /// The `i`-th packet at node `ni` in flattened slot order — the same
+    /// order `build_views`/`build_packed` enumerate, so an index returned
+    /// by an outqueue policy resolves to its packet without materializing
+    /// per-packet views. At most four lookups happen per node per step.
+    #[inline]
+    pub(crate) fn nth_packet(&self, ni: usize, mut i: usize) -> PacketId {
+        for s in 0..self.slots {
+            let q = &self.queues[ni * self.slots + s];
+            if i < q.len() {
+                return q[i];
+            }
+            i -= q.len();
+        }
+        panic!("nth_packet index out of range at node {ni}");
     }
 
     pub(crate) fn mark_active(&mut self, ni: usize) {

@@ -62,7 +62,7 @@ use crate::queue::{QueueArch, QueueKind};
 use crate::router::Router;
 use crate::sim::{Sim, SimConfig};
 use crate::storage::{GridRaw, Loc, NodeGrid, PacketStore};
-use crate::view::{Arrival, FullView};
+use crate::view::{Arrival, FullView, PackedArrival, PackedView};
 use mesh_faults::CompiledFaults;
 use mesh_topo::{Coord, Topology};
 use mesh_traffic::PacketId;
@@ -130,6 +130,10 @@ struct Staged {
 struct WorkerOut {
     views: Vec<FullView>,
     arrivals: Vec<Arrival<FullView>>,
+    /// Bit-packed counterparts of `views`/`arrivals` for mask-capable
+    /// routers (the per-node fast path picks which pair it fills).
+    masks: Vec<PackedView>,
+    arr_packed: Vec<PackedArrival>,
     accept: Vec<bool>,
     states: Vec<u64>,
     /// Staged congestion-map updates `(node, load)`.
@@ -441,6 +445,7 @@ unsafe fn worker_route<T: Topology, R: Router>(shared: &Shared<T, R>, w: usize) 
             ni as usize,
             shared.state_of(ni as usize),
             &mut out.views,
+            &mut out.masks,
             &mut |m| row.push((idx as u32, m)),
         );
     }
@@ -466,6 +471,7 @@ unsafe fn worker_accept<T: Topology, R: Router>(shared: &Shared<T, R>, w: usize)
     let WorkerOut {
         views,
         arrivals,
+        arr_packed,
         accept,
         ..
     } = out;
@@ -490,6 +496,7 @@ unsafe fn worker_accept<T: Topology, R: Router>(shared: &Shared<T, R>, w: usize)
             shared.state_of(ni),
             views,
             arrivals,
+            arr_packed,
             accept,
             &mut |mi, a| *f.accepted.add(mi as usize) = a,
         );
@@ -577,6 +584,11 @@ unsafe fn worker_audit_update<T: Topology, R: Router>(shared: &Shared<T, R>, w: 
         out.max_node_load = out.max_node_load.max(a.load);
         out.peaks.push((ni as u32, a.load as u16));
     }
+    // §2 (e) is skippable wholesale for routers whose end_of_step is the
+    // inherited no-op: every staged write would be an identity write.
+    if !router.uses_end_of_step() {
+        return;
+    }
     let WorkerOut {
         views,
         states,
@@ -657,6 +669,7 @@ unsafe fn coord_after_route<T: Topology, R: Router, H: StepHook>(
     {
         let store = shared.store_mut();
         let progress = shared.progress_mut();
+        bufs.exchanged.clear();
         let mut hctx = HookCtx {
             t: shared.t0 + 1,
             n: shared.n,
@@ -665,8 +678,10 @@ unsafe fn coord_after_route<T: Topology, R: Router, H: StepHook>(
             loc: &store.loc,
             src: &store.src,
             exchanges: &mut progress.exchanges,
+            dirty: &mut bufs.exchanged,
         };
         hook.on_scheduled(&mut hctx);
+        phases::refresh_masks(shared.topo(), store, &bufs.exchanged);
     }
     phases::accept_prep(shared.n, bufs);
     let f = shared.frame_mut();
@@ -716,6 +731,7 @@ unsafe fn coord_commit<T: Topology, R: Router>(shared: &Shared<T, R>) {
             grid.push(m.to, staged.akind, m.pkt);
             store.loc[pi] = Loc::At(m.to);
             store.queue_of[pi] = staged.akind;
+            store.mask[pi] = shared.topo().profitable(m.to, store.dst[pi]).bits();
             grid.mark_active(shared.node_index(m.to));
         }
     }

@@ -64,3 +64,77 @@ pub struct Arrival<V> {
     /// side of the accepting node).
     pub travel: Dir,
 }
+
+/// Bit-packed resident descriptor for the mask-capable router fast path.
+///
+/// Layout (low to high): bits `0..4` the profitable-outlink mask (indexed by
+/// `Dir as u8`), bits `4..8` the holding queue *slot* under the router's own
+/// declared [`QueueArch`](crate::QueueArch) (Central: 0; PerInlink: `0..4` =
+/// `Inlink(Dir)`, 4 = `Injection`), bits `8..32` the FIFO position within
+/// that queue (0 = oldest). A whole node's residents fit in one cache line
+/// for typical queue bounds.
+///
+/// This deliberately carries *less* than [`DxView`]: no id, no source, no
+/// state word. It is therefore destination-exchangeable by construction — a
+/// router that declares `mask_capable` promises its policy depends only on
+/// these three fields plus its own node state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedView(u32);
+
+impl PackedView {
+    /// Packs a resident descriptor. `slot` must be `< 16` and `pos < 2^24`
+    /// (both are structurally guaranteed by the engine's queue bounds).
+    #[inline]
+    pub fn new(profitable: DirSet, slot: usize, pos: u32) -> PackedView {
+        debug_assert!(slot < 16);
+        debug_assert!(pos < (1 << 24));
+        PackedView(profitable.bits() as u32 | ((slot as u32) << 4) | (pos << 8))
+    }
+
+    /// Profitable outlinks, measured from the holding node.
+    #[inline]
+    pub fn profitable(self) -> DirSet {
+        DirSet::from_bits((self.0 & 0xF) as u8)
+    }
+
+    /// Holding-queue slot index under the router's declared arch.
+    #[inline]
+    pub fn slot(self) -> usize {
+        ((self.0 >> 4) & 0xF) as usize
+    }
+
+    /// Arrival-order position within the queue (0 = oldest).
+    #[inline]
+    pub fn pos(self) -> u32 {
+        self.0 >> 8
+    }
+}
+
+/// Bit-packed arrival descriptor for the mask-capable inqueue fast path.
+///
+/// Bits `0..4`: profitable mask measured from the *sending* node (§2). Bits
+/// `4..6`: the direction of travel (`Dir as u8`). The arrival queue on the
+/// accepting side is derivable (`travel.opposite()` inlink, or the central
+/// queue), so it is not stored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedArrival(u8);
+
+impl PackedArrival {
+    /// Packs an arrival descriptor.
+    #[inline]
+    pub fn new(profitable: DirSet, travel: Dir) -> PackedArrival {
+        PackedArrival(profitable.bits() | ((travel as u8) << 4))
+    }
+
+    /// Profitable outlinks, measured from the sending node.
+    #[inline]
+    pub fn profitable(self) -> DirSet {
+        DirSet::from_bits(self.0 & 0xF)
+    }
+
+    /// Direction of travel into the accepting node.
+    #[inline]
+    pub fn travel(self) -> Dir {
+        Dir::from_index(((self.0 >> 4) & 0b11) as usize)
+    }
+}

@@ -113,29 +113,29 @@ pub(crate) fn check<T: Topology, R: Router>(
                 return Ok(());
             }
             if no_activity {
-                return Err(SimError::Deadlock(sim.diagnostics()));
+                return Err(SimError::Deadlock(Box::new(sim.diagnostics())));
             }
             if no_delivery {
-                return Err(SimError::Livelock(sim.diagnostics()));
+                return Err(SimError::Livelock(Box::new(sim.diagnostics())));
             }
         }
         WatchdogMode::DeliveryStarvation => {
             if no_delivery {
-                return Err(SimError::Livelock(sim.diagnostics()));
+                return Err(SimError::Livelock(Box::new(sim.diagnostics())));
             }
         }
         WatchdogMode::ActivityStarvation => {
             if sim.injections_exhausted() && no_activity {
-                return Err(SimError::Deadlock(sim.diagnostics()));
+                return Err(SimError::Deadlock(Box::new(sim.diagnostics())));
             }
         }
         WatchdogMode::Overload => {
             let no_resolution = steps.saturating_sub(timers.last_resolution.max(settle)) >= w;
             if no_activity {
-                return Err(SimError::Deadlock(sim.diagnostics()));
+                return Err(SimError::Deadlock(Box::new(sim.diagnostics())));
             }
             if no_resolution {
-                return Err(SimError::Livelock(sim.diagnostics()));
+                return Err(SimError::Livelock(Box::new(sim.diagnostics())));
             }
         }
     }

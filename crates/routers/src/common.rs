@@ -1,5 +1,6 @@
 //! Shared policy building blocks.
 
+use mesh_engine::PackedArrival;
 use mesh_topo::{Dir, DirSet};
 
 /// A movement axis.
@@ -57,6 +58,48 @@ impl RoundRobin {
     pub fn advance(&mut self) {
         self.next = (self.next + 1) % 4;
     }
+}
+
+/// The §2 round-robin inqueue policy over packed arrivals: accept into the
+/// strict headroom available at the beginning of the step (`k` minus the
+/// central queue's occupancy), arbitrating competing inlinks round-robin.
+///
+/// Decision-identical to the view-based form (`sort_by_key(rank)` then
+/// accept-while-room): visiting ranks `0..4` in order, arrivals in offer
+/// order within a rank, is exactly the stable sort's iteration order — and
+/// there is at most one arrival per inlink anyway.
+pub fn round_robin_accept(
+    k: u32,
+    occupied: u32,
+    state: &mut RoundRobin,
+    arrivals: &[PackedArrival],
+    accept: &mut [bool],
+) {
+    let mut room = (k as usize).saturating_sub(occupied as usize);
+    if room >= arrivals.len() {
+        // Headroom for everyone: the arbitration order is moot.
+        accept.fill(true);
+    } else {
+        // At most one arrival per inlink, so ranks are distinct: bucket
+        // the arrival indices by rank and accept the `room` smallest —
+        // exactly the rank-order visit of the contended case.
+        let mut by_rank = [usize::MAX; 4];
+        for (i, a) in arrivals.iter().enumerate() {
+            let r = state.rank(a.travel().opposite()) as usize;
+            debug_assert_eq!(by_rank[r], usize::MAX, "two arrivals on one inlink");
+            by_rank[r] = i;
+        }
+        for &i in by_rank.iter() {
+            if room == 0 {
+                break;
+            }
+            if i != usize::MAX {
+                accept[i] = true;
+                room -= 1;
+            }
+        }
+    }
+    state.advance();
 }
 
 #[cfg(test)]

@@ -7,8 +7,8 @@
 //! destination-exchangeable algorithm (§2) and the target of the §5
 //! `Ω(n²/k)` dimension-order lower bound.
 
-use crate::common::{dim_order_dir, Axis, RoundRobin};
-use mesh_engine::{Arrival, DxRouter, DxView, QueueArch};
+use crate::common::{dim_order_dir, round_robin_accept, Axis, RoundRobin};
+use mesh_engine::{Arrival, DxRouter, DxView, PackedArrival, PackedView, QueueArch};
 use mesh_topo::{Coord, ALL_DIRS};
 
 /// Dimension-order router on a central queue of capacity `k`.
@@ -100,6 +100,54 @@ impl DxRouter for DimOrder {
             room -= 1;
         }
         state.advance();
+    }
+
+    // Bit-packed fast path: same decisions, no per-packet view structs.
+    // Both policies read only profitable masks, positions, and occupancy —
+    // exactly what PackedView/queue_lens carry.
+
+    fn mask_capable(&self) -> bool {
+        true
+    }
+
+    fn outqueue_packed(
+        &self,
+        _step: u64,
+        _node: Coord,
+        _state: &mut RoundRobin,
+        pkts: &[PackedView],
+        out: &mut [Option<usize>; 4],
+    ) {
+        // Single pass instead of one scan per direction: each packet wants
+        // exactly one direction (`dim_order_dir` is a function of its
+        // profitable set), so tracking the minimum-pos packet per direction
+        // as we go picks the same winner the per-direction scans did.
+        let mut best_pos = [u32::MAX; 4];
+        for (i, p) in pkts.iter().enumerate() {
+            if let Some(d) = dim_order_dir(p.profitable(), self.first) {
+                if p.pos() < best_pos[d.index()] {
+                    best_pos[d.index()] = p.pos();
+                    out[d.index()] = Some(i);
+                }
+            }
+        }
+    }
+
+    fn inqueue_packed(
+        &self,
+        _step: u64,
+        _node: Coord,
+        state: &mut RoundRobin,
+        queue_lens: &[u32],
+        arrivals: &[PackedArrival],
+        accept: &mut [bool],
+    ) {
+        // Central arch: every resident lives in slot 0.
+        round_robin_accept(self.k, queue_lens[0], state, arrivals, accept);
+    }
+
+    fn uses_end_of_step(&self) -> bool {
+        false
     }
 }
 

@@ -22,7 +22,7 @@
 //! steer) loses the move but stays correct. Masking merely lets the router
 //! spend its step on a link that works.
 
-use mesh_engine::{Arrival, FullView, QueueArch, Router};
+use mesh_engine::{Arrival, FullView, PackedArrival, PackedView, QueueArch, Router};
 use mesh_faults::CompiledFaults;
 use mesh_topo::Coord;
 use std::cell::Cell;
@@ -191,6 +191,45 @@ impl<R: Router> Router for FaultAware<R> {
         rbuf.extend(residents.iter().map(|&v| self.mask_at(step, node, v)));
         self.inner.end_of_step(step, node, state, &rbuf, states);
         FA_RESIDENTS.set(rbuf);
+    }
+
+    /// An empty fault table makes every view method a pure pass-through
+    /// (the masks and guards above are all behind `is_empty` early
+    /// returns), so the packed fast path can be forwarded verbatim. With
+    /// faults present the wrapper must edit views, which the packed path
+    /// cannot express — it stays off and the view path masks as before.
+    fn mask_capable(&self) -> bool {
+        self.faults.is_empty() && self.inner.mask_capable()
+    }
+
+    fn outqueue_packed(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        pkts: &[PackedView],
+        out: &mut [Option<usize>; 4],
+    ) {
+        self.inner.outqueue_packed(step, node, state, pkts, out);
+    }
+
+    fn inqueue_packed(
+        &self,
+        step: u64,
+        node: Coord,
+        state: &mut Self::NodeState,
+        queue_lens: &[u32],
+        arrivals: &[PackedArrival],
+        accept: &mut [bool],
+    ) {
+        self.inner
+            .inqueue_packed(step, node, state, queue_lens, arrivals, accept);
+    }
+
+    /// Masking never changes whether the *inner* end-of-step does anything:
+    /// if it is the no-op, masked views feed a no-op all the same.
+    fn uses_end_of_step(&self) -> bool {
+        self.inner.uses_end_of_step()
     }
 }
 

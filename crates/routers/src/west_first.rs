@@ -16,9 +16,9 @@
 //! same practical stalls) — it exists to show the bound's universality
 //! across the §2-cited adaptive family.
 
-use crate::common::RoundRobin;
-use mesh_engine::{Arrival, DxRouter, DxView, QueueArch};
-use mesh_topo::{Coord, Dir, ALL_DIRS};
+use crate::common::{round_robin_accept, RoundRobin};
+use mesh_engine::{Arrival, DxRouter, DxView, PackedArrival, PackedView, QueueArch};
+use mesh_topo::{Coord, Dir, DirSet, ALL_DIRS};
 
 /// West-first minimal adaptive router on a central queue of capacity `k`.
 #[derive(Clone, Debug)]
@@ -33,16 +33,20 @@ impl WestFirst {
     }
 }
 
+/// The west-first turn restriction as a mask: while a west leg remains,
+/// only West is permitted; otherwise the packet is fully adaptive over its
+/// profitable set.
+fn allowed_mask(profitable: DirSet) -> DirSet {
+    if profitable.contains(Dir::West) {
+        DirSet::single(Dir::West)
+    } else {
+        profitable
+    }
+}
+
 /// Directions this packet may take, in preference order.
 fn choices(p: &DxView) -> impl Iterator<Item = Dir> + '_ {
-    let west = p.profitable.contains(Dir::West);
-    ALL_DIRS.into_iter().filter(move |&d| {
-        if !p.profitable.contains(d) {
-            return false;
-        }
-        // West-first: while a west leg remains, only West is permitted.
-        !west || d == Dir::West
-    })
+    allowed_mask(p.profitable).iter()
 }
 
 impl DxRouter for WestFirst {
@@ -104,6 +108,66 @@ impl DxRouter for WestFirst {
             room -= 1;
         }
         state.advance();
+    }
+
+    // Bit-packed fast path: identical decisions, no allocation. The view
+    // outqueue sorts by pos, but on the Central arch packets live in one
+    // queue and are offered in queue order, so pos *is* the index — the
+    // sort was the identity permutation.
+
+    fn mask_capable(&self) -> bool {
+        true
+    }
+
+    fn outqueue_packed(
+        &self,
+        step: u64,
+        _node: Coord,
+        _state: &mut RoundRobin,
+        pkts: &[PackedView],
+        out: &mut [Option<usize>; 4],
+    ) {
+        for (i, p) in pkts.iter().enumerate() {
+            debug_assert_eq!(p.pos() as usize, i, "central queue offers in pos order");
+            let mask = allowed_mask(p.profitable());
+            let mut opts = [Dir::North; 4];
+            let mut cnt = 0;
+            for d in ALL_DIRS {
+                if mask.contains(d) {
+                    opts[cnt] = d;
+                    cnt += 1;
+                }
+            }
+            if cnt == 0 {
+                continue;
+            }
+            // Adaptive packets rotate their first choice by step parity so
+            // contention spreads over the allowed directions.
+            let start = (step as usize) % cnt;
+            for off in 0..cnt {
+                let d = opts[(start + off) % cnt];
+                if out[d.index()].is_none() {
+                    out[d.index()] = Some(i);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn inqueue_packed(
+        &self,
+        _step: u64,
+        _node: Coord,
+        state: &mut RoundRobin,
+        queue_lens: &[u32],
+        arrivals: &[PackedArrival],
+        accept: &mut [bool],
+    ) {
+        round_robin_accept(self.k, queue_lens[0], state, arrivals, accept);
+    }
+
+    fn uses_end_of_step(&self) -> bool {
+        false
     }
 }
 

@@ -128,6 +128,21 @@ impl DirSet {
         DirSet(1 << dir as u8)
     }
 
+    /// Reconstitutes a set from its raw bit pattern (bit `d as u8` set means
+    /// `d` is a member). Bits above the low four are discarded, so every
+    /// input maps to a valid set. Inverse of [`DirSet::bits`].
+    #[inline]
+    pub const fn from_bits(bits: u8) -> DirSet {
+        DirSet(bits & 0b1111)
+    }
+
+    /// The raw bit pattern of the set (low four bits, indexed by
+    /// `Dir as u8`). Inverse of [`DirSet::from_bits`].
+    #[inline]
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
     /// Builds a set from an iterator of directions.
     pub fn from_dirs(dirs: impl IntoIterator<Item = Dir>) -> DirSet {
         let mut s = DirSet::EMPTY;

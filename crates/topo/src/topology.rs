@@ -92,18 +92,15 @@ impl Topology for Mesh {
 
     #[inline]
     fn profitable(&self, from: Coord, to: Coord) -> DirSet {
-        let mut s = DirSet::EMPTY;
-        if to.x > from.x {
-            s.insert(Dir::East);
-        } else if to.x < from.x {
-            s.insert(Dir::West);
-        }
-        if to.y > from.y {
-            s.insert(Dir::North);
-        } else if to.y < from.y {
-            s.insert(Dir::South);
-        }
-        s
+        // Branchless: each coordinate comparison yields one mask bit
+        // (N = bit 0, E = bit 1, S = bit 2, W = bit 3, matching `Dir as u8`).
+        // The per-dimension comparisons are mutually exclusive, so this is
+        // exactly the old if/else-if chain without the branches.
+        let n = (to.y > from.y) as u8;
+        let e = ((to.x > from.x) as u8) << 1;
+        let s = ((to.y < from.y) as u8) << 2;
+        let w = ((to.x < from.x) as u8) << 3;
+        DirSet::from_bits(n | e | s | w)
     }
 }
 
@@ -160,26 +157,20 @@ impl Topology for Torus {
 
     #[inline]
     fn profitable(&self, from: Coord, to: Coord) -> DirSet {
-        let mut s = DirSet::EMPTY;
+        // Branchless form of the wrap-distance comparisons. A dimension with
+        // zero displacement has fwd == 0 (and bwd == 0 after the mod), so the
+        // `fx != 0` guard folds into the comparisons: when fx == 0, bwd is
+        // also 0 and both `<=` tests would fire, hence the explicit nonzero
+        // factor. Ties (fwd == bwd == n/2) set both bits, as before.
         let (fx, bx) = self.wrap_delta(from.x, to.x);
-        if fx != 0 {
-            if fx <= bx {
-                s.insert(Dir::East);
-            }
-            if bx <= fx {
-                s.insert(Dir::West);
-            }
-        }
         let (fy, by) = self.wrap_delta(from.y, to.y);
-        if fy != 0 {
-            if fy <= by {
-                s.insert(Dir::North);
-            }
-            if by <= fy {
-                s.insert(Dir::South);
-            }
-        }
-        s
+        let hx = (fx != 0) as u8;
+        let hy = (fy != 0) as u8;
+        let n = hy & (fy <= by) as u8;
+        let e = (hx & (fx <= bx) as u8) << 1;
+        let s = (hy & (by <= fy) as u8) << 2;
+        let w = (hx & (bx <= fx) as u8) << 3;
+        DirSet::from_bits(n | e | s | w)
     }
 }
 
