@@ -277,8 +277,8 @@ pub(crate) fn build_packed<T: Topology>(
     out: &mut Vec<PackedView>,
 ) {
     out.clear();
-    for slot in 0..grid.slots() {
-        for (pos, pid) in grid.queue(ni, slot).iter().enumerate() {
+    for (slot, q) in grid.node_queues(ni) {
+        for (pos, pid) in q.iter().enumerate() {
             let mask = DirSet::from_bits(store.mask[pid.index()]);
             debug_assert_eq!(
                 mask,
@@ -301,9 +301,9 @@ pub(crate) fn build_views<T: Topology>(
     out: &mut Vec<FullView>,
 ) {
     out.clear();
-    for slot in 0..grid.slots() {
+    for (slot, q) in grid.node_queues(ni) {
         let kind = grid.slot_kind(slot);
-        for (pos, pid) in grid.queue(ni, slot).iter().enumerate() {
+        for (pos, pid) in q.iter().enumerate() {
             let i = pid.index();
             out.push(FullView {
                 id: *pid,
@@ -554,13 +554,34 @@ pub(crate) fn route_node<T: Topology, R: Router>(
         }
     }
     let mut out = [None::<usize>; 4];
+    let mut single = None;
     let packed = router.mask_capable();
     let len = if packed {
         // Fast path: one u32 per resident, no per-packet view structs. The
         // packed policy is contractually decision-identical to the view
         // policy (cross-checked by the differential battery), so the moves
         // emitted below are byte-identical either way.
-        build_packed(topo, store, grid, ni, node, masks);
+        if grid.node_load(ni) == 1 {
+            // Small-node fast path — the overwhelmingly common case once a
+            // run spreads out: the lone resident's descriptor comes
+            // straight off the occupancy bitmask, skipping the slot walk
+            // and per-slot enumerate. The router policy still runs (node
+            // state must advance identically); only descriptor-building
+            // machinery is bypassed.
+            let slot = grid.occ_mask(ni).trailing_zeros() as usize;
+            let pid = grid.queue(ni, slot)[0];
+            let mask = DirSet::from_bits(store.mask[pid.index()]);
+            debug_assert_eq!(
+                mask,
+                topo.profitable(node, store.dst[pid.index()]),
+                "cached profitable mask out of sync at {node:?}"
+            );
+            masks.clear();
+            masks.push(PackedView::new(mask, slot, 0));
+            single = Some(pid);
+        } else {
+            build_packed(topo, store, grid, ni, node, masks);
+        }
         router.outqueue_packed(t0, node, state, masks, &mut out);
         masks.len()
     } else {
@@ -590,7 +611,10 @@ pub(crate) fn route_node<T: Topology, R: Router>(
     for d in ALL_DIRS {
         if let Some(i) = out[d.index()] {
             let (pkt, profitable) = if packed {
-                (grid.nth_packet(ni, i), masks[i].profitable())
+                // The small-node fast path already holds the lone resident;
+                // multi-packet nodes index the arena's occupancy walk.
+                let pkt = single.unwrap_or_else(|| grid.nth_packet(ni, i));
+                (pkt, masks[i].profitable())
             } else {
                 (views[i].id, views[i].profitable)
             };
@@ -741,12 +765,10 @@ pub(crate) fn accept_group<T: Topology, R: Router>(
     accept.clear();
     accept.resize(end - start, false);
     if router.mask_capable() {
-        // Fast path: residents collapse to per-slot occupancy counts (no
-        // resident scan, no view structs) and each arrival to one byte.
-        let mut queue_lens = [0u32; 5];
-        for (s, q) in queue_lens.iter_mut().enumerate().take(grid.slots()) {
-            *q = grid.queue_len(ni, s) as u32;
-        }
+        // Fast path: residents collapse to the arena's own per-slot length
+        // row (handed to the policy as-is, no copy) and each arrival to
+        // one byte.
+        let queue_lens = grid.queue_lens_of(ni);
         arr_packed.clear();
         for gi in start..end {
             let m = schedule[order[gi] as usize];
@@ -762,14 +784,7 @@ pub(crate) fn accept_group<T: Topology, R: Router>(
             );
             arr_packed.push(PackedArrival::new(mask, m.travel));
         }
-        router.inqueue_packed(
-            t0,
-            target,
-            state,
-            &queue_lens[..grid.slots()],
-            arr_packed,
-            accept,
-        );
+        router.inqueue_packed(t0, target, state, queue_lens, arr_packed, accept);
     } else {
         build_views(topo, store, grid, ni, target, views);
         arrivals.clear();
@@ -991,10 +1006,16 @@ pub(crate) fn transmit<T: Topology, R: Router>(ctx: &mut StepCtx<'_, '_, T, R>) 
         ctx.progress.lost += 1;
         ctx.events.lost.push(m.pkt);
     }
-    // Rebuild the active worklist from the route snapshot.
+    // Rebuild the active worklist from the route snapshot. The pending
+    // lookup is hoisted behind an emptiness check: closed-system runs
+    // (and any open-system step whose edge backlog is clear) skip the
+    // per-node hash probe entirely.
+    let has_pending = !ctx.grid.pending.is_empty();
     for idx in 0..ctx.bufs.snapshot.len() {
         let ni = ctx.bufs.snapshot[idx] as usize;
-        if ctx.grid.node_load(ni) > 0 || ctx.grid.pending.contains_key(&(ni as u32)) {
+        if ctx.grid.node_load(ni) > 0
+            || (has_pending && ctx.grid.pending.contains_key(&(ni as u32)))
+        {
             ctx.grid.mark_active(ni);
         }
     }
@@ -1017,11 +1038,18 @@ pub(crate) fn audit_node<R: Router>(
     grid: &NodeGrid,
     ni: usize,
 ) -> NodeAudit {
-    let mut load = 0u32;
+    // The load total comes straight off the arena's load index; only the
+    // occupied slots (occupancy bitmask) are visited for the capacity
+    // check and the bounded maximum. Unbounded (injection) queues count
+    // toward node load but are skipped for max_queue tracking.
+    let load = grid.node_load(ni);
     let mut max_bounded = 0u32;
-    for slot in 0..grid.slots() {
-        let len = grid.queue_len(ni, slot) as u32;
-        load += len;
+    let lens = grid.queue_lens_of(ni);
+    let mut o = grid.occ_mask(ni);
+    while o != 0 {
+        let slot = o.trailing_zeros() as usize;
+        o &= o - 1;
+        let len = lens[slot];
         let kind = grid.slot_kind(slot);
         if let Some(cap) = grid.arch().capacity(kind) {
             if validate {
@@ -1033,12 +1061,13 @@ pub(crate) fn audit_node<R: Router>(
                 );
             }
             max_bounded = max_bounded.max(len);
-        } else {
-            // Unbounded (injection) queues count toward node load and
-            // max_queue tracking is skipped.
         }
     }
-    debug_assert_eq!(load, grid.node_load(ni), "occupancy index out of sync");
+    debug_assert_eq!(
+        load,
+        lens.iter().sum::<u32>(),
+        "occupancy index out of sync"
+    );
     NodeAudit { load, max_bounded }
 }
 

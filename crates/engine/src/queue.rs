@@ -88,6 +88,26 @@ impl QueueArch {
             QueueArch::PerInlink { .. } => 5,
         }
     }
+
+    /// The [`QueueKind`] stored at a dense slot index — the inverse of
+    /// [`QueueKind::slot`] and the single source of the slot↔kind mapping
+    /// the queue arena indexes by.
+    pub(crate) fn slot_kind(self, slot: usize) -> QueueKind {
+        match (self, slot) {
+            (QueueArch::Central { .. }, _) => QueueKind::Central,
+            (QueueArch::PerInlink { .. }, 4) => QueueKind::Injection,
+            (QueueArch::PerInlink { .. }, s) => QueueKind::Inlink(Dir::from_index(s)),
+        }
+    }
+
+    /// Initial arena capacity of a slot: bounded queues get exactly `k`
+    /// inline cells (they can never legally exceed it), and the unbounded
+    /// injection queue starts at `k` cells — the arena rebuilds itself
+    /// with a doubled slot if open-system staging ever outruns that.
+    pub(crate) fn initial_slot_cap(self, slot: usize) -> u32 {
+        self.capacity(self.slot_kind(slot))
+            .unwrap_or_else(|| self.k())
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use crate::phases::{self, EventLog, Phase, Progress, StepBufs, StepCtx, STEP_PIP
 
 pub use crate::phases::AdmissionPolicy;
 use crate::protocol::ProtocolHook;
-use crate::queue::QueueArch;
+use crate::queue::{QueueArch, QueueKind};
 use crate::router::Router;
 use crate::storage::{NodeGrid, PacketStore, NOT_DELIVERED};
 use crate::watchdog::Timers;
@@ -537,10 +537,21 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
     }
 
     /// The packets currently in a node, over all queues, in queue order —
-    /// answered from the [`NodeGrid`]'s own slots (no packet-table scan,
-    /// no allocation).
+    /// answered from the [`NodeGrid`]'s own slab region (no packet-table
+    /// scan, no allocation).
     pub fn packets_at(&self, c: Coord) -> impl Iterator<Item = PacketId> + '_ {
         self.grid.packets_at(c)
+    }
+
+    /// The non-empty queues of a node in slot order, as `(kind, contents)`
+    /// with contents sliced straight out of the queue arena — the
+    /// zero-copy seam differential batteries compare against a shadow
+    /// grid.
+    pub fn queues_at(&self, c: Coord) -> impl Iterator<Item = (QueueKind, &[PacketId])> + '_ {
+        let ni = self.grid.node_index(c);
+        self.grid
+            .node_queues(ni)
+            .map(|(s, q)| (self.grid.slot_kind(s), q))
     }
 
     /// The routing problem defined by the packets' *current* destinations —
@@ -695,9 +706,13 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         for ni in 0..self.grid.nodes() {
             let c = self.grid.coord_of(ni);
             let mut load = 0u32;
+            let mut occ = 0u8;
             for slot in 0..self.grid.slots() {
                 let len = self.grid.queue_len(ni, slot) as u32;
                 load += len;
+                if len > 0 {
+                    occ |= 1 << slot;
+                }
                 let kind = self.grid.slot_kind(slot);
                 if let Some(cap) = self.grid.arch().capacity(kind) {
                     assert!(
@@ -722,6 +737,11 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 load,
                 self.grid.node_load(ni),
                 "occupancy index out of sync at {c} (step {t})"
+            );
+            assert_eq!(
+                occ,
+                self.grid.occ_mask(ni),
+                "occupancy bitmask out of sync at {c} (step {t})"
             );
         }
     }

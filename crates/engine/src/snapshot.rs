@@ -52,7 +52,13 @@ use std::path::{Path, PathBuf};
 /// v2 added the optional `steady` environment block (the open-system
 /// measurement schedule and offered-load label), so a steady-state run
 /// resumes from `--resume-from` alone.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+///
+/// v3 serializes the grid as the queue arena's dense form — one flat
+/// `slab` of queue contents in (node, slot, position) order plus the
+/// per-(node, slot) `lens` cut points — instead of v1/v2's per-queue
+/// arrays. [`GridSnap`]'s reader accepts both spellings, so v1/v2 files
+/// still restore.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
 
 /// The oldest format version this build still reads. v1 snapshots carry
 /// no `steady` block; they restore with [`Snapshot::steady`] = `None`
@@ -154,12 +160,15 @@ pub struct PacketsSnap {
     pub inject_cursor: usize,
 }
 
-/// The queue storage: flat node-major, slot-minor queue contents plus the
-/// staging and bookkeeping state the pipeline resumes from.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+/// The queue storage: the arena's dense queue contents plus the staging
+/// and bookkeeping state the pipeline resumes from.
+#[derive(Clone, Debug, Serialize)]
 pub struct GridSnap {
-    /// `queues[ni * slots + slot]`, in queue order.
-    pub queues: Vec<Vec<PacketId>>,
+    /// Every queue's contents concatenated in (node, slot, position)
+    /// order — the v3 dense arena form; `lens` gives the cut points.
+    pub slab: Vec<PacketId>,
+    /// Per-(node, slot) queue lengths, node-major slot-minor.
+    pub lens: Vec<u32>,
     /// Admission-deferred injections per node, sorted by node index.
     pub pending: Vec<(u32, Vec<PacketId>)>,
     /// The active-node worklist **in order** (route-schedule order next
@@ -167,6 +176,32 @@ pub struct GridSnap {
     pub active: Vec<u32>,
     /// Per-node all-time peak occupancy (congestion map).
     pub peak_load: Vec<u16>,
+}
+
+impl Deserialize for GridSnap {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        // v3 writes the dense arena form; v1/v2 wrote per-queue arrays
+        // under `queues` (`Value::field` yields Null for the key a given
+        // vintage lacks). Both spellings restore into the same arena.
+        let (slab, lens) = match v.field("slab")? {
+            Value::Null => {
+                let queues: Vec<Vec<PacketId>> = Deserialize::deserialize(v.field("queues")?)?;
+                let lens = queues.iter().map(|q| q.len() as u32).collect();
+                (queues.into_iter().flatten().collect(), lens)
+            }
+            slab => (
+                Deserialize::deserialize(slab)?,
+                Deserialize::deserialize(v.field("lens")?)?,
+            ),
+        };
+        Ok(GridSnap {
+            slab,
+            lens,
+            pending: Deserialize::deserialize(v.field("pending")?)?,
+            active: Deserialize::deserialize(v.field("active")?)?,
+            peak_load: Deserialize::deserialize(v.field("peak_load")?)?,
+        })
+    }
 }
 
 /// The most recent step's delivery/loss events (the
@@ -307,7 +342,8 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 inject_cursor: self.store.inject_cursor,
             },
             grid: GridSnap {
-                queues: self.grid.export_queues(),
+                slab: self.grid.export_queues().flatten().copied().collect(),
+                lens: self.grid.export_queues().map(|q| q.len() as u32).collect(),
                 pending,
                 active: self.grid.export_active(),
                 peak_load: self.grid.peak_load.clone(),
@@ -418,7 +454,8 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
         let grid = NodeGrid::from_parts(
             n,
             snap.arch,
-            snap.grid.queues.clone(),
+            &snap.grid.slab,
+            snap.grid.lens.clone(),
             &snap.grid.pending,
             &snap.grid.active,
             snap.grid.peak_load.clone(),

@@ -1,16 +1,18 @@
 //! Flat packet and queue storage: the [`PacketStore`] struct-of-arrays
-//! packet table and the [`NodeGrid`] node-major queue layout.
+//! packet table and the [`NodeGrid`] flat-slab queue arena.
 //!
 //! Everything the step pipeline reads or writes about packets and queues
-//! lives here, behind named accessors instead of ad-hoc index math. The
-//! grid keeps an incremental per-node **occupancy index** (`load`), so
-//! "how full is this node" — the question the route, rebuild, and
-//! diagnostics paths ask constantly — is O(1), and
+//! lives here, behind named accessors instead of ad-hoc index math. Queue
+//! cells live inline in one contiguous node-major slab (see DESIGN.md
+//! §14), and the grid keeps an incremental per-node **occupancy bitmask**
+//! (`occ`, which slots are non-empty) and **occupancy index** (`load`,
+//! how many packets), so "how full is this node" — the question the
+//! route, rebuild, and diagnostics paths ask constantly — is O(1), and
 //! [`Sim::packets_at`](crate::sim::Sim::packets_at) answers straight from
-//! the node's own slots without touching the packet table.
+//! the node's own slab region without touching the packet table.
 
 use crate::queue::{QueueArch, QueueKind};
-use mesh_topo::{Coord, Dir};
+use mesh_topo::Coord;
 use mesh_traffic::{PacketId, RoutingProblem};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
@@ -127,16 +129,45 @@ impl PacketStore {
     }
 }
 
-/// Per-node queue storage in a flat node-major, slot-minor layout
-/// (`queues[ni * slots + slot]`), plus the staging and bookkeeping the
-/// step pipeline needs per node: pending (admission-controlled)
-/// injections, the active-node worklist, the O(1) occupancy index, and
-/// the peak-load congestion map.
+/// Filler id for unused arena cells; written on construction and after
+/// compaction shifts, never read back.
+const EMPTY_CELL: PacketId = PacketId(u32::MAX);
+
+/// Per-node queue storage as a **flat-slab queue arena**: every queue's
+/// cells live inline in one contiguous node-major allocation, so a move
+/// is a couple of word writes into a region the route/accept paths have
+/// already pulled into cache — no per-queue heap `Vec`s, no pointer
+/// chasing. Alongside the slab the grid keeps per-(node, slot) lengths,
+/// a per-node occupancy *bitmask* (which slots are non-empty) and the
+/// existing per-node load index, plus the staging and bookkeeping the
+/// step pipeline needs: pending (admission-controlled) injections, the
+/// active-node worklist, and the peak-load congestion map.
 pub(crate) struct NodeGrid {
     n: u32,
     arch: QueueArch,
     slots: usize,
-    queues: Vec<Vec<PacketId>>,
+    /// The queue arena. Node `ni` owns `slab[ni * stride ..][.. stride]`;
+    /// within that region slot `s` owns the `caps[s]` cells starting at
+    /// `slot_off[s]`, of which the first `lens[ni * slots + s]` are live,
+    /// oldest first (FIFO order identical to the former per-queue `Vec`s).
+    slab: Vec<PacketId>,
+    /// Per-(node, slot) queue lengths, node-major slot-minor. The
+    /// `queue_lens` slice a router's accept policy receives points
+    /// straight into this array.
+    lens: Vec<u32>,
+    /// Inline capacity of each slot (identical for every node). Bounded
+    /// queues hold exactly `k` cells; the unbounded injection slot starts
+    /// at `k` and [`grow_slot`](Self::grow_slot) doubles it on demand.
+    caps: [u32; 5],
+    /// Cell offset of each slot within a node's region (prefix sums of
+    /// `caps[..slots]`).
+    slot_off: [u32; 5],
+    /// Cells per node: `caps[..slots]` summed.
+    stride: u32,
+    /// Occupancy bitmask: bit `s` of `occ[ni]` is set iff slot `s` of
+    /// node `ni` is non-empty. Lets the hot paths enumerate a node's
+    /// packets by trailing-zeros walk instead of scanning every slot.
+    occ: Vec<u8>,
     /// Occupancy index: packets currently queued at each node, maintained
     /// incrementally by [`push`](Self::push)/[`remove`](Self::remove).
     load: Vec<u32>,
@@ -150,21 +181,77 @@ pub(crate) struct NodeGrid {
     pub(crate) peak_load: Vec<u16>,
 }
 
+/// Slab geometry for a capacity vector: per-slot cell offsets and the
+/// per-node stride.
+fn geometry(caps: &[u32; 5], slots: usize) -> ([u32; 5], u32) {
+    let mut slot_off = [0u32; 5];
+    let mut stride = 0u32;
+    for s in 0..slots {
+        slot_off[s] = stride;
+        stride += caps[s];
+    }
+    (slot_off, stride)
+}
+
 impl NodeGrid {
     pub(crate) fn new(n: u32, arch: QueueArch) -> Self {
         let nodes = (n * n) as usize;
         let slots = arch.num_slots();
+        let mut caps = [0u32; 5];
+        for (s, cap) in caps.iter_mut().enumerate().take(slots) {
+            *cap = arch.initial_slot_cap(s);
+        }
+        let (slot_off, stride) = geometry(&caps, slots);
         NodeGrid {
             n,
             arch,
             slots,
-            queues: (0..nodes * slots).map(|_| Vec::new()).collect(),
+            slab: vec![EMPTY_CELL; nodes * stride as usize],
+            lens: vec![0; nodes * slots],
+            caps,
+            slot_off,
+            stride,
+            occ: vec![0; nodes],
             load: vec![0; nodes],
             pending: HashMap::new(),
             active: Vec::new(),
             in_active: vec![false; nodes],
             peak_load: vec![0; nodes],
         }
+    }
+
+    /// Base cell index of `(ni, slot)`'s queue in the slab.
+    #[inline]
+    fn cell_base(&self, ni: usize, slot: usize) -> usize {
+        ni * self.stride as usize + self.slot_off[slot] as usize
+    }
+
+    /// Rebuilds the slab with a doubled capacity for `slot`. Only the
+    /// unbounded injection slot ever grows in practice (bounded slots are
+    /// capacity-checked before every push by the accept machinery), and
+    /// doubling makes the rebuild cost amortized O(1) per staged packet.
+    /// Never called while [`GridRaw`] pointers are live: all pushes happen
+    /// coordinator-side (injection precedes the tiled step's shared frame;
+    /// arrival commits run while workers are parked at a barrier, and
+    /// workers only dequeue).
+    #[cold]
+    fn grow_slot(&mut self, slot: usize) {
+        let mut caps = self.caps;
+        caps[slot] = (caps[slot] * 2).max(1);
+        let (slot_off, stride) = geometry(&caps, self.slots);
+        let mut slab = vec![EMPTY_CELL; self.nodes() * stride as usize];
+        for ni in 0..self.nodes() {
+            for (s, &off) in slot_off.iter().enumerate().take(self.slots) {
+                let len = self.lens[ni * self.slots + s] as usize;
+                let src = self.cell_base(ni, s);
+                let dst = ni * stride as usize + off as usize;
+                slab[dst..dst + len].copy_from_slice(&self.slab[src..src + len]);
+            }
+        }
+        self.slab = slab;
+        self.caps = caps;
+        self.slot_off = slot_off;
+        self.stride = stride;
     }
 
     #[inline]
@@ -197,50 +284,81 @@ impl NodeGrid {
         Coord::new(ni as u32 % self.n, ni as u32 / self.n)
     }
 
-    /// The [`QueueKind`] stored at a slot index under this architecture —
-    /// the single source of the slot↔kind mapping.
+    /// The [`QueueKind`] stored at a slot index under this architecture.
     #[inline]
     pub(crate) fn slot_kind(&self, slot: usize) -> QueueKind {
-        match (self.arch, slot) {
-            (QueueArch::Central { .. }, _) => QueueKind::Central,
-            (QueueArch::PerInlink { .. }, 4) => QueueKind::Injection,
-            (QueueArch::PerInlink { .. }, s) => QueueKind::Inlink(Dir::from_index(s)),
-        }
+        self.arch.slot_kind(slot)
     }
 
     #[inline]
     pub(crate) fn queue(&self, ni: usize, slot: usize) -> &[PacketId] {
-        &self.queues[ni * self.slots + slot]
+        let base = self.cell_base(ni, slot);
+        &self.slab[base..base + self.lens[ni * self.slots + slot] as usize]
     }
 
     #[inline]
     pub(crate) fn queue_len(&self, ni: usize, slot: usize) -> usize {
-        self.queues[ni * self.slots + slot].len()
+        self.lens[ni * self.slots + slot] as usize
     }
 
-    /// Appends a packet to a node's queue, updating the occupancy index.
+    /// Per-slot queue lengths of a node, as a slice straight into the
+    /// arena's length array — what the accept machinery hands to router
+    /// policies without copying.
+    #[inline]
+    pub(crate) fn queue_lens_of(&self, ni: usize) -> &[u32] {
+        &self.lens[ni * self.slots..(ni + 1) * self.slots]
+    }
+
+    /// Occupancy bitmask of a node: bit `s` set iff slot `s` is non-empty.
+    #[inline]
+    pub(crate) fn occ_mask(&self, ni: usize) -> u8 {
+        self.occ[ni]
+    }
+
+    /// Appends a packet to a node's queue: two word writes plus a bitmask
+    /// set in the common case (the slab only rebuilds when the unbounded
+    /// injection slot outgrows its inline cells).
     pub(crate) fn push(&mut self, c: Coord, kind: QueueKind, pid: PacketId) {
         let ni = self.node_index(c);
-        self.queues[ni * self.slots + kind.slot()].push(pid);
+        let s = kind.slot();
+        let len = self.lens[ni * self.slots + s];
+        if len == self.caps[s] {
+            self.grow_slot(s);
+        }
+        let base = self.cell_base(ni, s);
+        self.slab[base + len as usize] = pid;
+        self.lens[ni * self.slots + s] = len + 1;
+        self.occ[ni] |= 1 << s;
         self.load[ni] += 1;
     }
 
     /// Removes a packet from a node's queue (position scan — queues are
-    /// short by construction), updating the occupancy index. Panics with
+    /// short by construction) by shifting the younger cells down one,
+    /// updating the length, bitmask, and occupancy index. Panics with
     /// `what` if the packet is not there: that is an engine bug, not a
     /// runtime condition.
     pub(crate) fn remove(&mut self, c: Coord, kind: QueueKind, pid: PacketId, what: &str) {
         let ni = self.node_index(c);
-        let q = &mut self.queues[ni * self.slots + kind.slot()];
-        let pos = q.iter().position(|&p| p == pid).expect(what);
-        q.remove(pos);
+        let s = kind.slot();
+        let len = self.lens[ni * self.slots + s] as usize;
+        let base = self.cell_base(ni, s);
+        let region = &mut self.slab[base..base + len];
+        let pos = region.iter().position(|&p| p == pid).expect(what);
+        region.copy_within(pos + 1.., pos);
+        region[len - 1] = EMPTY_CELL;
+        self.lens[ni * self.slots + s] = (len - 1) as u32;
+        if len == 1 {
+            self.occ[ni] &= !(1 << s);
+        }
         self.load[ni] -= 1;
     }
 
     /// Removes every queued packet whose injection step is `ttl` or more
     /// steps in the past, in deterministic (node, slot, position) order,
-    /// invoking `on_expired` for each. O(total queued packets); only the
-    /// `DeadlineExpiry` admission policy pays it.
+    /// invoking `on_expired` for each — an in-place compacting sweep over
+    /// each occupied slot, identical in survivor order to the former
+    /// per-queue `Vec::retain`. Only the `DeadlineExpiry` admission policy
+    /// pays it, and the occupancy bitmask skips empty nodes and slots.
     pub(crate) fn expire_queued(
         &mut self,
         t: u64,
@@ -250,18 +368,30 @@ impl NodeGrid {
     ) {
         let slots = self.slots;
         for ni in 0..self.nodes() {
-            for s in 0..slots {
-                let q = &mut self.queues[ni * slots + s];
-                let before = q.len();
-                q.retain(|&pid| {
+            let mut o = self.occ[ni];
+            while o != 0 {
+                let s = o.trailing_zeros() as usize;
+                o &= o - 1;
+                let len = self.lens[ni * slots + s] as usize;
+                let base = self.cell_base(ni, s);
+                let mut w = 0usize;
+                for r in 0..len {
+                    let pid = self.slab[base + r];
                     if t >= inject_at[pid.index()].saturating_add(ttl) {
                         on_expired(pid);
-                        false
                     } else {
-                        true
+                        self.slab[base + w] = pid;
+                        w += 1;
                     }
-                });
-                self.load[ni] -= (before - q.len()) as u32;
+                }
+                if w < len {
+                    self.slab[base + w..base + len].fill(EMPTY_CELL);
+                    self.lens[ni * slots + s] = w as u32;
+                    self.load[ni] -= (len - w) as u32;
+                    if w == 0 {
+                        self.occ[ni] &= !(1 << s);
+                    }
+                }
             }
         }
     }
@@ -273,12 +403,28 @@ impl NodeGrid {
         self.load[ni]
     }
 
+    /// The non-empty queues of a node in slot order, as `(slot, contents)`
+    /// slices into the slab — a zero-allocation trailing-zeros walk of the
+    /// occupancy bitmask.
+    #[inline]
+    pub(crate) fn node_queues(&self, ni: usize) -> impl Iterator<Item = (usize, &[PacketId])> + '_ {
+        let mut o = self.occ[ni];
+        std::iter::from_fn(move || {
+            if o == 0 {
+                return None;
+            }
+            let s = o.trailing_zeros() as usize;
+            o &= o - 1;
+            Some((s, self.queue(ni, s)))
+        })
+    }
+
     /// The packets currently at a node, over all queues in slot order —
-    /// answered from the node's own slots, no packet-table scan, no
-    /// allocation.
+    /// answered straight from the node's slab region, no packet-table
+    /// scan, no allocation.
     pub(crate) fn packets_at(&self, c: Coord) -> impl Iterator<Item = PacketId> + '_ {
         let ni = self.node_index(c);
-        (0..self.slots).flat_map(move |s| self.queues[ni * self.slots + s].iter().copied())
+        self.node_queues(ni).flat_map(|(_, q)| q.iter().copied())
     }
 
     /// The `i`-th packet at node `ni` in flattened slot order — the same
@@ -287,12 +433,15 @@ impl NodeGrid {
     /// per-packet views. At most four lookups happen per node per step.
     #[inline]
     pub(crate) fn nth_packet(&self, ni: usize, mut i: usize) -> PacketId {
-        for s in 0..self.slots {
-            let q = &self.queues[ni * self.slots + s];
-            if i < q.len() {
-                return q[i];
+        let mut o = self.occ[ni];
+        while o != 0 {
+            let s = o.trailing_zeros() as usize;
+            o &= o - 1;
+            let len = self.lens[ni * self.slots + s] as usize;
+            if i < len {
+                return self.slab[self.cell_base(ni, s) + i];
             }
-            i -= q.len();
+            i -= len;
         }
         panic!("nth_packet index out of range at node {ni}");
     }
@@ -384,9 +533,12 @@ impl NodeGrid {
         }
     }
 
-    /// Clones the flat queue table (node-major, slot-minor) for a snapshot.
-    pub(crate) fn export_queues(&self) -> Vec<Vec<PacketId>> {
-        self.queues.clone()
+    /// Every queue's live contents in node-major, slot-minor order (empty
+    /// queues included, so positions line up with the flat length array) —
+    /// a zero-allocation walk of the slab; the snapshot path concatenates
+    /// it into the dense v3 form.
+    pub(crate) fn export_queues(&self) -> impl Iterator<Item = &[PacketId]> + '_ {
+        (0..self.nodes() * self.slots).map(move |qi| self.queue(qi / self.slots, qi % self.slots))
     }
 
     /// Clones the active worklist *in order* for a snapshot. The order is
@@ -397,27 +549,40 @@ impl NodeGrid {
         self.active.clone()
     }
 
-    /// Rebuilds a grid from snapshotted parts, re-deriving the occupancy
-    /// index and active-membership flags and validating the internal
-    /// invariants a live grid maintains. Errors describe the corruption;
-    /// they never panic.
+    /// Rebuilds a grid from snapshotted parts — `slab` is the dense
+    /// concatenation of every queue's contents in (node, slot, position)
+    /// order and `lens` the per-(node, slot) cut points — re-deriving the
+    /// occupancy bitmask, load index, and active-membership flags and
+    /// validating the internal invariants a live grid maintains. Errors
+    /// describe the corruption; they never panic. Slot capacities widen to
+    /// fit whatever the snapshot holds, so an over-capacity bounded queue
+    /// still loads here and is then *reported* (not panicked on) by the
+    /// snapshot layer's cross-reference validation.
     pub(crate) fn from_parts(
         n: u32,
         arch: QueueArch,
-        queues: Vec<Vec<PacketId>>,
+        dense: &[PacketId],
+        lens: Vec<u32>,
         pending: &[(u32, Vec<PacketId>)],
         active: &[u32],
         peak_load: Vec<u16>,
     ) -> Result<NodeGrid, String> {
         let nodes = (n * n) as usize;
         let slots = arch.num_slots();
-        if queues.len() != nodes * slots {
+        if lens.len() != nodes * slots {
             return Err(format!(
                 "queue table has {} slots, expected {} ({} nodes x {} slots)",
-                queues.len(),
+                lens.len(),
                 nodes * slots,
                 nodes,
                 slots
+            ));
+        }
+        let total: u64 = lens.iter().map(|&l| l as u64).sum();
+        if total != dense.len() as u64 {
+            return Err(format!(
+                "queue contents hold {} packets but lengths sum to {total}",
+                dense.len()
             ));
         }
         if peak_load.len() != nodes {
@@ -426,9 +591,30 @@ impl NodeGrid {
                 peak_load.len()
             ));
         }
+        let mut caps = [0u32; 5];
+        for (s, cap) in caps.iter_mut().enumerate().take(slots) {
+            *cap = arch.initial_slot_cap(s);
+        }
+        for (li, &len) in lens.iter().enumerate() {
+            let s = li % slots;
+            caps[s] = caps[s].max(len);
+        }
+        let (slot_off, stride) = geometry(&caps, slots);
+        let mut slab = vec![EMPTY_CELL; nodes * stride as usize];
+        let mut occ = vec![0u8; nodes];
         let mut load = vec![0u32; nodes];
-        for (qi, q) in queues.iter().enumerate() {
-            load[qi / slots] += q.len() as u32;
+        let mut cursor = 0usize;
+        for ni in 0..nodes {
+            for s in 0..slots {
+                let len = lens[ni * slots + s] as usize;
+                let dst = ni * stride as usize + slot_off[s] as usize;
+                slab[dst..dst + len].copy_from_slice(&dense[cursor..cursor + len]);
+                cursor += len;
+                if len > 0 {
+                    occ[ni] |= 1 << s;
+                    load[ni] += len as u32;
+                }
+            }
         }
         let mut pending_map: HashMap<u32, VecDeque<PacketId>> = HashMap::new();
         for (ni, pids) in pending {
@@ -475,7 +661,12 @@ impl NodeGrid {
             n,
             arch,
             slots,
-            queues,
+            slab,
+            lens,
+            caps,
+            slot_off,
+            stride,
+            occ,
             load,
             pending: pending_map,
             active: active.to_vec(),
@@ -484,22 +675,186 @@ impl NodeGrid {
         })
     }
 
-    /// Raw base pointers into the per-node queue storage for the
-    /// tile-sharded step: workers dequeue packets of their own (disjoint)
-    /// node sets through these while the coordinator is parked at a
-    /// barrier. The outer vectors have fixed length for the grid's
-    /// lifetime, so the bases stay valid as long as the grid does.
+    /// Raw base pointers into the queue arena for the tile-sharded step:
+    /// workers dequeue packets of their own (disjoint) node sets through
+    /// these while the coordinator is parked at a barrier. Everything is a
+    /// scalar array into the slab — no per-queue `Vec` indirection — and
+    /// the slab never reallocates while these are live, because only the
+    /// coordinator pushes (see [`grow_slot`](Self::grow_slot)).
     pub(crate) fn raw(&mut self) -> GridRaw {
         GridRaw {
-            queues: self.queues.as_mut_ptr(),
+            slab: self.slab.as_mut_ptr(),
+            lens: self.lens.as_mut_ptr(),
             load: self.load.as_mut_ptr(),
+            occ: self.occ.as_mut_ptr(),
+            slots: self.slots,
+            stride: self.stride,
+            slot_off: self.slot_off,
         }
     }
 }
 
-/// Raw parts of a [`NodeGrid`] (see [`NodeGrid::raw`]).
+/// Raw parts of a [`NodeGrid`]'s queue arena (see [`NodeGrid::raw`]):
+/// scalar base pointers plus the slab geometry needed to locate any
+/// `(node, slot)` region without touching the grid itself.
 #[derive(Clone, Copy)]
 pub(crate) struct GridRaw {
-    pub(crate) queues: *mut Vec<PacketId>,
+    pub(crate) slab: *mut PacketId,
+    pub(crate) lens: *mut u32,
     pub(crate) load: *mut u32,
+    pub(crate) occ: *mut u8,
+    pub(crate) slots: usize,
+    pub(crate) stride: u32,
+    pub(crate) slot_off: [u32; 5],
+}
+
+#[cfg(test)]
+mod arena_tests {
+    use super::*;
+
+    /// Deterministic 64-bit LCG (`Date`/`rand` stay out of the engine's
+    /// dev-deps); top bits only.
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    /// Asserts the arena agrees with a reference `Vec<Vec<_>>` grid on
+    /// every observable: per-queue contents, lengths, the occupancy
+    /// bitmask, the load index, and all four read paths (`queue`,
+    /// `node_queues`, `packets_at`, `nth_packet`, `export_queues`).
+    fn assert_matches(grid: &NodeGrid, shadow: &[Vec<PacketId>]) {
+        let slots = grid.slots();
+        let mut export = grid.export_queues();
+        for ni in 0..grid.nodes() {
+            let mut occ = 0u8;
+            let mut load = 0u32;
+            for s in 0..slots {
+                let sq = &shadow[ni * slots + s];
+                assert_eq!(grid.queue(ni, s), &sq[..], "queue ({ni},{s})");
+                assert_eq!(grid.queue_len(ni, s), sq.len(), "len ({ni},{s})");
+                assert_eq!(grid.queue_lens_of(ni)[s], sq.len() as u32);
+                assert_eq!(export.next().unwrap(), &sq[..], "export ({ni},{s})");
+                if !sq.is_empty() {
+                    occ |= 1 << s;
+                    load += sq.len() as u32;
+                }
+            }
+            assert_eq!(grid.occ_mask(ni), occ, "occ bitmask at node {ni}");
+            assert_eq!(grid.node_load(ni), load, "load index at node {ni}");
+            let flat: Vec<PacketId> = shadow[ni * slots..(ni + 1) * slots]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            let c = grid.coord_of(ni);
+            assert_eq!(grid.packets_at(c).collect::<Vec<_>>(), flat);
+            let walked: Vec<PacketId> = grid
+                .node_queues(ni)
+                .flat_map(|(_, q)| q.iter().copied())
+                .collect();
+            assert_eq!(walked, flat, "node_queues at node {ni}");
+            for (i, &pid) in flat.iter().enumerate() {
+                assert_eq!(grid.nth_packet(ni, i), pid, "nth_packet({ni},{i})");
+            }
+        }
+        assert!(export.next().is_none());
+    }
+
+    /// Op-level differential: a random push/remove/expire stream against
+    /// the reference grid, for both queue architectures. Pushes past a
+    /// slot's inline capacity force `grow_slot` rebuilds mid-stream; the
+    /// shadow must survive every one of them.
+    #[test]
+    fn arena_matches_reference_under_random_ops() {
+        for (arch, seed) in [
+            (QueueArch::Central { k: 2 }, 11u64),
+            (QueueArch::PerInlink { k: 1 }, 12),
+            (QueueArch::PerInlink { k: 3 }, 13),
+        ] {
+            let n = 4u32;
+            let mut grid = NodeGrid::new(n, arch);
+            let slots = grid.slots();
+            let mut shadow: Vec<Vec<PacketId>> = vec![Vec::new(); grid.nodes() * slots];
+            let mut inject_at: Vec<u64> = Vec::new();
+            let mut rng = seed;
+            for t in 0..4_000u64 {
+                match lcg(&mut rng) % 10 {
+                    0..=5 => {
+                        let ni = (lcg(&mut rng) as usize) % grid.nodes();
+                        let s = (lcg(&mut rng) as usize) % slots;
+                        let pid = PacketId(inject_at.len() as u32);
+                        inject_at.push(t);
+                        grid.push(grid.coord_of(ni), grid.slot_kind(s), pid);
+                        shadow[ni * slots + s].push(pid);
+                    }
+                    6..=8 => {
+                        let occupied: Vec<usize> = (0..shadow.len())
+                            .filter(|&i| !shadow[i].is_empty())
+                            .collect();
+                        if occupied.is_empty() {
+                            continue;
+                        }
+                        let qi = occupied[(lcg(&mut rng) as usize) % occupied.len()];
+                        let pos = (lcg(&mut rng) as usize) % shadow[qi].len();
+                        let pid = shadow[qi].remove(pos);
+                        grid.remove(
+                            grid.coord_of(qi / slots),
+                            grid.slot_kind(qi % slots),
+                            pid,
+                            "op-test remove",
+                        );
+                    }
+                    _ => {
+                        let ttl = 1 + lcg(&mut rng) % 16;
+                        let mut expected = Vec::new();
+                        for q in shadow.iter_mut() {
+                            q.retain(|&pid| {
+                                let gone = t >= inject_at[pid.index()].saturating_add(ttl);
+                                if gone {
+                                    expected.push(pid);
+                                }
+                                !gone
+                            });
+                        }
+                        let mut got = Vec::new();
+                        grid.expire_queued(t, ttl, &inject_at, |pid| got.push(pid));
+                        assert_eq!(got, expected, "expiry order ({arch:?}, t={t})");
+                    }
+                }
+                assert_matches(&grid, &shadow);
+            }
+        }
+    }
+
+    /// Growth keeps FIFO order across the whole slab, not just the grown
+    /// slot: neighbors' queues must be byte-identical after a rebuild.
+    #[test]
+    fn grow_slot_preserves_all_queues() {
+        let mut grid = NodeGrid::new(3, QueueArch::PerInlink { k: 1 });
+        let slots = grid.slots();
+        let mut shadow: Vec<Vec<PacketId>> = vec![Vec::new(); grid.nodes() * slots];
+        // Seed every queue of every node with one packet...
+        let mut next = 0u32;
+        for ni in 0..grid.nodes() {
+            for s in 0..slots {
+                let pid = PacketId(next);
+                next += 1;
+                grid.push(grid.coord_of(ni), grid.slot_kind(s), pid);
+                shadow[ni * slots + s].push(pid);
+            }
+        }
+        // ...then overflow one node's injection slot far past its inline
+        // capacity, forcing repeated doublings.
+        let inj = slots - 1;
+        for _ in 0..40 {
+            let pid = PacketId(next);
+            next += 1;
+            grid.push(grid.coord_of(4), grid.slot_kind(inj), pid);
+            shadow[4 * slots + inj].push(pid);
+        }
+        assert_matches(&grid, &shadow);
+    }
 }

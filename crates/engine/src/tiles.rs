@@ -240,7 +240,6 @@ struct Shared<T: Topology, R: Router> {
     t0: u64,
     validate: bool,
     n: u32,
-    slots: usize,
     arch: QueueArch,
     nt: u32,
     workers: usize,
@@ -380,13 +379,25 @@ impl<T: Topology, R: Router> Shared<T, R> {
         &mut *self.frame.get()
     }
 
-    /// Removes `pid` from a queue of node `ni` through the raw grid parts
-    /// (the caller's worker owns `ni`'s tile). Mirrors `NodeGrid::remove`.
+    /// Removes `pid` from a queue of node `ni` through the raw arena
+    /// pointers (the caller's worker owns `ni`'s tile). Mirrors
+    /// `NodeGrid::remove`: shift the younger cells down one, then update
+    /// the length, occupancy bitmask, and load index — all word writes
+    /// into regions disjoint from every other worker's tiles.
     unsafe fn dequeue(&self, ni: usize, kind: QueueKind, pid: PacketId, what: &str) {
-        let q = &mut *self.grid_raw.queues.add(ni * self.slots + kind.slot());
-        let pos = q.iter().position(|&p| p == pid).expect(what);
-        q.remove(pos);
-        *self.grid_raw.load.add(ni) -= 1;
+        let g = &self.grid_raw;
+        let s = kind.slot();
+        let len_ptr = g.lens.add(ni * g.slots + s);
+        let len = *len_ptr as usize;
+        let base = g.slab.add(ni * g.stride as usize + g.slot_off[s] as usize);
+        let region = std::slice::from_raw_parts_mut(base, len);
+        let pos = region.iter().position(|&p| p == pid).expect(what);
+        region.copy_within(pos + 1.., pos);
+        *len_ptr = (len - 1) as u32;
+        if len == 1 {
+            *g.occ.add(ni) &= !(1u8 << s);
+        }
+        *g.load.add(ni) -= 1;
     }
 
     fn record_panic(&self, slot: usize, payload: Box<dyn std::any::Any + Send>) {
@@ -756,9 +767,11 @@ unsafe fn coord_commit<T: Topology, R: Router>(shared: &Shared<T, R>) {
         progress.lost += 1;
         events.lost.push(m.pkt);
     }
-    // Rebuild the active worklist from the route snapshot.
+    // Rebuild the active worklist from the route snapshot (pending probe
+    // hoisted behind an emptiness check, as in the sequential transmit).
+    let has_pending = !grid.pending.is_empty();
     for &ni in bufs.snapshot.iter() {
-        if grid.node_load(ni as usize) > 0 || grid.pending.contains_key(&ni) {
+        if grid.node_load(ni as usize) > 0 || (has_pending && grid.pending.contains_key(&ni)) {
             grid.mark_active(ni as usize);
         }
     }
@@ -881,7 +894,6 @@ impl<'t, T: Topology, R: Router> Sim<'t, T, R> {
                 t0,
                 validate: self.config.validate,
                 n: self.grid.n(),
-                slots: self.grid.slots(),
                 arch: self.grid.arch(),
                 nt: rt.map.nt,
                 workers: rt.workers,

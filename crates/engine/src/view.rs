@@ -74,6 +74,10 @@ pub struct Arrival<V> {
 /// that queue (0 = oldest). A whole node's residents fit in one cache line
 /// for typical queue bounds.
 ///
+/// The slot index is the same one the queue arena uses to address its
+/// inline cells (DESIGN.md §14), so building a descriptor from the grid is
+/// an occupancy-bitmask walk — no `QueueKind` round-trip in the hot path.
+///
 /// This deliberately carries *less* than [`DxView`]: no id, no source, no
 /// state word. It is therefore destination-exchangeable by construction — a
 /// router that declares `mask_capable` promises its policy depends only on

@@ -437,14 +437,15 @@ fn corrupt_snapshots_are_rejected() {
     // Occupancy/slot-sum mismatch: drop a packet from a queue but leave
     // its location claiming it is still there.
     let mut t = snap.clone();
-    let qi = t.grid.queues.iter().position(|q| !q.is_empty()).unwrap();
-    t.grid.queues[qi].pop();
+    let qi = t.grid.lens.iter().position(|&l| l > 0).unwrap();
+    t.grid.lens[qi] -= 1;
+    let cut: u32 = t.grid.lens[..=qi].iter().sum();
+    t.grid.slab.remove(cut as usize);
     assert!(matches!(restore(&t), Err(SnapshotError::Corrupt(_))));
 
     // A queued packet whose own record disagrees with the queue.
     let mut t = snap.clone();
-    let qi = t.grid.queues.iter().position(|q| !q.is_empty()).unwrap();
-    let pid = t.grid.queues[qi][0];
+    let pid = t.grid.slab[0];
     t.packets.loc[pid.index()] = mesh_routing::engine::Loc::Delivered;
     assert!(matches!(restore(&t), Err(SnapshotError::Corrupt(_))));
 
